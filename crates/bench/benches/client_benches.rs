@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the client's datapath: software-buffer
+//! insert/feed, the hardware decoder and the flow-control step.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftvod_core::client::{FlowController, SoftwareBuffer};
+use ftvod_core::config::VodConfig;
+use media::{FrameMeta, FrameNo, FrameType, HardwareDecoder};
+use simnet::SimTime;
+
+fn frame(no: u64) -> FrameMeta {
+    FrameMeta {
+        no: FrameNo(no),
+        ftype: if no.is_multiple_of(15) { FrameType::I } else { FrameType::B },
+        size: 5_800,
+    }
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    c.bench_function("client: buffer insert+feed of 1000 frames", |b| {
+        b.iter(|| {
+            let mut buffer = SoftwareBuffer::new(37);
+            let mut decoder = HardwareDecoder::new(240_000);
+            let mut fed = 0u64;
+            for no in 0..1000u64 {
+                let _ = buffer.insert(black_box(frame(no)));
+                let summary = buffer.feed(&mut decoder);
+                fed += u64::from(summary.fed);
+                if no % 2 == 0 {
+                    let _ = decoder.tick_display();
+                }
+            }
+            black_box(fed)
+        });
+    });
+}
+
+fn bench_buffer_reordered(c: &mut Criterion) {
+    // Arrival order with systematic swaps, stressing the reorder path.
+    let order: Vec<u64> = (0..1000u64)
+        .map(|i| if i % 7 == 3 { i + 2 } else { i })
+        .collect();
+    c.bench_function("client: buffer with reordered arrivals", |b| {
+        b.iter(|| {
+            let mut buffer = SoftwareBuffer::new(37);
+            let mut decoder = HardwareDecoder::new(240_000);
+            for &no in &order {
+                let _ = buffer.insert(black_box(frame(no)));
+                let _ = buffer.feed(&mut decoder);
+                let _ = decoder.tick_display();
+            }
+            black_box(decoder.displayed())
+        });
+    });
+}
+
+fn bench_flow(c: &mut Criterion) {
+    c.bench_function("client: 10k flow-control steps", |b| {
+        b.iter(|| {
+            let cfg = VodConfig::paper_default();
+            let mut fc = FlowController::new(&cfg, 78);
+            let mut sent = 0u64;
+            for i in 0..10_000u64 {
+                let occupancy = (i % 78) as usize;
+                if fc
+                    .on_frame_received(SimTime::from_millis(i * 33), black_box(occupancy))
+                    .is_some()
+                {
+                    sent += 1;
+                }
+            }
+            black_box(sent)
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_buffer, bench_buffer_reordered, bench_flow
+}
+criterion_main!(benches);

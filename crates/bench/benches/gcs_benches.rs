@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks for the group communication substrate:
+//! multicast cost and view-change (takeover trigger) simulation cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gcs::{GcsConfig, GcsEvent, GcsNode, GcsPacket, GroupId, View};
+use simnet::{
+    Context, Endpoint, LinkProfile, NodeId, Payload, Port, Process, SimTime, Simulation, Timer,
+};
+
+const GCS_PORT: Port = Port(7);
+const TICK: u64 = 1;
+const G: GroupId = GroupId(9);
+
+#[derive(Clone, Debug)]
+struct Blob(#[allow(dead_code)] u64); // payload content is opaque to the GCS
+
+impl Payload for Blob {
+    fn size_bytes(&self) -> usize {
+        64
+    }
+}
+
+type Wire = GcsPacket<Blob>;
+
+struct App {
+    gcs: GcsNode<Blob>,
+    delivered: u64,
+    views: Vec<View>,
+}
+
+impl App {
+    fn new(node: NodeId, bootstrap: Vec<NodeId>) -> Self {
+        App {
+            gcs: GcsNode::new(GcsConfig::new(), node, GCS_PORT, TICK, bootstrap),
+            delivered: 0,
+            views: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, events: Vec<GcsEvent<Blob>>) {
+        for event in events {
+            match event {
+                GcsEvent::Deliver { .. }
+                | GcsEvent::DeliverAgreed { .. }
+                | GcsEvent::DeliverCausal { .. } => self.delivered += 1,
+                GcsEvent::View { view, .. } => self.views.push(view),
+            }
+        }
+    }
+}
+
+impl Process<Wire> for App {
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire>) {
+        self.gcs.start(ctx);
+    }
+
+    fn on_datagram(
+        &mut self,
+        ctx: &mut Context<'_, Wire>,
+        from: Endpoint,
+        _to: Endpoint,
+        msg: Wire,
+    ) {
+        let events = self.gcs.on_packet(ctx, from, msg);
+        self.record(events);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Wire>, timer: Timer) {
+        let events = self.gcs.on_timer(ctx, timer);
+        self.record(events);
+    }
+}
+
+/// Builds a settled 3-member group.
+fn formed(seed: u64) -> Simulation<Wire> {
+    let mut sim = Simulation::new(seed);
+    sim.set_default_profile(LinkProfile::lan());
+    let ids: Vec<NodeId> = (1..=3).map(NodeId).collect();
+    for &id in &ids {
+        sim.add_node(id, App::new(id, ids.clone()));
+    }
+    sim.run_until(SimTime::from_millis(100));
+    sim.invoke(ids[0], |app: &mut App, _ctx| {
+        let events = app.gcs.create_group(G);
+        app.record(events);
+    });
+    for &id in &ids[1..] {
+        sim.invoke(id, |app: &mut App, ctx| {
+            app.gcs.join(ctx, G, &[]);
+        });
+    }
+    sim.run_for(Duration::from_secs(2));
+    sim
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    c.bench_function("gcs: 100 multicasts through a 3-member group", |b| {
+        b.iter_batched(
+            || formed(1),
+            |mut sim| {
+                for v in 0..100u64 {
+                    sim.invoke(NodeId(1), |app: &mut App, ctx| {
+                        let events = app.gcs.multicast(ctx, G, Blob(v)).expect("member");
+                        app.record(events);
+                    });
+                }
+                sim.run_for(Duration::from_millis(500));
+                sim
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_agreed_multicast(c: &mut Criterion) {
+    c.bench_function("gcs: 100 agreed (total-order) multicasts, 3 members", |b| {
+        b.iter_batched(
+            || formed(3),
+            |mut sim| {
+                for v in 0..100u64 {
+                    sim.invoke(NodeId(2), |app: &mut App, ctx| {
+                        let events = app.gcs.multicast_agreed(ctx, G, Blob(v)).expect("member");
+                        app.record(events);
+                    });
+                }
+                sim.run_for(Duration::from_millis(800));
+                sim
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_view_change(c: &mut Criterion) {
+    c.bench_function("gcs: crash detection + view change (3 members)", |b| {
+        b.iter_batched(
+            || formed(2),
+            |mut sim| {
+                let at = sim.now();
+                sim.crash_at(at, NodeId(3));
+                sim.run_for(Duration::from_secs(2));
+                sim
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_multicast, bench_agreed_multicast, bench_view_change
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for whole-system simulation throughput: how much
+//! wall time one simulated second of the paper's scenarios costs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftvod_core::scenario::presets;
+use simnet::SimTime;
+
+fn bench_steady_second(c: &mut Criterion) {
+    c.bench_function("scenario: one simulated second at steady state (LAN)", |b| {
+        b.iter_batched(
+            || {
+                let (builder, _, _) = presets::fig4_lan(1);
+                let mut sim = builder.build();
+                sim.run_until(SimTime::from_secs(20));
+                sim
+            },
+            |mut sim| {
+                let now = sim.now();
+                sim.run_until(now + Duration::from_secs(1));
+                sim
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_takeover(c: &mut Criterion) {
+    c.bench_function("scenario: crash takeover window (3 simulated seconds)", |b| {
+        b.iter_batched(
+            || {
+                let (builder, crash_at, _) = presets::fig4_lan(2);
+                let mut sim = builder.build();
+                sim.run_until(crash_at);
+                sim
+            },
+            |mut sim| {
+                let now = sim.now();
+                sim.run_until(now + Duration::from_secs(3));
+                sim
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_full_wan(c: &mut Criterion) {
+    c.bench_function("scenario: full 92-second WAN run", |b| {
+        b.iter_batched(
+            || presets::fig5_wan(3).0.build(),
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(92));
+                sim
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_steady_second, bench_takeover, bench_full_wan
+}
+criterion_main!(benches);

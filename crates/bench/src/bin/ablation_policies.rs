@@ -1,0 +1,132 @@
+//! Ablation A3 / D4+D5 — the two conservative policy choices.
+//!
+//! * **Overflow policy** (paper §3): discard incremental frames before I
+//!   frames. The alternative sacrifices whatever is newest, including I
+//!   frames — whose loss makes a whole GOP undecodable.
+//! * **Takeover resume** (paper §6.1.1): resume from the last synchronized
+//!   offset ("preferring duplicate transmission of frames over missed
+//!   frames") vs optimistically skipping ahead.
+//!
+//! ```text
+//! cargo run -p ftvod-bench --bin ablation_policies
+//! ```
+
+use std::time::Duration;
+
+use ftvod_bench::compare;
+use ftvod_core::config::{ResumePolicy, VodConfig};
+use ftvod_core::protocol::ClientId;
+use ftvod_core::scenario::ScenarioBuilder;
+use media::{Movie, MovieId, MovieSpec};
+use simnet::{LinkProfile, NodeId, SimTime};
+
+struct Outcome {
+    i_frames_lost: u64,
+    overflow: u64,
+    late: u64,
+    skipped: u64,
+    stalls: u64,
+}
+
+fn run(cfg: VodConfig, seed: u64) -> Outcome {
+    let movie = Movie::generate(
+        MovieId(1),
+        &MovieSpec::paper_default().with_duration(Duration::from_secs(90)),
+    );
+    let mut builder = ScenarioBuilder::new(seed);
+    builder
+        .network(LinkProfile::wan()) // loss + jitter stresses both policies
+        .config(cfg)
+        .movie(movie, &[NodeId(1), NodeId(2)])
+        .server(NodeId(1))
+        .server(NodeId(2))
+        .client(ClientId(1), NodeId(100), MovieId(1), SimTime::from_secs(2))
+        .crash_at(SimTime::from_secs(30), NodeId(2));
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(60));
+    let stats = sim.client_stats(ClientId(1)).unwrap();
+    Outcome {
+        i_frames_lost: stats.i_frames_evicted,
+        overflow: stats.overflow.total(),
+        late: stats.late.total(),
+        skipped: stats.skipped.total(),
+        stalls: stats.stalls.total(),
+    }
+}
+
+fn sum(outcomes: &[Outcome], f: impl Fn(&Outcome) -> u64) -> u64 {
+    outcomes.iter().map(f).sum()
+}
+
+fn main() {
+    let seeds: Vec<u64> = (200..208).collect();
+    println!("=== A3: conservative policy choices, {} WAN crash runs each ===\n", seeds.len());
+
+    // --- D4: overflow eviction policy ---
+    let paper: Vec<Outcome> = seeds
+        .iter()
+        .map(|&s| run(VodConfig::paper_default(), s))
+        .collect();
+    let naive: Vec<Outcome> = seeds
+        .iter()
+        .map(|&s| run(VodConfig::paper_default().with_naive_overflow(), s))
+        .collect();
+    println!("D4 overflow policy          I-frames lost   overflow   skipped");
+    println!(
+        "  prefer incremental (paper) {:>12} {:>10} {:>9}",
+        sum(&paper, |o| o.i_frames_lost),
+        sum(&paper, |o| o.overflow),
+        sum(&paper, |o| o.skipped),
+    );
+    println!(
+        "  drop newest (naive)        {:>12} {:>10} {:>9}",
+        sum(&naive, |o| o.i_frames_lost),
+        sum(&naive, |o| o.overflow),
+        sum(&naive, |o| o.skipped),
+    );
+    compare(
+        "paper policy never sacrifices an I frame",
+        "0",
+        &sum(&paper, |o| o.i_frames_lost).to_string(),
+        sum(&paper, |o| o.i_frames_lost) == 0,
+    );
+    compare(
+        "naive policy does lose I frames under pressure",
+        "> 0",
+        &sum(&naive, |o| o.i_frames_lost).to_string(),
+        sum(&naive, |o| o.i_frames_lost) > 0,
+    );
+
+    // --- D5: takeover resume policy ---
+    let conservative = &paper;
+    let optimistic: Vec<Outcome> = seeds
+        .iter()
+        .map(|&s| run(VodConfig::paper_default().with_resume(ResumePolicy::SkipAhead), s))
+        .collect();
+    println!("\nD5 takeover resume          duplicates(late)   skipped   stalls");
+    println!(
+        "  conservative (paper)       {:>15} {:>9} {:>8}",
+        sum(conservative, |o| o.late),
+        sum(conservative, |o| o.skipped),
+        sum(conservative, |o| o.stalls),
+    );
+    println!(
+        "  skip ahead (optimistic)    {:>15} {:>9} {:>8}",
+        sum(&optimistic, |o| o.late),
+        sum(&optimistic, |o| o.skipped),
+        sum(&optimistic, |o| o.stalls),
+    );
+    compare(
+        "conservative resume duplicates rather than skips",
+        "more late, fewer skipped",
+        &format!(
+            "late {} vs {}, skipped {} vs {}",
+            sum(conservative, |o| o.late),
+            sum(&optimistic, |o| o.late),
+            sum(conservative, |o| o.skipped),
+            sum(&optimistic, |o| o.skipped)
+        ),
+        sum(conservative, |o| o.late) > sum(&optimistic, |o| o.late)
+            && sum(conservative, |o| o.skipped) <= sum(&optimistic, |o| o.skipped),
+    );
+}

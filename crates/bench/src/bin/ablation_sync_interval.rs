@@ -1,0 +1,92 @@
+//! Ablation A1 / D1 — the state-synchronization interval (paper §5.2).
+//!
+//! The paper synchronizes server state every half second; the interval
+//! bounds the staleness of the resume offset at takeover and therefore the
+//! duplicate burst ("certain frames may be transmitted by both servers"),
+//! while shorter intervals cost proportionally more control bandwidth.
+//!
+//! ```text
+//! cargo run -p ftvod-bench --bin ablation_sync_interval
+//! ```
+
+use std::time::Duration;
+
+use ftvod_bench::{compare, fmt_f};
+use ftvod_core::config::VodConfig;
+use ftvod_core::protocol::ClientId;
+use ftvod_core::scenario::ScenarioBuilder;
+use media::{Movie, MovieId, MovieSpec};
+use simnet::{LinkProfile, NodeId, SimTime};
+
+fn run(sync_ms: u64, seed: u64) -> (u64, u64, f64) {
+    let movie = Movie::generate(
+        MovieId(1),
+        &MovieSpec::paper_default().with_duration(Duration::from_secs(90)),
+    );
+    let mut builder = ScenarioBuilder::new(seed);
+    builder
+        .network(LinkProfile::lan())
+        .config(VodConfig::paper_default().with_sync_interval(Duration::from_millis(sync_ms)))
+        .movie(movie, &[NodeId(1), NodeId(2)])
+        .server(NodeId(1))
+        .server(NodeId(2))
+        .client(ClientId(1), NodeId(100), MovieId(1), SimTime::from_secs(2))
+        .crash_at(SimTime::from_secs(30), NodeId(2));
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(60));
+    let stats = sim.client_stats(ClientId(1)).unwrap();
+    let dups = stats.late.in_window(30.0, 40.0);
+    let sync_bytes = sim.net_stats().class("vod-sync").sent_bytes;
+    let video_bytes = sim.net_stats().class("video").sent_bytes;
+    (dups, stats.stalls.total(), sync_bytes as f64 / video_bytes as f64)
+}
+
+fn main() {
+    println!("=== A1: sync interval vs takeover duplicates and overhead ===\n");
+    println!(
+        "{:>12} {:>12} {:>8} {:>16}",
+        "interval", "duplicates", "stalls", "sync/video"
+    );
+    let mut results = Vec::new();
+    for ms in [100u64, 250, 500, 1000, 2000] {
+        // Average the duplicate burst over a few seeds (it depends on
+        // where the crash falls inside the sync period).
+        let runs: Vec<(u64, u64, f64)> = (0..5).map(|s| run(ms, 50 + s)).collect();
+        let dups = runs.iter().map(|r| r.0).sum::<u64>() as f64 / runs.len() as f64;
+        let stalls = runs.iter().map(|r| r.1).sum::<u64>();
+        let overhead = runs.iter().map(|r| r.2).sum::<f64>() / runs.len() as f64;
+        println!(
+            "{:>10}ms {:>12} {:>8} {:>15.3}‰",
+            ms,
+            fmt_f(dups),
+            stalls,
+            overhead * 1000.0
+        );
+        results.push((ms, dups, stalls, overhead));
+    }
+
+    println!();
+    let d100 = results[0].1;
+    let d2000 = results.last().unwrap().1;
+    compare(
+        "staler state ⇒ larger duplicate burst at takeover",
+        "grows with the interval",
+        &format!("{} → {} dups (100ms → 2s)", fmt_f(d100), fmt_f(d2000)),
+        d2000 > d100,
+    );
+    let o100 = results[0].3;
+    let o2000 = results.last().unwrap().3;
+    compare(
+        "shorter interval ⇒ more control bandwidth",
+        "shrinks with the interval",
+        &format!("{:.3}‰ → {:.3}‰", o100 * 1000.0, o2000 * 1000.0),
+        o100 > o2000,
+    );
+    let paper = &results[2];
+    compare(
+        "the paper's 500 ms point stays smooth and cheap",
+        "0 stalls, ≪ 1% overhead",
+        &format!("{} stalls, {:.3}‰", paper.2, paper.3 * 1000.0),
+        paper.2 == 0 && paper.3 < 0.004,
+    );
+}

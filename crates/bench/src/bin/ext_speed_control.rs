@@ -1,0 +1,114 @@
+//! Extension experiment E1 — flow-control step response under playback
+//! speed changes.
+//!
+//! Paper §3 lists *speed control* among the client's control messages but
+//! shows no measurement for it. This experiment provides one: the viewer
+//! switches to 1.5× and later to 0.75× playback; the delivered frame rate
+//! must converge to the new consumption and the buffers must stay between
+//! the water marks throughout.
+//!
+//! ```text
+//! cargo run -p ftvod-bench --bin ext_speed_control
+//! ```
+
+use std::time::Duration;
+
+use ftvod_bench::{compare, fmt_f, write_artifact};
+use ftvod_core::protocol::ClientId;
+use ftvod_core::scenario::{ScenarioBuilder, VcrOp};
+use media::{Movie, MovieId, MovieSpec};
+use simnet::{LinkProfile, NodeId, SimTime};
+
+fn main() {
+    let movie = Movie::generate(
+        MovieId(1),
+        &MovieSpec::paper_default().with_duration(Duration::from_secs(240)),
+    );
+    let mut builder = ScenarioBuilder::new(23);
+    builder
+        .network(LinkProfile::lan())
+        .movie(movie, &[NodeId(1), NodeId(2)])
+        .server(NodeId(1))
+        .server(NodeId(2))
+        .client(ClientId(1), NodeId(100), MovieId(1), SimTime::from_secs(2))
+        .vcr_at(SimTime::from_secs(30), ClientId(1), VcrOp::SetSpeed(150))
+        .vcr_at(SimTime::from_secs(60), ClientId(1), VcrOp::SetSpeed(75));
+    let mut sim = builder.build();
+
+    // Sample the delivered rate in 2-second windows.
+    let mut csv = String::from("time_s,delivered_fps\n");
+    let mut prev_received = 0u64;
+    let mut rates: Vec<(u64, f64)> = Vec::new();
+    for t in (2..=90u64).step_by(2) {
+        sim.run_until(SimTime::from_secs(t));
+        let received = sim.client_stats(ClientId(1)).unwrap().frames_received;
+        let rate = (received - prev_received) as f64 / 2.0;
+        prev_received = received;
+        rates.push((t, rate));
+        csv.push_str(&format!("{t},{rate:.1}\n"));
+    }
+    println!("=== E1: delivered rate through speed steps (30 fps nominal) ===\n");
+    println!("{:>5} {:>10}   phase", "t(s)", "fps");
+    for &(t, rate) in &rates {
+        let phase = match t {
+            0..=29 => "1.0x",
+            30..=59 => "1.5x",
+            _ => "0.75x",
+        };
+        let bar = "#".repeat((rate / 2.0) as usize);
+        println!("{t:>5} {:>10}   {phase:<5} {bar}", fmt_f(rate));
+    }
+    write_artifact("ext_speed_rate.csv", &csv);
+
+    let window_rate = |from: u64, to: u64| {
+        let v: Vec<f64> = rates
+            .iter()
+            .filter(|&&(t, _)| t > from && t <= to)
+            .map(|&(_, r)| r)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let normal = window_rate(14, 30);
+    let fast = window_rate(44, 60);
+    let slow = window_rate(74, 90);
+    let stats = sim.client_stats(ClientId(1)).unwrap();
+
+    println!();
+    compare(
+        "steady rate at 1.0x",
+        "≈ 30 fps",
+        &format!("{} fps", fmt_f(normal)),
+        (27.0..33.0).contains(&normal),
+    );
+    compare(
+        "steady rate at 1.5x",
+        "≈ 45 fps",
+        &format!("{} fps", fmt_f(fast)),
+        (40.0..50.0).contains(&fast),
+    );
+    compare(
+        "steady rate at 0.75x",
+        "≈ 22.5 fps",
+        &format!("{} fps", fmt_f(slow)),
+        (19.0..26.0).contains(&slow),
+    );
+    compare(
+        "no visible jitter across both steps",
+        "0 stalls",
+        &stats.stalls.total().to_string(),
+        stats.stalls.total() == 0,
+    );
+    let occupancy_ok = stats
+        .sw_occupancy
+        .mean_in_window(44.0, 90.0)
+        .is_some_and(|m| (5.0..37.0).contains(&m));
+    compare(
+        "buffers stay in a healthy band after the steps",
+        "between the water marks",
+        &format!(
+            "mean sw {}",
+            fmt_f(stats.sw_occupancy.mean_in_window(44.0, 90.0).unwrap_or(0.0))
+        ),
+        occupancy_ok,
+    );
+}

@@ -1,0 +1,104 @@
+//! Figure 2 — the client's flow-control policy table.
+//!
+//! Drives the implemented [`FlowController`] through every occupancy band
+//! and prints the decision table, verifying it against the paper's rows.
+//!
+//! ```text
+//! cargo run -p ftvod-bench --bin fig2_policy_table
+//! ```
+
+use ftvod_bench::compare;
+use ftvod_core::client::{Band, FlowController};
+use ftvod_core::config::VodConfig;
+use ftvod_core::protocol::FlowRequest;
+
+fn req_name(r: Option<FlowRequest>) -> &'static str {
+    match r {
+        Some(FlowRequest::Emergency { severe: true }) => "emergency (severe)",
+        Some(FlowRequest::Emergency { severe: false }) => "emergency (mild)",
+        Some(FlowRequest::Increase) => "increase",
+        Some(FlowRequest::Decrease) => "decrease",
+        None => "—",
+    }
+}
+
+fn main() {
+    let cfg = VodConfig::paper_default();
+    // Thresholds over the combined buffer capacity (sw 37 frames + hw
+    // 240 KB ≈ 41 frames ≈ 78 total, the paper's ~2.4 s of video).
+    let total = 78;
+    let fc = FlowController::new(&cfg, total);
+    println!("Figure 2 — flow control policy (combined capacity {total} frames)\n");
+    println!(
+        "{:<26} {:<18} {:<10} request",
+        "occupancy band", "band", "frequency"
+    );
+    let rows: Vec<(usize, usize, &str)> = vec![
+        (0, 0, "empty"),
+        (total * 15 / 200, 30, "below severe critical (15 %)"),
+        (total * 22 / 100, 30, "below mild critical (30 %)"),
+        (total * 50 / 100, 30, "critical‥LWM"),
+        (total * 80 / 100, total * 82 / 100, "LWM‥HWM falling"),
+        (total * 82 / 100, total * 80 / 100, "LWM‥HWM rising"),
+        (total * 80 / 100, total * 80 / 100, "LWM‥HWM steady"),
+        (total * 95 / 100, total * 90 / 100, "above HWM"),
+    ];
+    for (occ, prev, label) in rows {
+        let band = fc.band(occ);
+        let every = fc.check_every(occ);
+        let decision = fc.decision(occ, prev);
+        println!(
+            "{label:<26} {:<18} every {every:<4} {}",
+            format!("{band:?}"),
+            req_name(decision)
+        );
+    }
+
+    println!("\npaper-vs-implementation checks:");
+    compare(
+        "emergency below the critical threshold",
+        "emergency",
+        req_name(fc.decision(2, 50)),
+        matches!(
+            fc.decision(2, 50),
+            Some(FlowRequest::Emergency { severe: true })
+        ),
+    );
+    compare(
+        "increase between critical and LWM",
+        "increase",
+        req_name(fc.decision(30, 50)),
+        fc.decision(30, 50) == Some(FlowRequest::Increase),
+    );
+    compare(
+        "falling inside the water marks → increase",
+        "increase",
+        req_name(fc.decision(60, 62)),
+        fc.decision(60, 62) == Some(FlowRequest::Increase),
+    );
+    compare(
+        "rising inside the water marks → decrease",
+        "decrease",
+        req_name(fc.decision(62, 60)),
+        fc.decision(62, 60) == Some(FlowRequest::Decrease),
+    );
+    compare(
+        "steady inside the water marks → no request",
+        "no request",
+        req_name(fc.decision(60, 60)),
+        fc.decision(60, 60).is_none(),
+    );
+    compare(
+        "above HWM → decrease",
+        "decrease",
+        req_name(fc.decision(74, 60)),
+        fc.decision(74, 60) == Some(FlowRequest::Decrease),
+    );
+    compare(
+        "urgent frequency doubles the normal one",
+        "8 → 4 frames",
+        &format!("{} → {}", fc.check_every(60), fc.check_every(30)),
+        fc.check_every(60) == 8 && fc.check_every(30) == 4,
+    );
+    let _ = Band::Normal;
+}

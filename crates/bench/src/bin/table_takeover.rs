@@ -1,0 +1,91 @@
+//! T4 — takeover time (paper §4.2).
+//!
+//! "The take over time is affected by the failure detection time-out and
+//! by the time required for information exchange among the servers. In our
+//! tests on a local area network, the take over time was half a second on
+//! the average." The duration of the irregularity period is at most the
+//! sum of the synchronization skew and the takeover time.
+//!
+//! Runs many seeded crash scenarios and reports the distribution of the
+//! stream-interruption length plus the duplicate burst (the visible face
+//! of the sync skew).
+//!
+//! ```text
+//! cargo run -p ftvod-bench --bin table_takeover [runs]
+//! ```
+
+use ftvod_bench::{compare, fmt_f};
+use ftvod_core::metrics::percentile;
+use ftvod_core::scenario::presets;
+use std::time::Duration;
+
+fn main() {
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    println!("=== T4: takeover time over {runs} seeded crash runs ===\n");
+    let mut gaps = Vec::new();
+    let mut dup_bursts = Vec::new();
+    let mut smooth = 0u64;
+    for seed in 0..runs {
+        let (builder, crash_at, _) = presets::fig4_lan(seed);
+        let crash_s = crash_at.as_secs_f64();
+        let mut sim = builder.build();
+        sim.run_until(crash_at + Duration::from_secs(12));
+        let stats = sim.client_stats(presets::CLIENT_ID).unwrap();
+        // The interruption that starts at the crash.
+        let gap = stats
+            .interruptions
+            .iter()
+            .filter(|&&(at, _)| (crash_s - 1.0..crash_s + 2.0).contains(&at))
+            .map(|&(_, d)| d)
+            .fold(0.0_f64, f64::max);
+        gaps.push(gap);
+        dup_bursts.push(stats.late.in_window(crash_s, crash_s + 6.0));
+        if stats.stalls.total() == 0 {
+            smooth += 1;
+        }
+    }
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let p50 = percentile(&gaps, 0.5).expect("runs > 0");
+    let p99 = percentile(&gaps, 0.99).expect("runs > 0");
+    let max = percentile(&gaps, 1.0).expect("runs > 0");
+    let mean_dups = dup_bursts.iter().sum::<u64>() as f64 / dup_bursts.len() as f64;
+
+    println!("stream interruption at the crash (failure detection + view change + join):");
+    println!(
+        "  mean {} s   median {} s   p99 {} s   max {} s",
+        fmt_f(mean),
+        fmt_f(p50),
+        fmt_f(p99),
+        fmt_f(max)
+    );
+    println!("duplicate burst after resume (the visible sync skew): mean {} frames", fmt_f(mean_dups));
+    println!("runs with zero visible freezes: {smooth}/{runs}\n");
+
+    compare(
+        "average takeover time",
+        "≈ 0.5 s on a LAN",
+        &format!("{} s", fmt_f(mean)),
+        (0.2..1.0).contains(&mean),
+    );
+    compare(
+        "irregularity bounded by sync skew + takeover",
+        "≤ 1.0 s worst case",
+        &format!("{} s max", fmt_f(max)),
+        max <= 1.5,
+    );
+    compare(
+        "duplicates bounded by the 0.5 s sync skew",
+        "≤ ~15 frames at 30 fps",
+        &format!("{} mean", fmt_f(mean_dups)),
+        mean_dups <= 20.0,
+    );
+    compare(
+        "transitions not noticeable to a human observer",
+        "all runs",
+        &format!("{smooth}/{runs}"),
+        smooth == runs,
+    );
+}

@@ -1,0 +1,533 @@
+//! The VoD client: buffering, flow control, display and VCR operations.
+//!
+//! The client is *oblivious to server identity* (paper §5.3): it contacts
+//! the abstract server group to open a session, joins its own session
+//! group, and from then on only consumes whatever video frames arrive and
+//! multicasts flow-control/VCR messages into the session group — whichever
+//! server currently serves it receives them.
+
+mod buffer;
+mod flow;
+
+pub use buffer::{FeedSummary, InsertOutcome, SoftwareBuffer};
+pub use flow::{Band, FlowController};
+
+use std::time::Duration;
+
+use gcs::{GcsEvent, GcsNode};
+use media::{DisplayOutcome, FrameNo, GopPattern, HardwareDecoder, QualityFilter};
+use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer};
+
+use crate::config::VodConfig;
+use crate::metrics::{Cumulative, TimeSeries};
+use crate::protocol::{
+    session_group, ClientId, ControlPayload, OpenRequest, VcrCmd, VideoPacket, VodWire,
+    GCS_PORT, SERVER_GROUP,
+};
+
+/// Timer tags used by the client process.
+mod tag {
+    pub const GCS_TICK: u64 = 1;
+    pub const DISPLAY: u64 = 2;
+    pub const SAMPLE: u64 = 3;
+    pub const OPEN_RETRY: u64 = 4;
+}
+
+/// Everything the client knows about the movie it wants to watch (from the
+/// catalog listing; it never holds the frame data itself).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchRequest {
+    /// The movie to watch.
+    pub movie: media::MovieId,
+    /// The movie's nominal frame rate.
+    pub movie_fps: u32,
+    /// The movie's GOP structure (used to derive the effective display
+    /// rate under quality adaptation).
+    pub gop: GopPattern,
+    /// This client's capability cap in frames per second (§4.3).
+    pub max_fps: u32,
+    /// Frame to start from.
+    pub start_at: FrameNo,
+    /// Nominal stream bitrate, used to express the hardware buffer's byte
+    /// capacity in frames for the combined-occupancy flow control.
+    pub bitrate_bps: u64,
+}
+
+impl WatchRequest {
+    /// Watch `movie` at full quality from the beginning.
+    pub fn full_quality(movie: &media::Movie) -> Self {
+        WatchRequest {
+            movie: movie.id(),
+            movie_fps: movie.fps(),
+            gop: movie.gop().clone(),
+            max_fps: movie.fps(),
+            start_at: FrameNo::ZERO,
+            bitrate_bps: movie.target_bitrate_bps(),
+        }
+    }
+}
+
+/// Counters and series recorded by a client — the exact quantities plotted
+/// in the paper's Figures 4 and 5.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// Video packets that reached this client.
+    pub frames_received: u64,
+    /// Frames discarded because they arrived after their display position
+    /// (duplicates included) — Figure 4(b).
+    pub late: Cumulative,
+    /// Frames discarded due to software-buffer overflow — Figure 5(b).
+    pub overflow: Cumulative,
+    /// All frames never displayed: overflow discards plus positions passed
+    /// over because the frame never arrived — Figures 4(a)/5(a).
+    pub skipped: Cumulative,
+    /// Display ticks with an empty decoder (visible freeze).
+    pub stalls: Cumulative,
+    /// Software-buffer occupancy samples (frames) — Figure 4(c).
+    pub sw_occupancy: TimeSeries,
+    /// Hardware-buffer occupancy samples (bytes) — Figure 4(d).
+    pub hw_occupancy: TimeSeries,
+    /// Emergency requests issued.
+    pub emergencies: Cumulative,
+    /// I frames sacrificed by the overflow policy (the paper reports none).
+    pub i_frames_evicted: u64,
+    /// Arrival time of the first video frame.
+    pub first_frame_at: Option<SimTime>,
+    /// Arrival time of the most recent video frame.
+    pub last_frame_at: Option<SimTime>,
+    /// Interruptions of the video stream longer than 200 ms:
+    /// `(start_seconds, duration_seconds)` — the irregularity periods of
+    /// §4.2 (takeovers, migrations).
+    pub interruptions: Vec<(f64, f64)>,
+}
+
+/// The client process.
+pub struct VodClient {
+    id: ClientId,
+    cfg: VodConfig,
+    request: WatchRequest,
+    /// Playback speed in percent of normal (100 = real time).
+    speed_percent: u32,
+    gcs: GcsNode<ControlPayload>,
+    buffer: SoftwareBuffer,
+    decoder: HardwareDecoder,
+    flow: FlowController,
+    stats: ClientStats,
+    display_interval: Duration,
+    display_started: bool,
+    paused: bool,
+    ended: bool,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for VodClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VodClient")
+            .field("id", &self.id)
+            .field("movie", &self.request.movie)
+            .field("received", &self.stats.frames_received)
+            .finish()
+    }
+}
+
+impl VodClient {
+    /// Creates a client that will watch per `request`, using `servers` as
+    /// the bootstrap set for contacting the VoD service.
+    pub fn new(
+        cfg: VodConfig,
+        id: ClientId,
+        node: NodeId,
+        servers: Vec<NodeId>,
+        request: WatchRequest,
+    ) -> Self {
+        let filter = QualityFilter::new(&request.gop, request.movie_fps, request.max_fps);
+        let effective_fps = filter.effective_fps(request.movie_fps).max(1.0);
+        // Combined capacity: software frames plus the hardware buffer
+        // expressed in (mean-size) frames — together about 2.4 s of video
+        // at the paper's operating point.
+        let mean_frame = (request.bitrate_bps as f64 / 8.0
+            / f64::from(request.movie_fps.max(1)))
+        .max(1.0);
+        let hw_frames = (cfg.hw_buffer_bytes as f64 / mean_frame).floor() as usize;
+        let total_frames = cfg.sw_buffer_frames + hw_frames;
+        VodClient {
+            id,
+            buffer: SoftwareBuffer::with_policy(
+                cfg.sw_buffer_frames,
+                cfg.overflow_prefers_incremental,
+            ),
+            decoder: HardwareDecoder::new(cfg.hw_buffer_bytes),
+            flow: FlowController::new(&cfg, total_frames),
+            gcs: GcsNode::new(cfg.gcs.clone(), node, GCS_PORT, tag::GCS_TICK, servers),
+            cfg,
+            request,
+            speed_percent: 100,
+            stats: ClientStats::default(),
+            display_interval: Duration::from_secs_f64(1.0 / effective_fps),
+            display_started: false,
+            paused: false,
+            ended: false,
+            stopped: false,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The statistics recorded so far.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Frames displayed so far.
+    pub fn displayed(&self) -> u64 {
+        self.decoder.displayed()
+    }
+
+    /// Current software-buffer occupancy in frames.
+    pub fn sw_occupancy(&self) -> usize {
+        self.buffer.occupancy()
+    }
+
+    /// Current hardware-buffer occupancy in bytes.
+    pub fn hw_occupancy(&self) -> u64 {
+        self.decoder.occupied()
+    }
+
+    /// Whether the server signalled the end of the movie.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// VCR: pause playback (paper §3: full VCR-like control).
+    pub fn pause(&mut self, ctx: &mut Context<'_, VodWire>) {
+        self.paused = true;
+        self.send_vcr(ctx, VcrCmd::Pause);
+    }
+
+    /// VCR: resume after a pause.
+    pub fn resume(&mut self, ctx: &mut Context<'_, VodWire>) {
+        self.paused = false;
+        self.send_vcr(ctx, VcrCmd::Resume);
+    }
+
+    /// VCR: random access to an arbitrary position. Local buffers are
+    /// flushed; the emergency mechanism refills them (§4.1).
+    pub fn seek(&mut self, ctx: &mut Context<'_, VodWire>, position: FrameNo) {
+        self.buffer.reset_to(position);
+        self.decoder.flush();
+        self.ended = false;
+        self.send_vcr(ctx, VcrCmd::Seek(position));
+    }
+
+    /// VCR: adjust the quality cap (maximum frames per second, §4.3).
+    pub fn set_quality(&mut self, ctx: &mut Context<'_, VodWire>, max_fps: u32) {
+        self.request.max_fps = max_fps;
+        self.recompute_display_interval();
+        self.send_vcr(ctx, VcrCmd::SetQuality(max_fps));
+    }
+
+    /// VCR: playback-speed control (paper §3), in percent of normal speed.
+    /// The display clock changes immediately; the flow control pulls the
+    /// transmission rate to the new consumption, helped by a server-side
+    /// rate hint carried in the command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is zero.
+    pub fn set_speed(&mut self, ctx: &mut Context<'_, VodWire>, percent: u32) {
+        assert!(percent > 0, "playback speed must be positive");
+        self.speed_percent = percent;
+        self.recompute_display_interval();
+        self.send_vcr(ctx, VcrCmd::SetSpeed(percent));
+    }
+
+    /// Current playback speed in percent of normal.
+    pub fn speed_percent(&self) -> u32 {
+        self.speed_percent
+    }
+
+    fn recompute_display_interval(&mut self) {
+        let filter = QualityFilter::new(
+            &self.request.gop,
+            self.request.movie_fps,
+            self.request.max_fps,
+        );
+        let effective = filter.effective_fps(self.request.movie_fps).max(1.0)
+            * f64::from(self.speed_percent)
+            / 100.0;
+        self.display_interval = Duration::from_secs_f64(1.0 / effective.max(0.5));
+    }
+
+    /// VCR: end the session.
+    pub fn stop(&mut self, ctx: &mut Context<'_, VodWire>) {
+        self.stopped = true;
+        self.send_vcr(ctx, VcrCmd::Stop);
+    }
+
+    fn send_vcr(&mut self, ctx: &mut Context<'_, VodWire>, cmd: VcrCmd) {
+        let group = session_group(self.id);
+        let payload = ControlPayload::Vcr {
+            client: self.id,
+            cmd,
+        };
+        // Self-delivery events are irrelevant to the client.
+        let _ = self.gcs.multicast(ctx, group, payload);
+    }
+
+    fn send_open(&mut self, ctx: &mut Context<'_, VodWire>) {
+        let open = OpenRequest {
+            client: self.id,
+            client_node: ctx.node(),
+            movie: self.request.movie,
+            session_group: session_group(self.id),
+            max_fps: self.request.max_fps,
+            start_at: self.buffer.next_feed(),
+        };
+        self.gcs
+            .send_to_group(ctx, SERVER_GROUP, ControlPayload::Open(open));
+    }
+
+    fn handle_video(&mut self, ctx: &mut Context<'_, VodWire>, pkt: VideoPacket) {
+        if self.stopped || pkt.client != self.id || pkt.movie != self.request.movie {
+            return;
+        }
+        let now = ctx.now();
+        self.stats.frames_received += 1;
+        if self.stats.first_frame_at.is_none() {
+            self.stats.first_frame_at = Some(now);
+        }
+        if let Some(last) = self.stats.last_frame_at {
+            let gap = now.saturating_since(last);
+            if gap > Duration::from_millis(200) && !self.paused {
+                self.stats
+                    .interruptions
+                    .push((last.as_secs_f64(), gap.as_secs_f64()));
+            }
+        }
+        self.stats.last_frame_at = Some(now);
+        if !self.display_started {
+            self.display_started = true;
+            ctx.set_timer_after(self.display_interval, tag::DISPLAY);
+        }
+        match self.buffer.insert(pkt.frame) {
+            InsertOutcome::Late => {
+                self.stats.late.add(now, 1);
+            }
+            InsertOutcome::Accepted { evicted } => {
+                if let Some(evicted) = evicted {
+                    // Counted in `skipped` when the feed passes over the
+                    // evicted position, so only `overflow` records it here.
+                    self.stats.overflow.add(now, 1);
+                    if evicted.ftype.is_intra() {
+                        self.stats.i_frames_evicted += 1;
+                    }
+                }
+            }
+        }
+        self.feed_decoder(now);
+        let combined = self.buffer.occupancy() + self.decoder.queued_frames();
+        if let Some(req) = self.flow.on_frame_received(now, combined) {
+            if let crate::protocol::FlowRequest::Emergency { .. } = req {
+                self.stats.emergencies.add(now, 1);
+            }
+            let payload = ControlPayload::Flow {
+                client: self.id,
+                req,
+            };
+            let _ = self.gcs.multicast(ctx, session_group(self.id), payload);
+        }
+    }
+
+    fn feed_decoder(&mut self, now: SimTime) {
+        let summary = self.buffer.feed(&mut self.decoder);
+        if summary.passed_gaps > 0 {
+            self.stats.skipped.add(now, summary.passed_gaps);
+        }
+    }
+
+    fn handle_events(&mut self, events: Vec<GcsEvent<ControlPayload>>) {
+        for event in events {
+            if let GcsEvent::Deliver {
+                payload: ControlPayload::EndOfMovie { client },
+                ..
+            } = event
+            {
+                if client == self.id {
+                    self.ended = true;
+                }
+            }
+            // View events are deliberately ignored: the client is oblivious
+            // to which server is on the other end of its session group.
+        }
+    }
+}
+
+impl Process<VodWire> for VodClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, VodWire>) {
+        self.gcs.start(ctx);
+        let events = self.gcs.create_group(session_group(self.id));
+        self.handle_events(events);
+        self.send_open(ctx);
+        ctx.set_timer_after(self.cfg.sample_interval, tag::SAMPLE);
+        ctx.set_timer_after(Duration::from_secs(1), tag::OPEN_RETRY);
+    }
+
+    fn on_datagram(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        from: Endpoint,
+        _to: Endpoint,
+        msg: VodWire,
+    ) {
+        match msg {
+            VodWire::Video(pkt) => self.handle_video(ctx, pkt),
+            VodWire::Gcs(pkt) => {
+                let events = self.gcs.on_packet(ctx, from, pkt);
+                self.handle_events(events);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, VodWire>, timer: Timer) {
+        match timer.tag {
+            tag::GCS_TICK => {
+                let events = self.gcs.on_timer(ctx, timer);
+                self.handle_events(events);
+            }
+            tag::DISPLAY => {
+                if self.stopped {
+                    return;
+                }
+                let now = ctx.now();
+                if !self.paused {
+                    match self.decoder.tick_display() {
+                        DisplayOutcome::Displayed(_) => {}
+                        DisplayOutcome::Stalled => {
+                            // A stall after the movie ended is just the
+                            // natural drain, not visible jitter.
+                            if !self.ended {
+                                self.stats.stalls.add(now, 1);
+                            }
+                        }
+                    }
+                    self.feed_decoder(now);
+                }
+                ctx.set_timer_after(self.display_interval, tag::DISPLAY);
+            }
+            tag::SAMPLE => {
+                let now = ctx.now();
+                self.stats
+                    .sw_occupancy
+                    .push(now, self.buffer.occupancy() as f64);
+                self.stats
+                    .hw_occupancy
+                    .push(now, self.decoder.occupied() as f64);
+                ctx.set_timer_after(self.cfg.sample_interval, tag::SAMPLE);
+            }
+            tag::OPEN_RETRY => {
+                if self.stopped || self.ended {
+                    return;
+                }
+                let now = ctx.now();
+                let silent = self
+                    .stats
+                    .last_frame_at
+                    .is_none_or(|at| now.saturating_since(at) > Duration::from_secs(5));
+                if self.stats.frames_received == 0 {
+                    // Still connecting: solicit once a second.
+                    self.send_open(ctx);
+                    ctx.set_timer_after(Duration::from_secs(1), tag::OPEN_RETRY);
+                } else if silent && !self.paused {
+                    // The whole replica set may have been lost (beyond the
+                    // paper's k−1 assumption); re-open from our current
+                    // position so a freshly brought-up server can resume
+                    // the session from scratch.
+                    self.send_open(ctx);
+                    ctx.set_timer_after(Duration::from_secs(2), tag::OPEN_RETRY);
+                } else {
+                    ctx.set_timer_after(Duration::from_secs(2), tag::OPEN_RETRY);
+                }
+            }
+            _ => debug_assert!(false, "unknown timer tag {}", timer.tag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media::{Movie, MovieId, MovieSpec};
+
+    fn movie() -> Movie {
+        Movie::generate(
+            MovieId(1),
+            &MovieSpec::paper_default().with_duration(Duration::from_secs(4)),
+        )
+    }
+
+    fn client(request: WatchRequest) -> VodClient {
+        VodClient::new(
+            VodConfig::paper_default(),
+            ClientId(1),
+            NodeId(100),
+            vec![NodeId(1), NodeId(2)],
+            request,
+        )
+    }
+
+    #[test]
+    fn full_quality_request_mirrors_the_movie() {
+        let movie = movie();
+        let request = WatchRequest::full_quality(&movie);
+        assert_eq!(request.movie, movie.id());
+        assert_eq!(request.movie_fps, 30);
+        assert_eq!(request.max_fps, 30);
+        assert_eq!(request.start_at, FrameNo::ZERO);
+        assert_eq!(request.bitrate_bps, 1_400_000);
+    }
+
+    #[test]
+    fn display_interval_tracks_quality_and_speed() {
+        let movie = movie();
+        let mut c = client(WatchRequest::full_quality(&movie));
+        let full = c.display_interval;
+        assert!((full.as_secs_f64() - 1.0 / 30.0).abs() < 1e-9);
+        // Halving the quality roughly halves the display rate (the GOP
+        // rounding makes it 16 of 30).
+        c.request.max_fps = 15;
+        c.recompute_display_interval();
+        assert!(c.display_interval > full);
+        // Double speed halves the interval again.
+        c.request.max_fps = 30;
+        c.speed_percent = 200;
+        c.recompute_display_interval();
+        assert!((c.display_interval.as_secs_f64() - 1.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fresh_client_reports_zeroed_state() {
+        let movie = movie();
+        let c = client(WatchRequest::full_quality(&movie));
+        assert_eq!(c.id(), ClientId(1));
+        assert_eq!(c.sw_occupancy(), 0);
+        assert_eq!(c.hw_occupancy(), 0);
+        assert_eq!(c.displayed(), 0);
+        assert!(!c.ended());
+        assert_eq!(c.speed_percent(), 100);
+        assert_eq!(c.stats().frames_received, 0);
+        assert!(c.stats().interruptions.is_empty());
+    }
+
+    #[test]
+    fn capped_request_lowers_the_display_clock() {
+        let movie = movie();
+        let mut request = WatchRequest::full_quality(&movie);
+        request.max_fps = 10;
+        let c = client(request);
+        // 10 fps of a 30 fps MPEG-1 GOP keeps 5 of 15 frames → 10 fps.
+        assert!((c.display_interval.as_secs_f64() - 0.1).abs() < 0.02);
+    }
+}

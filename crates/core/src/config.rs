@@ -1,0 +1,280 @@
+//! Service configuration: buffer sizes, water marks, flow-control
+//! frequencies, emergency parameters and synchronization intervals.
+//!
+//! Defaults reproduce the paper's §6 operating point: a 37-frame software
+//! buffer, a 240 KB hardware buffer (~1.2 s of a 1.4 Mbps stream), low/high
+//! water marks at 73 %/88 %, critical thresholds at 15 %/30 %, flow control
+//! every 8 received frames (doubled when urgent), emergency quantities
+//! 12/6 decaying by 0.8 per second, and server state synchronization every
+//! half second.
+
+use std::time::Duration;
+
+use gcs::GcsConfig;
+
+/// What a server does when another replica's clients lose their server.
+///
+/// `Full` is the paper's protocol (any replica takes over; a movie
+/// replicated `k` times tolerates `k − 1` failures). The other two exist as
+/// baselines for the fault-tolerance comparison of §7: `SingleBackup`
+/// mimics a Tiger-style system that survives only one failure, `None` a
+/// classical single-server deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TakeoverPolicy {
+    /// Every surviving replica participates in redistribution (the paper).
+    #[default]
+    Full,
+    /// Only the first failure is covered: after one takeover the replicas
+    /// stop volunteering (Tiger-like baseline, §7).
+    SingleBackup,
+    /// No takeover at all (single-server baseline).
+    None,
+}
+
+/// How a server picks the resume offset when acquiring a client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ResumePolicy {
+    /// Resume from the last synchronized offset: frames the old server
+    /// already sent may be transmitted twice, but none are missed — the
+    /// paper's choice ("we take a conservative (pessimistic) approach,
+    /// preferring duplicate transmission of frames over missed frames").
+    #[default]
+    Conservative,
+    /// Skip ahead by the estimated progress since the last sync: fewer
+    /// duplicates, but any underestimate becomes a hole in the stream.
+    SkipAhead,
+}
+
+/// Tunable parameters of the VoD service.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VodConfig {
+    /// Software (reordering) buffer capacity, in frames. Paper: 37.
+    pub sw_buffer_frames: usize,
+    /// Hardware decoder buffer capacity, in bytes. Paper: 240 KB.
+    pub hw_buffer_bytes: u64,
+    /// Low water mark as a fraction of the software buffer. Paper: 0.73.
+    pub low_water_frac: f64,
+    /// High water mark as a fraction of the software buffer. Paper: 0.88.
+    pub high_water_frac: f64,
+    /// Severe-emergency threshold (fraction of software buffer). Paper: 0.15.
+    pub critical_severe_frac: f64,
+    /// Mild-emergency threshold (fraction of software buffer). Paper: 0.30.
+    pub critical_mild_frac: f64,
+    /// Send a flow-control request every this many received frames while
+    /// between the water marks. Paper: 8.
+    pub flow_normal_every: u32,
+    /// Send every this many received frames when outside the water marks
+    /// (urgent). Paper: 4 ("the frequency is doubled").
+    pub flow_urgent_every: u32,
+    /// Base emergency quantity for severe emergencies (occupancy < 15 %).
+    /// Paper: 12 extra frames/s, decaying to a 43-frame total.
+    pub emergency_base_severe: u32,
+    /// Base emergency quantity for mild emergencies (15 % ≤ occupancy
+    /// < 30 %). Paper: 6.
+    pub emergency_base_mild: u32,
+    /// Per-second decay factor of the emergency quantity. Paper: 0.8.
+    pub emergency_decay: f64,
+    /// Client-side cooldown between emergency requests.
+    pub emergency_cooldown: Duration,
+    /// Interval of the servers' state multicast in each movie group.
+    /// Paper: 0.5 s.
+    pub sync_interval: Duration,
+    /// Initial transmission rate for a new session, frames per second
+    /// (paper §4.1: "a default transmission rate is used at startup").
+    pub default_rate_fps: u32,
+    /// Flow-control clamps on the base rate.
+    pub min_rate_fps: u32,
+    /// Upper clamp on the base rate.
+    pub max_rate_fps: u32,
+    /// Occupancy sampling period for the client's statistics.
+    pub sample_interval: Duration,
+    /// Extra timer slack modeling non-real-time OS scheduling (paper §4.2
+    /// mentions process-scheduling delay); zero disables it.
+    pub scheduling_jitter: Duration,
+    /// Group communication tuning.
+    pub gcs: GcsConfig,
+    /// Takeover behaviour (baselines for the §7 comparison).
+    pub takeover: TakeoverPolicy,
+    /// Resume-offset choice at takeover (ablation D5).
+    pub resume: ResumePolicy,
+    /// Whether buffer overflow discards incremental frames before I frames
+    /// (the paper's policy) or simply drops the newest frame (ablation D4).
+    pub overflow_prefers_incremental: bool,
+    /// How long a server waits for state-exchange reports after a view
+    /// change before redistributing with whatever it has.
+    pub exchange_timeout: Duration,
+    /// Admission control: at most this many concurrent sessions per
+    /// server (`None` = unlimited). The paper's §7 cites admission control
+    /// as a complementary single-server technique; with it, clients that
+    /// do not fit wait (re-opening periodically) instead of degrading
+    /// everyone's stream.
+    pub max_sessions_per_server: Option<u32>,
+}
+
+impl VodConfig {
+    /// The paper's §6 parameters (see module docs).
+    pub fn paper_default() -> Self {
+        VodConfig {
+            sw_buffer_frames: 37,
+            hw_buffer_bytes: 240_000,
+            low_water_frac: 0.73,
+            high_water_frac: 0.88,
+            critical_severe_frac: 0.15,
+            critical_mild_frac: 0.30,
+            flow_normal_every: 8,
+            flow_urgent_every: 4,
+            emergency_base_severe: 12,
+            emergency_base_mild: 6,
+            emergency_decay: 0.8,
+            emergency_cooldown: Duration::from_secs(2),
+            sync_interval: Duration::from_millis(500),
+            default_rate_fps: 30,
+            min_rate_fps: 1,
+            max_rate_fps: 60,
+            sample_interval: Duration::from_millis(100),
+            scheduling_jitter: Duration::from_millis(2),
+            gcs: GcsConfig::new(),
+            takeover: TakeoverPolicy::Full,
+            resume: ResumePolicy::Conservative,
+            overflow_prefers_incremental: true,
+            exchange_timeout: Duration::from_millis(200),
+            max_sessions_per_server: None,
+        }
+    }
+
+    /// Low water mark in frames.
+    pub fn low_water_frames(&self) -> usize {
+        (self.sw_buffer_frames as f64 * self.low_water_frac).round() as usize
+    }
+
+    /// High water mark in frames.
+    pub fn high_water_frames(&self) -> usize {
+        (self.sw_buffer_frames as f64 * self.high_water_frac).round() as usize
+    }
+
+    /// Severe-emergency threshold in frames.
+    pub fn critical_severe_frames(&self) -> usize {
+        (self.sw_buffer_frames as f64 * self.critical_severe_frac).round() as usize
+    }
+
+    /// Mild-emergency threshold in frames.
+    pub fn critical_mild_frames(&self) -> usize {
+        (self.sw_buffer_frames as f64 * self.critical_mild_frac).round() as usize
+    }
+
+    /// Total extra frames produced by an emergency with base quantity `q`,
+    /// under iterated-floor decay `q ← ⌊q·f⌋` applied once per second
+    /// (paper §4.1: q=12, f=0.8 sums to 43 frames).
+    pub fn emergency_total_frames(&self, base: u32) -> u64 {
+        let mut q = u64::from(base);
+        let mut total = 0;
+        while q > 0 {
+            total += q;
+            q = (q as f64 * self.emergency_decay).floor() as u64;
+        }
+        total
+    }
+
+    /// Returns a copy with a different sync interval (ablation D1).
+    pub fn with_sync_interval(mut self, interval: Duration) -> Self {
+        self.sync_interval = interval;
+        self
+    }
+
+    /// Returns a copy with a different software buffer size, keeping the
+    /// water-mark fractions (ablation D2 / T5).
+    pub fn with_sw_buffer_frames(mut self, frames: usize) -> Self {
+        self.sw_buffer_frames = frames;
+        self
+    }
+
+    /// Returns a copy with different emergency parameters (ablation D3).
+    pub fn with_emergency(mut self, base_severe: u32, base_mild: u32, decay: f64) -> Self {
+        self.emergency_base_severe = base_severe;
+        self.emergency_base_mild = base_mild;
+        self.emergency_decay = decay;
+        self
+    }
+
+    /// Returns a copy with a different takeover policy (T3 baselines).
+    pub fn with_takeover(mut self, takeover: TakeoverPolicy) -> Self {
+        self.takeover = takeover;
+        self
+    }
+
+    /// Returns a copy with a different resume policy (ablation D5).
+    pub fn with_resume(mut self, resume: ResumePolicy) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Returns a copy with the naive overflow policy (ablation D4).
+    pub fn with_naive_overflow(mut self) -> Self {
+        self.overflow_prefers_incremental = false;
+        self
+    }
+
+    /// Returns a copy with per-server admission control.
+    pub fn with_session_cap(mut self, cap: u32) -> Self {
+        self.max_sessions_per_server = Some(cap);
+        self
+    }
+}
+
+impl Default for VodConfig {
+    fn default() -> Self {
+        VodConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_marks_match_paper() {
+        let cfg = VodConfig::paper_default();
+        assert_eq!(cfg.low_water_frames(), 27);
+        assert_eq!(cfg.high_water_frames(), 33);
+        assert_eq!(cfg.critical_severe_frames(), 6);
+        assert_eq!(cfg.critical_mild_frames(), 11);
+    }
+
+    #[test]
+    fn emergency_sum_reproduces_the_papers_43_frames() {
+        let cfg = VodConfig::paper_default();
+        // 12 + 9 + 7 + 5 + 4 + 3 + 2 + 1 = 43 (paper §4.1).
+        assert_eq!(cfg.emergency_total_frames(12), 43);
+        // The paper reports 15 for q=6; iterated-floor decay gives 16
+        // (6 + 4 + 3 + 2 + 1) — a documented rounding discrepancy.
+        assert_eq!(cfg.emergency_total_frames(6), 16);
+    }
+
+    #[test]
+    fn emergency_peak_stays_under_40_percent_of_mean_bandwidth() {
+        // Paper §4.1: "increase the bandwidth consumption at emergency
+        // periods by no more than 40% of the mean bandwidth" for a 30 fps
+        // movie.
+        let cfg = VodConfig::paper_default();
+        assert!(f64::from(cfg.emergency_base_severe) / 30.0 <= 0.40 + 1e-9);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let cfg = VodConfig::paper_default()
+            .with_sync_interval(Duration::from_millis(100))
+            .with_sw_buffer_frames(74)
+            .with_emergency(20, 10, 0.5)
+            .with_takeover(TakeoverPolicy::None);
+        assert_eq!(cfg.sync_interval, Duration::from_millis(100));
+        assert_eq!(cfg.sw_buffer_frames, 74);
+        assert_eq!(cfg.emergency_base_severe, 20);
+        assert_eq!(cfg.takeover, TakeoverPolicy::None);
+        assert_eq!(cfg.emergency_total_frames(20), 20 + 10 + 5 + 2 + 1);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(VodConfig::default(), VodConfig::paper_default());
+    }
+}

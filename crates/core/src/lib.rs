@@ -1,0 +1,30 @@
+//! # ftvod-core — the fault-tolerant video-on-demand service
+//!
+//! This crate implements the paper's primary contribution: a highly
+//! available distributed VoD service built on group communication
+//! (Anker, Dolev, Keidar — ICDCS 1999). See the repository's DESIGN.md for
+//! the full system inventory.
+//!
+//! * [`protocol`] — wire messages of the data and control planes;
+//! * [`server`] — replica servers: sessions, rate control, emergency
+//!   bursts, half-second state sync, takeover and load balancing;
+//! * [`client`] — clients: software/hardware buffering, the Figure 2 flow
+//!   control policy, VCR operations, statistics;
+//! * [`config`] — the paper's §6 operating point and ablation knobs;
+//! * [`metrics`] — time series/counters behind every reproduced figure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod config;
+pub mod metrics;
+pub mod protocol;
+pub mod scenario;
+pub mod server;
+
+pub use client::{ClientStats, VodClient, WatchRequest};
+pub use config::{ResumePolicy, TakeoverPolicy, VodConfig};
+pub use protocol::{ClientId, ControlPayload, VideoPacket, VodWire};
+pub use scenario::{ScenarioBuilder, VcrOp, VodSim};
+pub use server::{Replica, ServerStats, VodServer};

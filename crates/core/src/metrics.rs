@@ -1,0 +1,332 @@
+//! Measurement primitives: sampled time series, cumulative event counters
+//! and CSV export — the machinery behind every figure in EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+use simnet::SimTime;
+
+/// A periodically sampled series of `(time, value)` points.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.points.push((at.as_secs_f64(), value));
+    }
+
+    /// All `(seconds, value)` points in order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last sampled value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Maximum value over the whole series.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Minimum value within the window `[from, to]` seconds.
+    pub fn min_in_window(&self, from: f64, to: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Mean value within the window `[from, to]` seconds.
+    pub fn mean_in_window(&self, from: f64, to: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// First time the series reaches at least `threshold`.
+    pub fn first_reach(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, v)| v >= threshold)
+            .map(|&(t, _)| t)
+    }
+}
+
+/// A monotonically non-decreasing counter recorded as step events, for the
+/// paper's "cumulative number of X" plots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Cumulative {
+    events: Vec<(f64, u64)>,
+    current: u64,
+}
+
+impl Cumulative {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Cumulative::default()
+    }
+
+    /// Adds `n` occurrences at time `at`.
+    pub fn add(&mut self, at: SimTime, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.current += n;
+        self.events.push((at.as_secs_f64(), self.current));
+    }
+
+    /// Current total.
+    pub fn total(&self) -> u64 {
+        self.current
+    }
+
+    /// The `(seconds, running total)` step points.
+    pub fn steps(&self) -> &[(f64, u64)] {
+        &self.events
+    }
+
+    /// Total accumulated strictly before `t` seconds.
+    pub fn total_before(&self, t: f64) -> u64 {
+        self.events
+            .iter()
+            .rev()
+            .find(|&&(at, _)| at < t)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Occurrences within the window `[from, to]` seconds.
+    pub fn in_window(&self, from: f64, to: f64) -> u64 {
+        self.total_before(to) - self.total_before(from)
+    }
+}
+
+/// The `q`-quantile (0.0–1.0) of a sample set, by nearest-rank on a sorted
+/// copy. Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Merges several cumulative counters into one combined step sequence
+/// (e.g. "skipped" = overflow discards + loss gaps, plotted together).
+pub fn merge_cumulative(counters: &[&Cumulative]) -> Vec<(f64, u64)> {
+    let mut events: Vec<(f64, u64)> = Vec::new();
+    for counter in counters {
+        let mut prev = 0;
+        for &(t, total) in counter.steps() {
+            events.push((t, total - prev));
+            prev = total;
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+    let mut running = 0;
+    events
+        .into_iter()
+        .map(|(t, delta)| {
+            running += delta;
+            (t, running)
+        })
+        .collect()
+}
+
+/// Renders aligned `(time, value)` rows — one column set per series — as
+/// CSV with the given headers. Series are emitted in row-major order of
+/// their own points (they need not share timestamps).
+pub fn series_to_csv(header: &str, series: &TimeSeries) -> String {
+    let mut out = String::with_capacity(series.len() * 16 + header.len() + 16);
+    let _ = writeln!(out, "time_s,{header}");
+    for &(t, v) in series.points() {
+        let _ = writeln!(out, "{t:.3},{v:.3}");
+    }
+    out
+}
+
+/// Renders a cumulative counter as CSV steps.
+pub fn cumulative_to_csv(header: &str, counter: &Cumulative) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "time_s,{header}");
+    for &(t, v) in counter.steps() {
+        let _ = writeln!(out, "{t:.3},{v}");
+    }
+    out
+}
+
+/// Downsamples a series to at most `n` evenly spaced points (for compact
+/// terminal plots).
+pub fn downsample(series: &TimeSeries, n: usize) -> Vec<(f64, f64)> {
+    let pts = series.points();
+    if pts.len() <= n || n == 0 {
+        return pts.to_vec();
+    }
+    (0..n)
+        .map(|i| pts[i * (pts.len() - 1) / (n - 1).max(1)])
+        .collect()
+}
+
+/// A quick ASCII sparkline of a series (terminal-friendly figures).
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let pts = downsample(series, width);
+    let max = pts.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+    let min = pts.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
+    if pts.is_empty() || !max.is_finite() || !min.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-12);
+    pts.iter()
+        .map(|&(_, v)| BARS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut s = TimeSeries::new();
+        for i in 0..10 {
+            s.push(t(i as f64), i as f64 * 2.0);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.last(), Some(18.0));
+        assert_eq!(s.max(), Some(18.0));
+        assert_eq!(s.min_in_window(2.0, 5.0), Some(4.0));
+        assert_eq!(s.mean_in_window(0.0, 4.0), Some(4.0));
+        assert_eq!(s.first_reach(10.0), Some(5.0));
+        assert_eq!(s.first_reach(100.0), None);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean_in_window(0.0, 1.0), None);
+    }
+
+    #[test]
+    fn cumulative_steps_and_windows() {
+        let mut c = Cumulative::new();
+        c.add(t(1.0), 2);
+        c.add(t(2.0), 0); // no-op
+        c.add(t(5.0), 3);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.steps().len(), 2);
+        assert_eq!(c.total_before(1.5), 2);
+        assert_eq!(c.total_before(0.5), 0);
+        assert_eq!(c.in_window(0.9, 6.0), 5);
+        assert_eq!(c.in_window(1.5, 6.0), 3);
+    }
+
+    #[test]
+    fn csv_round_trips_shape() {
+        let mut s = TimeSeries::new();
+        s.push(t(0.5), 1.0);
+        let csv = series_to_csv("occupancy", &s);
+        assert!(csv.starts_with("time_s,occupancy\n"));
+        assert!(csv.contains("0.500,1.000"));
+        let mut c = Cumulative::new();
+        c.add(t(3.0), 7);
+        let csv = cumulative_to_csv("skipped", &c);
+        assert!(csv.contains("3.000,7"));
+    }
+
+    #[test]
+    fn downsample_bounds() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push(t(i as f64), i as f64);
+        }
+        let d = downsample(&s, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0].1, 0.0);
+        assert_eq!(d[9].1, 99.0);
+        let all = downsample(&s, 1000);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 0.0), Some(1.0));
+        assert_eq!(percentile(&samples, 0.5), Some(51.0));
+        assert_eq!(percentile(&samples, 1.0), Some(100.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn percentile_validates_q() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn merging_counters_interleaves_steps() {
+        let mut a = Cumulative::new();
+        a.add(t(1.0), 2);
+        a.add(t(5.0), 1);
+        let mut b = Cumulative::new();
+        b.add(t(3.0), 10);
+        let merged = merge_cumulative(&[&a, &b]);
+        assert_eq!(merged, vec![(1.0, 2), (3.0, 12), (5.0, 13)]);
+        assert!(merge_cumulative(&[]).is_empty());
+    }
+
+    #[test]
+    fn sparkline_renders() {
+        let mut s = TimeSeries::new();
+        for i in 0..20 {
+            s.push(t(i as f64), (i % 5) as f64);
+        }
+        let line = sparkline(&s, 10);
+        assert_eq!(line.chars().count(), 10);
+    }
+}

@@ -1,0 +1,368 @@
+//! Wire protocol of the VoD service.
+//!
+//! Two planes, mirroring the paper's architecture (§2, §5):
+//!
+//! * the **data plane**: [`VideoPacket`]s carrying one MPEG frame each,
+//!   sent over plain (unreliable) datagrams on [`VIDEO_PORT`];
+//! * the **control plane**: [`ControlPayload`]s multicast through the
+//!   group communication service on [`GCS_PORT`] — connection
+//!   establishment, flow control, VCR commands and the servers' periodic
+//!   state synchronization.
+//!
+//! [`VodWire`] is the top-level message enum the whole simulation runs on.
+
+use std::fmt;
+
+use gcs::{GcsPacket, GroupId};
+use media::{FrameMeta, FrameNo, MovieId};
+use simnet::{NodeId, Payload, Port, SimTime};
+
+/// Port carrying group-communication datagrams on every node.
+pub const GCS_PORT: Port = Port(1);
+
+/// Port carrying video frames on every node.
+pub const VIDEO_PORT: Port = Port(2);
+
+/// The group of all VoD servers; clients contact it to open a session
+/// without knowing any server identity (paper §5.1).
+pub const SERVER_GROUP: GroupId = GroupId(1);
+
+/// The movie group of `movie`: all servers holding a replica.
+pub fn movie_group(movie: MovieId) -> GroupId {
+    GroupId(10 + u64::from(movie.0))
+}
+
+/// The session group of `client`: the client plus the server currently
+/// transmitting to it.
+pub fn session_group(client: ClientId) -> GroupId {
+    GroupId(1_000_000 + u64::from(client.0))
+}
+
+/// Identifier of a VoD client (one session each).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(pub u32);
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(raw: u32) -> Self {
+        ClientId(raw)
+    }
+}
+
+/// Everything a replica needs to know about one client, shared in the
+/// movie group every sync interval (paper §5.2: "offsets of its clients in
+/// the movie and their current transmission rates: a total of a few dozens
+/// of bytes").
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ClientRecord {
+    /// The client.
+    pub client: ClientId,
+    /// Node the client runs on (video frames are addressed to it).
+    pub client_node: NodeId,
+    /// The client's session group.
+    pub session_group: GroupId,
+    /// Movie being watched.
+    pub movie: MovieId,
+    /// Next frame to transmit.
+    pub next_frame: FrameNo,
+    /// Current base transmission rate, frames per second.
+    pub rate_fps: u32,
+    /// Client capability cap (quality adaptation, §4.3).
+    pub max_fps: u32,
+    /// The server currently responsible for this client.
+    pub owner: NodeId,
+    /// Epoch of the movie-group view in which `owner` was (re)assigned.
+    /// Redistribution decisions carry the new view's epoch, so they
+    /// dominate any periodic report from before the membership change when
+    /// replicas merge concurrent records.
+    pub assigned_epoch: u64,
+    /// Freshness within an epoch: simulation time of the last update by
+    /// the owner.
+    pub updated_at: SimTime,
+    /// Whether the stream is paused (VCR).
+    pub paused: bool,
+}
+
+impl ClientRecord {
+    /// Nominal wire size of one record (the paper: "a few dozens of
+    /// bytes").
+    pub const WIRE_BYTES: usize = 44;
+}
+
+/// Connection establishment: a client's request to the abstract server
+/// group (paper §3: "clients connect to the VoD service and request a
+/// movie").
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct OpenRequest {
+    /// The requesting client.
+    pub client: ClientId,
+    /// Node the client runs on.
+    pub client_node: NodeId,
+    /// Movie to watch.
+    pub movie: MovieId,
+    /// The session group the client has created and joined.
+    pub session_group: GroupId,
+    /// Client capability cap in frames per second.
+    pub max_fps: u32,
+    /// Frame to start from.
+    pub start_at: FrameNo,
+}
+
+/// A client's flow-control request (paper Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowRequest {
+    /// Increase the transmission rate by one frame per second.
+    Increase,
+    /// Decrease the transmission rate by one frame per second.
+    Decrease,
+    /// Buffer occupancy fell below a critical threshold; the server
+    /// responds with a decaying burst (§4.1). `severe` selects the larger
+    /// base quantity (occupancy under 15 % rather than under 30 %).
+    Emergency {
+        /// Below the 15 % threshold (vs merely below 30 %).
+        severe: bool,
+    },
+}
+
+/// VCR-style commands (paper §3: "full VCR-like control ... in accordance
+/// with the ATM Forum VoD specs").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VcrCmd {
+    /// Freeze transmission.
+    Pause,
+    /// Resume transmission after a pause.
+    Resume,
+    /// Random access: continue from an arbitrary frame.
+    Seek(FrameNo),
+    /// Adjust the quality cap (maximum frames per second).
+    SetQuality(u32),
+    /// Playback-speed control in percent of normal (200 = double speed,
+    /// 50 = slow motion); paper §3 lists speed control among the client's
+    /// control messages.
+    SetSpeed(u32),
+    /// End the session.
+    Stop,
+}
+
+/// Control-plane payloads carried by the group communication service.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ControlPayload {
+    /// Client → server group: open a session (non-member send).
+    Open(OpenRequest),
+    /// Server → movie group: periodic/state-exchange client records.
+    Sync {
+        /// The reporting server.
+        server: NodeId,
+        /// Movie group this report concerns.
+        movie: MovieId,
+        /// View epoch this report was generated in (used to collect the
+        /// state-exchange round that follows a membership change).
+        view_epoch: u64,
+        /// Records of the clients this server currently owns.
+        records: Vec<ClientRecord>,
+    },
+    /// Server → movie group: a client's session ended (stop or departure).
+    Remove {
+        /// Movie group concerned.
+        movie: MovieId,
+        /// The client to forget.
+        client: ClientId,
+    },
+    /// Client → session group: flow control.
+    Flow {
+        /// The sending client.
+        client: ClientId,
+        /// The request.
+        req: FlowRequest,
+    },
+    /// Client → session group: VCR command.
+    Vcr {
+        /// The sending client.
+        client: ClientId,
+        /// The command.
+        cmd: VcrCmd,
+    },
+    /// Server → session group: the movie finished.
+    EndOfMovie {
+        /// The client whose movie ended.
+        client: ClientId,
+    },
+}
+
+impl Payload for ControlPayload {
+    fn size_bytes(&self) -> usize {
+        match self {
+            ControlPayload::Open(_) => 32,
+            ControlPayload::Sync { records, .. } => {
+                16 + records.len() * ClientRecord::WIRE_BYTES
+            }
+            ControlPayload::Remove { .. } => 12,
+            ControlPayload::Flow { .. } => 8,
+            ControlPayload::Vcr { .. } => 12,
+            ControlPayload::EndOfMovie { .. } => 8,
+        }
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            ControlPayload::Open(_) => "vod-ctl",
+            ControlPayload::Sync { .. } => "vod-sync",
+            ControlPayload::Remove { .. } => "vod-sync",
+            ControlPayload::Flow { .. } => "vod-flow",
+            ControlPayload::Vcr { .. } => "vod-flow",
+            ControlPayload::EndOfMovie { .. } => "vod-ctl",
+        }
+    }
+}
+
+/// One video frame on the wire (data plane, unreliable).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VideoPacket {
+    /// Destination client.
+    pub client: ClientId,
+    /// Movie the frame belongs to.
+    pub movie: MovieId,
+    /// The frame itself (metadata stands in for the bitstream).
+    pub frame: FrameMeta,
+}
+
+impl Payload for VideoPacket {
+    fn size_bytes(&self) -> usize {
+        // UDP/IP header + tiny app header + the encoded frame.
+        28 + 12 + self.frame.size as usize
+    }
+
+    fn class(&self) -> &'static str {
+        "video"
+    }
+}
+
+/// Top-level wire type of the simulation: either a GCS packet carrying a
+/// control payload, or a raw video frame.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VodWire {
+    /// Group-communication traffic (control plane).
+    Gcs(GcsPacket<ControlPayload>),
+    /// Video frames (data plane).
+    Video(VideoPacket),
+}
+
+impl Payload for VodWire {
+    fn size_bytes(&self) -> usize {
+        match self {
+            VodWire::Gcs(pkt) => pkt.size_bytes(),
+            VodWire::Video(pkt) => pkt.size_bytes(),
+        }
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            VodWire::Gcs(pkt) => pkt.class(),
+            VodWire::Video(pkt) => pkt.class(),
+        }
+    }
+}
+
+impl From<GcsPacket<ControlPayload>> for VodWire {
+    fn from(pkt: GcsPacket<ControlPayload>) -> Self {
+        VodWire::Gcs(pkt)
+    }
+}
+
+impl From<VideoPacket> for VodWire {
+    fn from(pkt: VideoPacket) -> Self {
+        VodWire::Video(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media::FrameType;
+
+    #[test]
+    fn group_id_scheme_is_disjoint() {
+        assert_ne!(SERVER_GROUP, movie_group(MovieId(0)));
+        assert_ne!(movie_group(MovieId(5)), session_group(ClientId(5)));
+        assert_eq!(movie_group(MovieId(3)), GroupId(13));
+        assert_eq!(session_group(ClientId(2)), GroupId(1_000_002));
+    }
+
+    #[test]
+    fn sync_payload_size_is_a_few_dozen_bytes_per_client() {
+        let record = ClientRecord {
+            client: ClientId(1),
+            client_node: NodeId(100),
+            session_group: session_group(ClientId(1)),
+            movie: MovieId(1),
+            next_frame: FrameNo(900),
+            rate_fps: 30,
+            max_fps: 30,
+            owner: NodeId(1),
+            assigned_epoch: 3,
+            updated_at: SimTime::from_secs(30),
+            paused: false,
+        };
+        let payload = ControlPayload::Sync {
+            server: NodeId(1),
+            movie: MovieId(1),
+            view_epoch: 2,
+            records: vec![record],
+        };
+        assert_eq!(payload.size_bytes(), 16 + 44);
+        assert_eq!(payload.class(), "vod-sync");
+    }
+
+    #[test]
+    fn video_packet_size_tracks_frame() {
+        let pkt = VideoPacket {
+            client: ClientId(1),
+            movie: MovieId(1),
+            frame: FrameMeta {
+                no: FrameNo(0),
+                ftype: FrameType::I,
+                size: 10_000,
+            },
+        };
+        assert_eq!(pkt.size_bytes(), 10_040);
+        assert_eq!(pkt.class(), "video");
+    }
+
+    #[test]
+    fn wire_delegates_class() {
+        let video = VodWire::Video(VideoPacket {
+            client: ClientId(1),
+            movie: MovieId(1),
+            frame: FrameMeta {
+                no: FrameNo(0),
+                ftype: FrameType::B,
+                size: 100,
+            },
+        });
+        assert_eq!(video.class(), "video");
+        let hb: VodWire = GcsPacket::Heartbeat.into();
+        assert_eq!(hb.class(), "gcs-hb");
+        let flow: VodWire = GcsPacket::AppMsg {
+            group: session_group(ClientId(1)),
+            origin: NodeId(100),
+            seq: 1,
+            payload: gcs::Carried::Plain(ControlPayload::Flow {
+                client: ClientId(1),
+                req: FlowRequest::Increase,
+            }),
+        }
+        .into();
+        assert_eq!(flow.class(), "vod-flow");
+    }
+}

@@ -1,0 +1,486 @@
+//! Scenario harness: wires servers and clients onto the simulated network
+//! and scripts the fault/migration events of the paper's evaluation.
+//!
+//! [`ScenarioBuilder`] declares the deployment (movies, replicas, clients,
+//! link profile) and the event script (crashes, server bring-ups, VCR
+//! operations, partitions); [`VodSim`] runs it and exposes the recorded
+//! statistics. [`presets`] contains ready-made builders for the paper's
+//! two measurement scenarios (Figures 4 and 5).
+//!
+//! ```
+//! use ftvod_core::protocol::ClientId;
+//! use ftvod_core::scenario::ScenarioBuilder;
+//! use media::{Movie, MovieId, MovieSpec};
+//! use simnet::{LinkProfile, NodeId, SimTime};
+//! use std::time::Duration;
+//!
+//! let movie = Movie::generate(
+//!     MovieId(1),
+//!     &MovieSpec::paper_default().with_duration(Duration::from_secs(30)),
+//! );
+//! let mut builder = ScenarioBuilder::new(1);
+//! builder
+//!     .network(LinkProfile::lan())
+//!     .movie(movie, &[NodeId(1), NodeId(2)])
+//!     .server(NodeId(1))
+//!     .server(NodeId(2))
+//!     .client(ClientId(1), NodeId(100), MovieId(1), SimTime::from_secs(2));
+//! let mut sim = builder.build();
+//! sim.run_until(SimTime::from_secs(12));
+//! let stats = sim.client_stats(ClientId(1)).expect("client exists");
+//! assert!(stats.frames_received > 200);
+//! assert_eq!(stats.stalls.total(), 0);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use media::{FrameNo, Movie, MovieId};
+use simnet::{LinkProfile, NodeId, SimTime, Simulation};
+
+use crate::client::{ClientStats, VodClient, WatchRequest};
+use crate::config::VodConfig;
+use crate::protocol::{ClientId, VodWire};
+use crate::server::{Replica, ServerStats, VodServer};
+
+/// A VCR operation scheduled in a scenario script.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VcrOp {
+    /// Pause playback.
+    Pause,
+    /// Resume playback.
+    Resume,
+    /// Random access to a frame.
+    Seek(FrameNo),
+    /// Change the quality cap (max fps).
+    SetQuality(u32),
+    /// Change the playback speed (percent of normal).
+    SetSpeed(u32),
+    /// End the session.
+    Stop,
+}
+
+#[derive(Clone, Debug)]
+struct ClientSetup {
+    id: ClientId,
+    node: NodeId,
+    movie: MovieId,
+    at: SimTime,
+    max_fps: Option<u32>,
+    start_at: FrameNo,
+}
+
+#[derive(Clone, Debug)]
+enum Scripted {
+    Vcr { client: ClientId, op: VcrOp },
+    Shutdown { node: NodeId },
+}
+
+/// Declarative description of a deployment plus its event script.
+#[derive(Debug)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    profile: LinkProfile,
+    cfg: VodConfig,
+    movies: BTreeMap<MovieId, (Arc<Movie>, Vec<NodeId>)>,
+    server_universe: BTreeSet<NodeId>,
+    initial_servers: BTreeSet<NodeId>,
+    late_servers: Vec<(SimTime, NodeId)>,
+    crashes: Vec<(SimTime, NodeId)>,
+    shutdowns: Vec<(SimTime, NodeId)>,
+    partitions: Vec<(SimTime, Vec<NodeId>, Vec<NodeId>)>,
+    heals: Vec<SimTime>,
+    clients: Vec<ClientSetup>,
+    script: Vec<(SimTime, Scripted)>,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder with the paper's default configuration, an ideal
+    /// network and the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        ScenarioBuilder {
+            seed,
+            profile: LinkProfile::lan(),
+            cfg: VodConfig::paper_default(),
+            movies: BTreeMap::new(),
+            server_universe: BTreeSet::new(),
+            initial_servers: BTreeSet::new(),
+            late_servers: Vec::new(),
+            crashes: Vec::new(),
+            shutdowns: Vec::new(),
+            partitions: Vec::new(),
+            heals: Vec::new(),
+            clients: Vec::new(),
+            script: Vec::new(),
+        }
+    }
+
+    /// Sets the link profile for every link (default: LAN).
+    pub fn network(&mut self, profile: LinkProfile) -> &mut Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Replaces the service configuration.
+    pub fn config(&mut self, cfg: VodConfig) -> &mut Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Adds a movie replicated on `holders` (server nodes).
+    pub fn movie(&mut self, movie: Movie, holders: &[NodeId]) -> &mut Self {
+        self.server_universe.extend(holders.iter().copied());
+        self.movies
+            .insert(movie.id(), (Arc::new(movie), holders.to_vec()));
+        self
+    }
+
+    /// Boots a server at time zero.
+    pub fn server(&mut self, node: NodeId) -> &mut Self {
+        self.server_universe.insert(node);
+        self.initial_servers.insert(node);
+        self
+    }
+
+    /// Boots a server at `at` (the paper's "brought up on the fly").
+    pub fn server_at(&mut self, at: SimTime, node: NodeId) -> &mut Self {
+        self.server_universe.insert(node);
+        self.late_servers.push((at, node));
+        self
+    }
+
+    /// Crashes a server at `at`.
+    pub fn crash_at(&mut self, at: SimTime, node: NodeId) -> &mut Self {
+        self.crashes.push((at, node));
+        self
+    }
+
+    /// Gracefully detaches a server at `at` (planned maintenance: the
+    /// handoff happens without waiting for failure detection).
+    pub fn shutdown_at(&mut self, at: SimTime, node: NodeId) -> &mut Self {
+        self.shutdowns.push((at, node));
+        self
+    }
+
+    /// Partitions the network between `a` and `b` at `at`.
+    pub fn partition_at(&mut self, at: SimTime, a: &[NodeId], b: &[NodeId]) -> &mut Self {
+        self.partitions.push((at, a.to_vec(), b.to_vec()));
+        self
+    }
+
+    /// Heals all partitions at `at`.
+    pub fn heal_all_at(&mut self, at: SimTime) -> &mut Self {
+        self.heals.push(at);
+        self
+    }
+
+    /// Starts a client on `node` watching `movie` at time `at`.
+    pub fn client(&mut self, id: ClientId, node: NodeId, movie: MovieId, at: SimTime) -> &mut Self {
+        self.clients.push(ClientSetup {
+            id,
+            node,
+            movie,
+            at,
+            max_fps: None,
+            start_at: FrameNo::ZERO,
+        });
+        self
+    }
+
+    /// Starts a quality-capped client (paper §4.3).
+    pub fn client_with_cap(
+        &mut self,
+        id: ClientId,
+        node: NodeId,
+        movie: MovieId,
+        at: SimTime,
+        max_fps: u32,
+    ) -> &mut Self {
+        self.clients.push(ClientSetup {
+            id,
+            node,
+            movie,
+            at,
+            max_fps: Some(max_fps),
+            start_at: FrameNo::ZERO,
+        });
+        self
+    }
+
+    /// Schedules a VCR operation on a running client.
+    pub fn vcr_at(&mut self, at: SimTime, client: ClientId, op: VcrOp) -> &mut Self {
+        self.script.push((at, Scripted::Vcr { client, op }));
+        self
+    }
+
+    /// Builds the runnable simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client references an unknown movie.
+    pub fn build(&self) -> VodSim {
+        let mut sim: Simulation<VodWire> = Simulation::new(self.seed);
+        sim.set_default_profile(self.profile.clone());
+        let universe: Vec<NodeId> = self.server_universe.iter().copied().collect();
+        let replicas_for = |node: NodeId| -> Vec<Replica> {
+            self.movies
+                .values()
+                .filter(|(_, holders)| holders.contains(&node))
+                .map(|(movie, holders)| Replica {
+                    movie: Arc::clone(movie),
+                    holders: holders.clone(),
+                })
+                .collect()
+        };
+        for &node in &self.initial_servers {
+            sim.add_node(
+                node,
+                VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node)),
+            );
+        }
+        for &(at, node) in &self.late_servers {
+            sim.start_node_at(
+                at,
+                node,
+                VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node)),
+            );
+        }
+        for &(at, node) in &self.crashes {
+            sim.crash_at(at, node);
+        }
+        for (at, a, b) in &self.partitions {
+            sim.partition_at(*at, a, b);
+        }
+        for &at in &self.heals {
+            sim.heal_all_at(at);
+        }
+        let mut client_nodes = BTreeMap::new();
+        for setup in &self.clients {
+            let (movie, _) = self
+                .movies
+                .get(&setup.movie)
+                .unwrap_or_else(|| panic!("client references unknown movie {}", setup.movie));
+            let mut request = WatchRequest::full_quality(movie);
+            if let Some(cap) = setup.max_fps {
+                request.max_fps = cap;
+            }
+            request.start_at = setup.start_at;
+            sim.start_node_at(
+                setup.at,
+                setup.node,
+                VodClient::new(
+                    self.cfg.clone(),
+                    setup.id,
+                    setup.node,
+                    universe.clone(),
+                    request,
+                ),
+            );
+            client_nodes.insert(setup.id, setup.node);
+        }
+        let mut script = self.script.clone();
+        for &(at, node) in &self.shutdowns {
+            script.push((at, Scripted::Shutdown { node }));
+        }
+        script.sort_by_key(|(at, _)| *at);
+        VodSim {
+            sim,
+            client_nodes,
+            server_nodes: universe,
+            script,
+            next_script: 0,
+        }
+    }
+}
+
+/// A built, runnable VoD deployment.
+pub struct VodSim {
+    sim: Simulation<VodWire>,
+    client_nodes: BTreeMap<ClientId, NodeId>,
+    server_nodes: Vec<NodeId>,
+    script: Vec<(SimTime, Scripted)>,
+    next_script: usize,
+}
+
+impl std::fmt::Debug for VodSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VodSim")
+            .field("now", &self.sim.now())
+            .field("clients", &self.client_nodes.len())
+            .field("servers", &self.server_nodes.len())
+            .finish()
+    }
+}
+
+impl VodSim {
+    /// Runs the simulation (and the scenario script) up to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.next_script < self.script.len() && self.script[self.next_script].0 <= until {
+            let (at, action) = self.script[self.next_script].clone();
+            self.next_script += 1;
+            self.sim.run_until(at);
+            match action {
+                Scripted::Vcr { client, op } => self.apply_vcr(client, op),
+                Scripted::Shutdown { node } => {
+                    self.sim
+                        .invoke(node, |s: &mut VodServer, ctx| s.shutdown(ctx));
+                }
+            }
+        }
+        self.sim.run_until(until);
+    }
+
+    fn apply_vcr(&mut self, client: ClientId, op: VcrOp) {
+        let Some(&node) = self.client_nodes.get(&client) else {
+            return;
+        };
+        self.sim.invoke(node, |c: &mut VodClient, ctx| match op {
+            VcrOp::Pause => c.pause(ctx),
+            VcrOp::Resume => c.resume(ctx),
+            VcrOp::Seek(position) => c.seek(ctx, position),
+            VcrOp::SetQuality(fps) => c.set_quality(ctx, fps),
+            VcrOp::SetSpeed(percent) => c.set_speed(ctx, percent),
+            VcrOp::Stop => c.stop(ctx),
+        });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The statistics of `client`, cloned out of the simulation.
+    pub fn client_stats(&self, client: ClientId) -> Option<ClientStats> {
+        let node = self.client_nodes.get(&client)?;
+        self.sim
+            .with_process(*node, |c: &VodClient| c.stats().clone())
+    }
+
+    /// Frames displayed so far by `client`.
+    pub fn client_displayed(&self, client: ClientId) -> Option<u64> {
+        let node = self.client_nodes.get(&client)?;
+        self.sim.with_process(*node, |c: &VodClient| c.displayed())
+    }
+
+    /// The statistics of the server on `node`.
+    pub fn server_stats(&self, node: NodeId) -> Option<ServerStats> {
+        self.sim
+            .with_process(node, |s: &VodServer| s.stats().clone())
+    }
+
+    /// The node of the server currently transmitting to `client`, if any.
+    pub fn owner_of(&self, client: ClientId) -> Option<NodeId> {
+        self.server_nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.sim.is_alive(n))
+            .find(|&n| {
+                self.sim
+                    .with_process(n, |s: &VodServer| s.clients_owned().contains(&client))
+                    .unwrap_or(false)
+            })
+    }
+
+    /// Network traffic counters.
+    pub fn net_stats(&self) -> &simnet::NetStats {
+        self.sim.stats()
+    }
+
+    /// Whether the server on `node` is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.sim.is_alive(node)
+    }
+
+    /// Escape hatch for tests: the underlying simulation.
+    pub fn sim_mut(&mut self) -> &mut Simulation<VodWire> {
+        &mut self.sim
+    }
+}
+
+/// Ready-made builders for the paper's measurement scenarios.
+pub mod presets {
+    use std::time::Duration;
+
+    use media::{Movie, MovieId, MovieSpec};
+    use simnet::{LinkProfile, SimTime};
+
+    use super::ScenarioBuilder;
+    use crate::protocol::ClientId;
+
+    /// Node ids used by the preset scenarios.
+    pub mod nodes {
+        use simnet::NodeId;
+
+        /// First initial server.
+        pub const S1: NodeId = NodeId(1);
+        /// Second initial server (serves the client first: the assignment
+        /// rule prefers the highest-id among equally loaded replicas).
+        pub const S2: NodeId = NodeId(2);
+        /// The server brought up mid-run for load balancing.
+        pub const S3: NodeId = NodeId(3);
+        /// The client's host.
+        pub const CLIENT: NodeId = NodeId(100);
+    }
+
+    /// The movie id used by the presets.
+    pub const MOVIE: MovieId = MovieId(1);
+
+    /// The client id used by the presets.
+    pub const CLIENT_ID: ClientId = ClientId(1);
+
+    /// When the preset client starts watching (the service gets two
+    /// seconds to form its groups first).
+    pub const CLIENT_START: SimTime = SimTime::from_secs(2);
+
+    /// Builds the paper's LAN scenario (§6.1, Figure 4):
+    /// two replicas, the serving one crashes ~38 s into the movie, and a
+    /// third server is brought up ~24 s later, pulling the client over for
+    /// load balancing. Returns the builder plus the two event times
+    /// (crash, load-balance) in scenario seconds.
+    pub fn fig4_lan(seed: u64) -> (ScenarioBuilder, SimTime, SimTime) {
+        let crash_at = CLIENT_START + Duration::from_secs(38);
+        let balance_at = crash_at + Duration::from_secs(24);
+        let spec = MovieSpec::paper_default().with_duration(Duration::from_secs(150));
+        let mut builder = ScenarioBuilder::new(seed);
+        builder
+            .network(LinkProfile::lan())
+            .movie(
+                Movie::generate(MOVIE, &spec),
+                &[nodes::S1, nodes::S2, nodes::S3],
+            )
+            .server(nodes::S1)
+            .server(nodes::S2)
+            .client(CLIENT_ID, nodes::CLIENT, MOVIE, CLIENT_START)
+            // S2 serves the client (highest id of the two initial
+            // replicas); kill it mid-movie.
+            .crash_at(crash_at, nodes::S2)
+            // Bring up S3 for load balancing; the deterministic
+            // redistribution hands it the client.
+            .server_at(balance_at, nodes::S3);
+        (builder, crash_at, balance_at)
+    }
+
+    /// Builds the paper's WAN scenario (§6.2, Figure 5): same deployment
+    /// over a 7-hop Internet path; a new server is brought up ~25 s in
+    /// (load balance) and the transmitting server is terminated ~22 s
+    /// later. Returns the builder plus (load-balance, crash) times.
+    pub fn fig5_wan(seed: u64) -> (ScenarioBuilder, SimTime, SimTime) {
+        let balance_at = CLIENT_START + Duration::from_secs(25);
+        let crash_at = balance_at + Duration::from_secs(22);
+        let spec = MovieSpec::paper_default().with_duration(Duration::from_secs(150));
+        let mut builder = ScenarioBuilder::new(seed);
+        builder
+            .network(LinkProfile::wan())
+            .movie(
+                Movie::generate(MOVIE, &spec),
+                &[nodes::S1, nodes::S2, nodes::S3],
+            )
+            .server(nodes::S1)
+            .server(nodes::S2)
+            .client(CLIENT_ID, nodes::CLIENT, MOVIE, CLIENT_START)
+            .server_at(balance_at, nodes::S3)
+            // After the load balance S3 owns the client; terminate it.
+            .crash_at(crash_at, nodes::S3);
+        (builder, balance_at, crash_at)
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic client redistribution (paper §5.2).
+//!
+//! After every movie-group membership change the surviving replicas each
+//! run this pure function over the same inputs (the shared client records
+//! and the new view) and therefore agree on the assignment without any
+//! extra communication round.
+//!
+//! The rule: clients in id order are greedily placed on the server with
+//! the fewest clients assigned so far; ties go to the **highest** node id.
+//! Preferring the higher id means a freshly brought-up server (which gets
+//! a fresh, higher id in our deployments) immediately attracts load — the
+//! paper's motivation for bringing servers up on the fly.
+
+use std::collections::BTreeMap;
+
+use simnet::NodeId;
+
+use crate::protocol::ClientId;
+
+/// Computes the owner for every client.
+///
+/// Returns an empty map when `servers` is empty (nobody can serve).
+pub fn assign_clients(clients: &[ClientId], servers: &[NodeId]) -> BTreeMap<ClientId, NodeId> {
+    assign_clients_with_capacity(clients, servers, None).0
+}
+
+/// Capacity-aware assignment (admission control): servers accept at most
+/// `capacity` clients each; clients that do not fit anywhere are returned
+/// in the second element (in id order) and stay unserved until capacity
+/// frees up.
+pub fn assign_clients_with_capacity(
+    clients: &[ClientId],
+    servers: &[NodeId],
+    capacity: Option<usize>,
+) -> (BTreeMap<ClientId, NodeId>, Vec<ClientId>) {
+    let mut assignment = BTreeMap::new();
+    let mut unassigned = Vec::new();
+    let mut sorted: Vec<ClientId> = clients.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if servers.is_empty() {
+        return (assignment, sorted);
+    }
+    let mut load: BTreeMap<NodeId, usize> = servers.iter().map(|&s| (s, 0)).collect();
+    for client in sorted {
+        let winner = load
+            .iter()
+            .filter(|&(_, &count)| capacity.is_none_or(|cap| count < cap))
+            .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
+            .map(|(&server, _)| server);
+        match winner {
+            Some(winner) => {
+                *load.get_mut(&winner).expect("winner exists") += 1;
+                assignment.insert(client, winner);
+            }
+            None => unassigned.push(client),
+        }
+    }
+    (assignment, unassigned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u32) -> ClientId {
+        ClientId(id)
+    }
+
+    fn n(id: u32) -> NodeId {
+        NodeId(id)
+    }
+
+    #[test]
+    fn single_client_goes_to_highest_id() {
+        let a = assign_clients(&[c(1)], &[n(1), n(2)]);
+        assert_eq!(a[&c(1)], n(2));
+    }
+
+    #[test]
+    fn fresh_server_attracts_the_client() {
+        // The paper's load-balance scenario: client on n2, n3 brought up.
+        let a = assign_clients(&[c(1)], &[n(2), n(3)]);
+        assert_eq!(a[&c(1)], n(3));
+    }
+
+    #[test]
+    fn distribution_is_even() {
+        let clients: Vec<ClientId> = (0..10).map(c).collect();
+        let servers = [n(1), n(2), n(3)];
+        let a = assign_clients(&clients, &servers);
+        let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for owner in a.values() {
+            *counts.entry(*owner).or_default() += 1;
+        }
+        let max = counts.values().max().unwrap();
+        let min = counts.values().min().unwrap();
+        assert!(max - min <= 1, "uneven distribution: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_regardless_of_input_order() {
+        let a = assign_clients(&[c(3), c(1), c(2)], &[n(5), n(2)]);
+        let b = assign_clients(&[c(1), c(2), c(3)], &[n(2), n(5)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_clients_counted_once() {
+        let a = assign_clients(&[c(1), c(1)], &[n(1)]);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn no_servers_no_assignment() {
+        assert!(assign_clients(&[c(1)], &[]).is_empty());
+        let (map, unassigned) = assign_clients_with_capacity(&[c(1)], &[], Some(4));
+        assert!(map.is_empty());
+        assert_eq!(unassigned, vec![c(1)]);
+    }
+
+    #[test]
+    fn capacity_limits_admission() {
+        let clients: Vec<ClientId> = (1..=5).map(c).collect();
+        let (map, unassigned) = assign_clients_with_capacity(&clients, &[n(1), n(2)], Some(2));
+        assert_eq!(map.len(), 4, "2 servers × cap 2");
+        assert_eq!(unassigned, vec![c(5)], "the highest id waits");
+        let mut counts = BTreeMap::new();
+        for owner in map.values() {
+            *counts.entry(*owner).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&n| n <= 2));
+    }
+
+    #[test]
+    fn unlimited_capacity_matches_plain_assignment() {
+        let clients: Vec<ClientId> = (1..=7).map(c).collect();
+        let plain = assign_clients(&clients, &[n(1), n(2)]);
+        let (capped, unassigned) = assign_clients_with_capacity(&clients, &[n(1), n(2)], None);
+        assert_eq!(plain, capped);
+        assert!(unassigned.is_empty());
+    }
+
+    #[test]
+    fn everyone_assigned() {
+        let clients: Vec<ClientId> = (0..17).map(c).collect();
+        let a = assign_clients(&clients, &[n(4), n(9)]);
+        assert_eq!(a.len(), 17);
+    }
+}

@@ -1,0 +1,125 @@
+//! Server-side emergency transmission (paper §4.1).
+//!
+//! On an emergency request the server adds a *quantity* of extra frames
+//! per second on top of the base rate. The quantity decays every second by
+//! the factor `f` (iterated floor, `q ← ⌊q·f⌋`), so the total surplus for
+//! the paper's q=12, f=0.8 is 12+9+7+5+4+3+2+1 = 43 frames. While the
+//! quantity is positive, the server ignores all flow-control requests from
+//! the client.
+
+/// Decaying extra transmission quantity for one session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Emergency {
+    qty: u32,
+    decay: f64,
+}
+
+impl Emergency {
+    /// Creates an idle mechanism with decay factor `decay` per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `[0, 1)`.
+    pub fn new(decay: f64) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0,1)");
+        Emergency { qty: 0, decay }
+    }
+
+    /// Whether an emergency burst is in progress (flow control is ignored
+    /// while it is).
+    pub fn is_active(&self) -> bool {
+        self.qty > 0
+    }
+
+    /// Extra frames per second currently granted.
+    pub fn current(&self) -> u32 {
+        self.qty
+    }
+
+    /// Starts a burst with base quantity `base`. Ignored if one is already
+    /// active (the server ignores all flow control during a burst,
+    /// emergency requests included).
+    ///
+    /// Returns whether the burst was accepted.
+    pub fn trigger(&mut self, base: u32) -> bool {
+        if self.is_active() {
+            return false;
+        }
+        self.qty = base;
+        self.qty > 0
+    }
+
+    /// Applies one second of decay; returns the new quantity.
+    pub fn decay_step(&mut self) -> u32 {
+        self.qty = (f64::from(self.qty) * self.decay).floor() as u32;
+        self.qty
+    }
+
+    /// Sum of the whole burst for base quantity `base` under this decay.
+    pub fn total_for(decay: f64, base: u32) -> u64 {
+        let mut e = Emergency::new(decay);
+        e.trigger(base);
+        let mut total = 0;
+        while e.is_active() {
+            total += u64::from(e.current());
+            e.decay_step();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sequence_sums_to_43() {
+        // 12, 9, 7, 5, 4, 3, 2, 1 → 43 (paper §4.1).
+        let mut e = Emergency::new(0.8);
+        assert!(e.trigger(12));
+        let mut seq = Vec::new();
+        while e.is_active() {
+            seq.push(e.current());
+            e.decay_step();
+        }
+        assert_eq!(seq, vec![12, 9, 7, 5, 4, 3, 2, 1]);
+        assert_eq!(Emergency::total_for(0.8, 12), 43);
+    }
+
+    #[test]
+    fn mild_tier_total() {
+        assert_eq!(Emergency::total_for(0.8, 6), 16);
+    }
+
+    #[test]
+    fn retrigger_during_burst_is_ignored() {
+        let mut e = Emergency::new(0.8);
+        assert!(e.trigger(6));
+        assert!(!e.trigger(12), "server ignores requests during a burst");
+        assert_eq!(e.current(), 6);
+    }
+
+    #[test]
+    fn idle_after_decay_to_zero() {
+        let mut e = Emergency::new(0.5);
+        e.trigger(2);
+        e.decay_step();
+        assert_eq!(e.current(), 1);
+        e.decay_step();
+        assert!(!e.is_active());
+        assert!(e.trigger(4), "re-armable once idle");
+    }
+
+    #[test]
+    fn zero_base_is_a_no_op() {
+        let mut e = Emergency::new(0.8);
+        assert!(!e.trigger(0));
+        assert!(!e.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in [0,1)")]
+    fn invalid_decay_rejected() {
+        let _ = Emergency::new(1.0);
+    }
+}

@@ -1,0 +1,1017 @@
+//! The VoD server: session management, rate-controlled transmission,
+//! periodic state synchronization, takeover and load balancing.
+//!
+//! One server process serves many clients; every movie it holds puts it in
+//! that movie's group, where replicas share per-client records every
+//! [`VodConfig::sync_interval`]. On a membership change the members
+//! exchange their records and deterministically redistribute the clients
+//! (see [`assign_clients`]); a server that acquires a client joins the
+//! client's session group and resumes transmission from the last
+//! synchronized offset — conservatively, preferring duplicate frames over
+//! gaps (paper §6.1.1).
+
+mod assign;
+mod emergency;
+
+pub use assign::{assign_clients, assign_clients_with_capacity};
+pub use emergency::Emergency;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcs::{GcsEvent, GcsNode, GroupId, View};
+use media::{Movie, MovieId, QualityFilter};
+use rand::Rng;
+use simnet::{Context, Endpoint, NodeId, Process, TimerId, Timer};
+
+use crate::config::{ResumePolicy, TakeoverPolicy, VodConfig};
+use crate::metrics::Cumulative;
+use crate::protocol::{
+    movie_group, ClientId, ClientRecord, ControlPayload, FlowRequest,
+    OpenRequest, VcrCmd, VideoPacket, VodWire, GCS_PORT, SERVER_GROUP, VIDEO_PORT,
+};
+
+/// Sentinel owner for clients admitted to no server (admission control):
+/// deterministic across replicas, never a real node id.
+pub const UNSERVED: NodeId = NodeId(u32::MAX);
+
+/// Timer tags (low byte = kind, high bits = client/movie id).
+mod tag {
+    pub const GCS_TICK: u64 = 1;
+    pub const SYNC: u64 = 2;
+    pub const SEND: u64 = 3;
+    pub const DECAY: u64 = 4;
+    pub const EXCHANGE: u64 = 5;
+    pub const SHUTDOWN: u64 = 6;
+
+    pub fn send(client: u32) -> u64 {
+        SEND | (u64::from(client) << 8)
+    }
+
+    pub fn decay(client: u32) -> u64 {
+        DECAY | (u64::from(client) << 8)
+    }
+
+    pub fn exchange(movie: u32) -> u64 {
+        EXCHANGE | (u64::from(movie) << 8)
+    }
+
+    pub fn kind(tag: u64) -> u64 {
+        tag & 0xFF
+    }
+
+    pub fn id(tag: u64) -> u32 {
+        (tag >> 8) as u32
+    }
+}
+
+/// A movie replica this server holds, plus who else holds it (used to
+/// bootstrap the movie group deterministically).
+#[derive(Clone, Debug)]
+pub struct Replica {
+    /// The movie data.
+    pub movie: Arc<Movie>,
+    /// All servers holding a copy (including this one).
+    pub holders: Vec<NodeId>,
+}
+
+struct Session {
+    record: ClientRecord,
+    emergency: Emergency,
+    filter: QualityFilter,
+    send_timer: Option<TimerId>,
+    decay_armed: bool,
+}
+
+struct Exchange {
+    epoch: u64,
+    reported: BTreeSet<NodeId>,
+}
+
+struct MovieState {
+    movie: Arc<Movie>,
+    holders: Vec<NodeId>,
+    records: BTreeMap<ClientId, ClientRecord>,
+    /// Ended sessions: removal time per client, so an in-flight stale sync
+    /// cannot resurrect a removed record (a record updated *after* the
+    /// removal — e.g. by the owner on the other side of a healed
+    /// partition — is accepted and clears the tombstone).
+    tombstones: BTreeMap<ClientId, simnet::SimTime>,
+    view: View,
+    exchange: Option<Exchange>,
+    failures_seen: u32,
+}
+
+/// Counters recorded by a server.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Number of clients owned over time, sampled at every sync tick
+    /// (drives the load-balancing visualizations).
+    pub owned_over_time: crate::metrics::TimeSeries,
+    /// Video frames transmitted.
+    pub frames_sent: u64,
+    /// Video bytes transmitted.
+    pub bytes_sent: u64,
+    /// Clients acquired through takeover/redistribution.
+    pub takeovers: Cumulative,
+    /// Emergency bursts granted.
+    pub emergencies_granted: Cumulative,
+    /// State-synchronization multicasts sent.
+    pub syncs_sent: u64,
+    /// Redistribution rounds executed.
+    pub redistributions: u64,
+}
+
+/// The VoD server process.
+pub struct VodServer {
+    cfg: VodConfig,
+    node: NodeId,
+    servers: Vec<NodeId>,
+    gcs: GcsNode<ControlPayload>,
+    movies: BTreeMap<MovieId, MovieState>,
+    sessions: BTreeMap<ClientId, Session>,
+    stats: ServerStats,
+    sync_round: u64,
+}
+
+impl std::fmt::Debug for VodServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VodServer")
+            .field("node", &self.node)
+            .field("movies", &self.movies.len())
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+impl VodServer {
+    /// Creates a server on `node` holding `replicas`, with `servers` as the
+    /// universe of nodes that may ever run a VoD server (the GCS bootstrap
+    /// set).
+    pub fn new(cfg: VodConfig, node: NodeId, servers: Vec<NodeId>, replicas: Vec<Replica>) -> Self {
+        let gcs = GcsNode::new(cfg.gcs.clone(), node, GCS_PORT, tag::GCS_TICK, servers.clone());
+        let movies = replicas
+            .into_iter()
+            .map(|r| {
+                (
+                    r.movie.id(),
+                    MovieState {
+                        movie: r.movie,
+                        holders: r.holders,
+                        records: BTreeMap::new(),
+                        tombstones: BTreeMap::new(),
+                        view: View::default(),
+                        exchange: None,
+                        failures_seen: 0,
+                    },
+                )
+            })
+            .collect();
+        VodServer {
+            cfg,
+            node,
+            servers,
+            gcs,
+            movies,
+            sessions: BTreeMap::new(),
+            stats: ServerStats::default(),
+            sync_round: 0,
+        }
+    }
+
+    /// This server's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The statistics recorded so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Gracefully detaches this server from the service (paper §3: "when
+    /// a server crashes **or detaches** ... it is replaced in a
+    /// transparent way").
+    ///
+    /// Unlike a crash, a planned shutdown needs no failure-detection
+    /// delay: the server leaves its movie groups, the resulting membership
+    /// change redistributes its clients onto the survivors, and the
+    /// process exits once the handoff is under way.
+    pub fn shutdown(&mut self, ctx: &mut Context<'_, VodWire>) {
+        // Publish the freshest offsets first so the successors resume with
+        // minimal duplicate re-transmission.
+        let movie_ids: Vec<MovieId> = self.movies.keys().copied().collect();
+        for movie_id in movie_ids {
+            self.sync_movie(ctx, movie_id, false);
+            self.gcs.leave(ctx, movie_group(movie_id));
+        }
+        let clients: Vec<ClientId> = self.sessions.keys().copied().collect();
+        for client in clients {
+            self.stop_session(ctx, client);
+        }
+        self.gcs.leave(ctx, SERVER_GROUP);
+        // Give the leave protocol a moment to complete, then exit; the
+        // simulator reaps the process at the end of the current handler
+        // chain.
+        ctx.set_timer_after(Duration::from_secs(2), tag::SHUTDOWN);
+    }
+
+    /// Clients currently served by this server, in id order.
+    pub fn clients_owned(&self) -> Vec<ClientId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// All client records known for `movie` (owned or not).
+    pub fn known_records(&self, movie: MovieId) -> Vec<ClientRecord> {
+        self.movies
+            .get(&movie)
+            .map(|m| m.records.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The movie-group view this server currently has for `movie`.
+    pub fn movie_view(&self, movie: MovieId) -> Option<&View> {
+        self.gcs.view(movie_group(movie))
+    }
+
+    // ------------------------------------------------------------------
+    // GCS event handling
+    // ------------------------------------------------------------------
+
+    fn handle_events(&mut self, ctx: &mut Context<'_, VodWire>, events: Vec<GcsEvent<ControlPayload>>) {
+        for event in events {
+            match event {
+                GcsEvent::View { group, view } => self.on_view(ctx, group, view),
+                // The VoD control plane only needs FIFO + view synchrony;
+                // agreed messages (unused here) are handled identically.
+                GcsEvent::Deliver {
+                    sender, payload, ..
+                }
+                | GcsEvent::DeliverAgreed {
+                    sender, payload, ..
+                }
+                | GcsEvent::DeliverCausal {
+                    sender, payload, ..
+                } => self.on_control(ctx, sender, payload),
+            }
+        }
+    }
+
+    fn on_view(&mut self, ctx: &mut Context<'_, VodWire>, group: GroupId, view: View) {
+        if group == SERVER_GROUP {
+            return;
+        }
+        if let Some(movie_id) = self.movie_of_group(group) {
+            self.on_movie_view(ctx, movie_id, view);
+        } else if let Some(client) = client_of_session_group(group) {
+            self.on_session_view(ctx, client, view);
+        }
+    }
+
+    fn on_movie_view(&mut self, ctx: &mut Context<'_, VodWire>, movie_id: MovieId, view: View) {
+        let node = self.node;
+        let Some(state) = self.movies.get_mut(&movie_id) else {
+            return;
+        };
+        let lost = state
+            .view
+            .members
+            .iter()
+            .filter(|m| !view.contains(**m))
+            .count() as u32;
+        state.failures_seen += lost;
+        state.view = view.clone();
+        if !view.contains(node) {
+            // Excluded (e.g. graceful shutdown); drop coordination state.
+            state.exchange = None;
+            return;
+        }
+        if view.len() > 1 {
+            // State exchange: every member multicasts everything it knows,
+            // then all members redistribute over the common record set
+            // (paper §5.2: "the servers first exchange information about
+            // clients, and then use it to deduce which clients each of
+            // them will serve").
+            state.exchange = Some(Exchange {
+                epoch: view.id.epoch,
+                reported: BTreeSet::new(),
+            });
+            let payload = ControlPayload::Sync {
+                server: node,
+                movie: movie_id,
+                view_epoch: view.id.epoch,
+                records: state.records.values().copied().collect(),
+            };
+            ctx.set_timer_after(self.cfg.exchange_timeout, tag::exchange(movie_id.0));
+            self.multicast(ctx, movie_group(movie_id), payload);
+        } else {
+            state.exchange = None;
+            self.redistribute(ctx, movie_id);
+        }
+    }
+
+    fn on_session_view(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId, view: View) {
+        let Some(session) = self.sessions.get(&client) else {
+            return;
+        };
+        if view.contains(self.node) && !view.contains(session.record.client_node) {
+            // The client itself is gone (crash, departure or partition):
+            // close the session and tell the other replicas.
+            self.end_session(ctx, client, true);
+        }
+    }
+
+    fn on_control(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        sender: NodeId,
+        payload: ControlPayload,
+    ) {
+        match payload {
+            ControlPayload::Open(open) => self.on_open(ctx, open),
+            ControlPayload::Sync {
+                server,
+                movie,
+                view_epoch,
+                records,
+            } => self.on_sync(ctx, server, movie, view_epoch, records),
+            ControlPayload::Remove { movie, client } => {
+                if let Some(state) = self.movies.get_mut(&movie) {
+                    if state.records.remove(&client).is_some() {
+                        state.tombstones.insert(client, ctx.now());
+                    }
+                }
+                if sender != self.node && self.sessions.contains_key(&client) {
+                    self.end_session(ctx, client, false);
+                }
+            }
+            ControlPayload::Flow { client, req } => self.on_flow(ctx, client, req),
+            ControlPayload::Vcr { client, cmd } => self.on_vcr(ctx, client, cmd),
+            ControlPayload::EndOfMovie { .. } => {}
+        }
+    }
+
+    /// Connection establishment: the coordinator of the movie group picks
+    /// the least-loaded replica (ties: highest id, same as redistribution)
+    /// and publishes the new client record.
+    fn on_open(&mut self, ctx: &mut Context<'_, VodWire>, open: OpenRequest) {
+        let node = self.node;
+        let Some(state) = self.movies.get_mut(&open.movie) else {
+            return;
+        };
+        if state.view.coordinator_candidate() != Some(node) {
+            return;
+        }
+        let waiting = state
+            .records
+            .get(&open.client)
+            .is_some_and(|r| r.owner == UNSERVED);
+        if let Some(existing) = state.records.get(&open.client) {
+            if !waiting {
+                // Duplicate request (client retry): republish the record
+                // so a lost assignment cannot strand the client.
+                let payload = ControlPayload::Sync {
+                    server: node,
+                    movie: open.movie,
+                    view_epoch: state.view.id.epoch,
+                    records: vec![*existing],
+                };
+                self.multicast(ctx, movie_group(open.movie), payload);
+                return;
+            }
+            // A waiting client retried: try to admit it now.
+        }
+        let capacity = self.cfg.max_sessions_per_server.map(|c| c as usize);
+        let mut load: BTreeMap<NodeId, usize> =
+            state.view.members.iter().map(|&m| (m, 0)).collect();
+        for record in state.records.values() {
+            if record.client == open.client {
+                continue;
+            }
+            if let Some(count) = load.get_mut(&record.owner) {
+                *count += 1;
+            }
+        }
+        let owner = load
+            .iter()
+            .filter(|&(_, &count)| capacity.is_none_or(|cap| count < cap))
+            .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
+            .map(|(&server, _)| server)
+            .unwrap_or(UNSERVED);
+        if owner == UNSERVED && waiting {
+            return; // still no room; the client keeps retrying
+        }
+        let record = ClientRecord {
+            client: open.client,
+            client_node: open.client_node,
+            session_group: open.session_group,
+            movie: open.movie,
+            next_frame: open.start_at,
+            rate_fps: self.cfg.default_rate_fps,
+            max_fps: open.max_fps,
+            owner,
+            assigned_epoch: state.view.id.epoch,
+            updated_at: ctx.now(),
+            paused: false,
+        };
+        state.records.insert(open.client, record);
+        let payload = ControlPayload::Sync {
+            server: node,
+            movie: open.movie,
+            view_epoch: state.view.id.epoch,
+            records: vec![record],
+        };
+        self.multicast(ctx, movie_group(open.movie), payload);
+    }
+
+    fn on_sync(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        server: NodeId,
+        movie_id: MovieId,
+        view_epoch: u64,
+        records: Vec<ClientRecord>,
+    ) {
+        let Some(state) = self.movies.get_mut(&movie_id) else {
+            return;
+        };
+        for record in records {
+            if let Some(&removed_at) = state.tombstones.get(&record.client) {
+                if record.updated_at <= removed_at {
+                    continue; // stale report of an ended session
+                }
+                state.tombstones.remove(&record.client);
+            }
+            match state.records.get(&record.client) {
+                Some(existing) if record_key(existing) >= record_key(&record) => {}
+                _ => {
+                    state.records.insert(record.client, record);
+                }
+            }
+        }
+        let mut complete = false;
+        if let Some(exchange) = state.exchange.as_mut() {
+            if view_epoch == exchange.epoch {
+                exchange.reported.insert(server);
+                complete = state
+                    .view
+                    .members
+                    .iter()
+                    .all(|m| exchange.reported.contains(m));
+            }
+        }
+        if complete {
+            state.exchange = None;
+            self.redistribute(ctx, movie_id);
+        } else if state.exchange.is_none() {
+            self.reconcile_sessions(ctx, movie_id);
+        }
+    }
+
+    /// Deterministic redistribution after a completed state exchange.
+    fn redistribute(&mut self, ctx: &mut Context<'_, VodWire>, movie_id: MovieId) {
+        let policy = self.cfg.takeover;
+        let Some(state) = self.movies.get_mut(&movie_id) else {
+            return;
+        };
+        self.stats.redistributions += 1;
+        match policy {
+            TakeoverPolicy::Full => {}
+            TakeoverPolicy::SingleBackup if state.failures_seen <= 1 => {}
+            _ => {
+                // Baselines: no reassignment (orphans stay orphaned), but
+                // still reconcile our own sessions.
+                self.reconcile_sessions(ctx, movie_id);
+                return;
+            }
+        }
+        let clients: Vec<ClientId> = state.records.keys().copied().collect();
+        let capacity = self.cfg.max_sessions_per_server.map(|c| c as usize);
+        let (assignment, unassigned) =
+            assign_clients_with_capacity(&clients, &state.view.members, capacity);
+        let epoch = state.view.id.epoch;
+        for (client, owner) in &assignment {
+            if let Some(record) = state.records.get_mut(client) {
+                record.owner = *owner;
+                // The assignment is a product of this view: stamp it so it
+                // dominates periodic reports from before the change.
+                record.assigned_epoch = epoch;
+            }
+        }
+        for client in &unassigned {
+            if let Some(record) = state.records.get_mut(client) {
+                record.owner = UNSERVED;
+                record.assigned_epoch = epoch;
+            }
+        }
+        self.reconcile_sessions(ctx, movie_id);
+        // Publish our newly owned records promptly so the other replicas
+        // see fresh state (and the old server, if alive, stops quickly).
+        self.sync_movie(ctx, movie_id, false);
+    }
+
+    /// Starts sessions for records we own without a session, stops sessions
+    /// we no longer own.
+    fn reconcile_sessions(&mut self, ctx: &mut Context<'_, VodWire>, movie_id: MovieId) {
+        let node = self.node;
+        let Some(state) = self.movies.get(&movie_id) else {
+            return;
+        };
+        let to_start: Vec<ClientRecord> = state
+            .records
+            .values()
+            .filter(|r| r.owner == node && !self.sessions.contains_key(&r.client))
+            .copied()
+            .collect();
+        let to_stop: Vec<ClientId> = self
+            .sessions
+            .iter()
+            .filter(|(client, s)| {
+                s.record.movie == movie_id
+                    && state
+                        .records
+                        .get(client)
+                        .is_some_and(|r| r.owner != node)
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        for client in to_stop {
+            self.stop_session(ctx, client);
+        }
+        for record in to_start {
+            self.start_session(ctx, record);
+        }
+    }
+
+    fn start_session(&mut self, ctx: &mut Context<'_, VodWire>, mut record: ClientRecord) {
+        let Some(state) = self.movies.get(&record.movie) else {
+            return;
+        };
+        record.owner = self.node;
+        if self.cfg.resume == ResumePolicy::SkipAhead && !record.paused {
+            // Optimistic resume: estimate how far the previous server got
+            // since the last sync and jump over it (ablation D5 — trades
+            // duplicates for possible holes).
+            let staleness = ctx.now().saturating_since(record.updated_at);
+            let estimated = (staleness.as_secs_f64() * f64::from(record.rate_fps)).ceil() as u64;
+            record.next_frame = record.next_frame.plus(estimated);
+        }
+        let filter = QualityFilter::new(state.movie.gop(), state.movie.fps(), record.max_fps);
+        // A thinned stream must not be pumped at the full-rate cadence:
+        // cap the transmission rate at the filter's effective output.
+        let effective_cap = filter.effective_fps(state.movie.fps()).ceil() as u32;
+        record.rate_fps = record.rate_fps.min(effective_cap.max(self.cfg.min_rate_fps));
+        let send_timer = if record.paused {
+            None
+        } else {
+            Some(ctx.set_timer_after(Duration::ZERO, tag::send(record.client.0)))
+        };
+        // Join the client's session group to receive its control messages
+        // (paper §5.2: "to take over a client, a server simply joins the
+        // client's session group and resumes the video transmission").
+        self.gcs
+            .join(ctx, record.session_group, &[record.client_node]);
+        self.stats.takeovers.add(ctx.now(), 1);
+        self.sessions.insert(
+            record.client,
+            Session {
+                record,
+                emergency: Emergency::new(self.cfg.emergency_decay),
+                filter,
+                send_timer,
+                decay_armed: false,
+            },
+        );
+    }
+
+    /// Stops serving a client that migrated to another replica.
+    fn stop_session(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId) {
+        if let Some(session) = self.sessions.remove(&client) {
+            if let Some(timer) = session.send_timer {
+                ctx.cancel_timer(timer);
+            }
+            self.gcs.leave(ctx, session.record.session_group);
+        }
+    }
+
+    /// Ends a session entirely (client stop/crash or end of movie),
+    /// optionally announcing the removal to the other replicas.
+    fn end_session(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId, announce: bool) {
+        let Some(session) = self.sessions.remove(&client) else {
+            return;
+        };
+        if let Some(timer) = session.send_timer {
+            ctx.cancel_timer(timer);
+        }
+        let movie_id = session.record.movie;
+        if let Some(state) = self.movies.get_mut(&movie_id) {
+            if state.records.remove(&client).is_some() {
+                state.tombstones.insert(client, ctx.now());
+            }
+        }
+        if announce {
+            let payload = ControlPayload::Remove {
+                movie: movie_id,
+                client,
+            };
+            self.multicast(ctx, movie_group(movie_id), payload);
+        }
+        self.gcs.leave(ctx, session.record.session_group);
+    }
+
+    fn on_flow(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId, req: FlowRequest) {
+        let (min_rate, max_rate) = (self.cfg.min_rate_fps, self.cfg.max_rate_fps);
+        let (base_severe, base_mild) = (
+            self.cfg.emergency_base_severe,
+            self.cfg.emergency_base_mild,
+        );
+        let Some(session) = self.sessions.get_mut(&client) else {
+            return;
+        };
+        // Paper §4.1: "while the emergency quantity is greater than zero,
+        // the server ignores all flow control requests from the client".
+        if session.emergency.is_active() {
+            return;
+        }
+        match req {
+            FlowRequest::Increase => {
+                session.record.rate_fps = (session.record.rate_fps + 1).min(max_rate);
+            }
+            FlowRequest::Decrease => {
+                session.record.rate_fps = session.record.rate_fps.saturating_sub(1).max(min_rate);
+            }
+            FlowRequest::Emergency { severe } => {
+                let base = if severe { base_severe } else { base_mild };
+                if session.emergency.trigger(base) {
+                    self.stats.emergencies_granted.add(ctx.now(), 1);
+                    if !session.decay_armed {
+                        session.decay_armed = true;
+                        ctx.set_timer_after(Duration::from_secs(1), tag::decay(client.0));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_vcr(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId, cmd: VcrCmd) {
+        match cmd {
+            VcrCmd::Pause => {
+                if let Some(session) = self.sessions.get_mut(&client) {
+                    session.record.paused = true;
+                    if let Some(timer) = session.send_timer.take() {
+                        ctx.cancel_timer(timer);
+                    }
+                }
+            }
+            VcrCmd::Resume => {
+                if let Some(session) = self.sessions.get_mut(&client) {
+                    if session.record.paused {
+                        session.record.paused = false;
+                        session.send_timer =
+                            Some(ctx.set_timer_after(Duration::ZERO, tag::send(client.0)));
+                    }
+                }
+            }
+            VcrCmd::Seek(position) => {
+                if let Some(session) = self.sessions.get_mut(&client) {
+                    session.record.next_frame = position;
+                }
+            }
+            VcrCmd::SetQuality(max_fps) => {
+                let filter = self.sessions.get(&client).and_then(|s| {
+                    self.movies.get(&s.record.movie).map(|m| {
+                        QualityFilter::new(m.movie.gop(), m.movie.fps(), max_fps)
+                    })
+                });
+                if let (Some(session), Some(filter)) = (self.sessions.get_mut(&client), filter) {
+                    session.record.max_fps = max_fps;
+                    let cap = filter
+                        .effective_fps(30)
+                        .ceil()
+                        .max(f64::from(self.cfg.min_rate_fps)) as u32;
+                    session.record.rate_fps = session.record.rate_fps.min(cap);
+                    session.filter = filter;
+                }
+            }
+            VcrCmd::SetSpeed(percent) => {
+                // Jump the base rate straight to the new consumption; the
+                // flow control fine-tunes from there.
+                let (min_rate, max_rate) = (self.cfg.min_rate_fps, self.cfg.max_rate_fps);
+                let hint = self.sessions.get(&client).and_then(|s| {
+                    self.movies
+                        .get(&s.record.movie)
+                        .map(|m| m.movie.fps().saturating_mul(percent) / 100)
+                });
+                if let (Some(session), Some(hint)) = (self.sessions.get_mut(&client), hint) {
+                    session.record.rate_fps = hint.clamp(min_rate, max_rate);
+                }
+            }
+            VcrCmd::Stop => {
+                self.end_session(ctx, client, true);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers: transmission, decay, sync, exchange deadline
+    // ------------------------------------------------------------------
+
+    fn on_send_timer(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId) {
+        let jitter = self.cfg.scheduling_jitter;
+        let Some(session) = self.sessions.get_mut(&client) else {
+            return;
+        };
+        if session.record.paused {
+            session.send_timer = None;
+            return;
+        }
+        let Some(state) = self.movies.get(&session.record.movie) else {
+            return;
+        };
+        // Advance to the next frame the quality filter lets through.
+        let mut outgoing = None;
+        loop {
+            let no = session.record.next_frame;
+            match state.movie.frame(no) {
+                None => break,
+                Some(frame) => {
+                    session.record.next_frame = no.plus(1);
+                    if session.filter.should_send(no) {
+                        outgoing = Some(frame);
+                        break;
+                    }
+                }
+            }
+        }
+        match outgoing {
+            None => {
+                // End of the movie.
+                let group = session.record.session_group;
+                let payload = ControlPayload::EndOfMovie { client };
+                self.multicast(ctx, group, payload);
+                self.end_session(ctx, client, true);
+            }
+            Some(frame) => {
+                let packet = VideoPacket {
+                    client,
+                    movie: session.record.movie,
+                    frame,
+                };
+                self.stats.frames_sent += 1;
+                self.stats.bytes_sent += u64::from(frame.size);
+                let dst = Endpoint::new(session.record.client_node, VIDEO_PORT);
+                ctx.send(VIDEO_PORT, dst, VodWire::Video(packet));
+                let effective =
+                    (session.record.rate_fps + session.emergency.current()).clamp(1, 240);
+                let mut interval = Duration::from_secs_f64(1.0 / f64::from(effective));
+                if !jitter.is_zero() {
+                    interval += jitter.mul_f64(ctx.rng().gen::<f64>());
+                }
+                session.send_timer = Some(ctx.set_timer_after(interval, tag::send(client.0)));
+            }
+        }
+    }
+
+    fn on_decay_timer(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId) {
+        let Some(session) = self.sessions.get_mut(&client) else {
+            return;
+        };
+        if session.emergency.decay_step() > 0 {
+            ctx.set_timer_after(Duration::from_secs(1), tag::decay(client.0));
+        } else {
+            session.decay_armed = false;
+        }
+    }
+
+    /// Periodic state multicast (paper §5.2, every half second).
+    fn on_sync_timer(&mut self, ctx: &mut Context<'_, VodWire>) {
+        self.sync_round += 1;
+        let now = ctx.now();
+        self.stats
+            .owned_over_time
+            .push(now, self.sessions.len() as f64);
+        for state in self.movies.values_mut() {
+            state
+                .tombstones
+                .retain(|_, &mut at| now.saturating_since(at) < Duration::from_secs(30));
+        }
+        let movie_ids: Vec<MovieId> = self.movies.keys().copied().collect();
+        for movie_id in movie_ids {
+            self.sync_movie(ctx, movie_id, true);
+        }
+        ctx.set_timer_after(self.cfg.sync_interval, tag::SYNC);
+    }
+
+    /// Multicasts this server's owned records for `movie_id`.
+    /// `periodic` distinguishes the half-second refresh from the immediate
+    /// post-redistribution publication.
+    fn sync_movie(&mut self, ctx: &mut Context<'_, VodWire>, movie_id: MovieId, periodic: bool) {
+        let node = self.node;
+        let now = ctx.now();
+        let Some(state) = self.movies.get_mut(&movie_id) else {
+            return;
+        };
+        if !state.view.contains(node) {
+            return;
+        }
+        let mut report = Vec::new();
+        let mut owned_any = false;
+        // Non-owned records are re-broadcast only occasionally (they exist
+        // purely to repair replicas that missed an assignment); the steady
+        // traffic is the paper's "information about its clients".
+        let include_foreign = !periodic || self.sync_round.is_multiple_of(4);
+        for (client, record) in state.records.iter_mut() {
+            if record.owner == node {
+                if let Some(session) = self.sessions.get(client) {
+                    record.next_frame = session.record.next_frame;
+                    record.rate_fps = session.record.rate_fps;
+                    record.max_fps = session.record.max_fps;
+                    record.paused = session.record.paused;
+                }
+                record.updated_at = now;
+                owned_any = true;
+                report.push(*record);
+            } else if include_foreign {
+                report.push(*record);
+            }
+        }
+        // The post-redistribution publication (periodic = false) must go
+        // out even when this server now owns nothing: it is how the new
+        // owner learns about an assignment decided here.
+        let _ = owned_any;
+        let payload = ControlPayload::Sync {
+            server: node,
+            movie: movie_id,
+            view_epoch: state.view.id.epoch,
+            records: report,
+        };
+        self.stats.syncs_sent += 1;
+        self.multicast(ctx, movie_group(movie_id), payload);
+    }
+
+    fn on_exchange_timer(&mut self, ctx: &mut Context<'_, VodWire>, movie_id: MovieId) {
+        let Some(state) = self.movies.get_mut(&movie_id) else {
+            return;
+        };
+        if state.exchange.take().is_some() {
+            // Deadline passed: redistribute with whatever reports arrived.
+            self.redistribute(ctx, movie_id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn multicast(&mut self, ctx: &mut Context<'_, VodWire>, group: GroupId, payload: ControlPayload) {
+        // A NotMember error means we are not (yet) in the group: drop the
+        // report; the periodic sync recovers.
+        if let Ok(events) = self.gcs.multicast(ctx, group, payload) {
+            self.handle_events(ctx, events);
+        }
+    }
+
+    fn movie_of_group(&self, group: GroupId) -> Option<MovieId> {
+        self.movies
+            .keys()
+            .copied()
+            .find(|&m| movie_group(m) == group)
+    }
+}
+
+/// Total order on records used to merge concurrent sync reports
+/// deterministically: freshest timestamp wins, ties broken by owner and
+/// progress so every replica resolves identically regardless of arrival
+/// order.
+fn record_key(r: &ClientRecord) -> (u64, simnet::SimTime, u32, u64) {
+    (r.assigned_epoch, r.updated_at, r.owner.0, r.next_frame.0)
+}
+
+fn client_of_session_group(group: GroupId) -> Option<ClientId> {
+    (group.0 >= 1_000_000).then(|| ClientId((group.0 - 1_000_000) as u32))
+}
+
+impl Process<VodWire> for VodServer {
+    fn on_start(&mut self, ctx: &mut Context<'_, VodWire>) {
+        self.gcs.start(ctx);
+        // Deterministic group bootstrap: the minimum holder creates the
+        // group, everyone else joins it (merging resolves any race).
+        let movie_ids: Vec<(MovieId, Vec<NodeId>)> = self
+            .movies
+            .iter()
+            .map(|(&id, s)| (id, s.holders.clone()))
+            .collect();
+        for (movie_id, holders) in movie_ids {
+            let group = movie_group(movie_id);
+            if holders.iter().min() == Some(&self.node) {
+                let events = self.gcs.create_group(group);
+                self.handle_events(ctx, events);
+            } else {
+                self.gcs.join(ctx, group, &holders);
+            }
+        }
+        if self.servers.iter().copied().min() == Some(self.node) {
+            let events = self.gcs.create_group(SERVER_GROUP);
+            self.handle_events(ctx, events);
+        } else {
+            self.gcs.join(ctx, SERVER_GROUP, &[]);
+        }
+        ctx.set_timer_after(self.cfg.sync_interval, tag::SYNC);
+    }
+
+    fn on_datagram(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        from: Endpoint,
+        _to: Endpoint,
+        msg: VodWire,
+    ) {
+        match msg {
+            VodWire::Gcs(pkt) => {
+                let events = self.gcs.on_packet(ctx, from, pkt);
+                self.handle_events(ctx, events);
+            }
+            VodWire::Video(_) => {} // servers do not consume video
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, VodWire>, timer: Timer) {
+        match tag::kind(timer.tag) {
+            tag::GCS_TICK => {
+                let events = self.gcs.on_timer(ctx, timer);
+                self.handle_events(ctx, events);
+            }
+            tag::SYNC => self.on_sync_timer(ctx),
+            tag::SEND => self.on_send_timer(ctx, ClientId(tag::id(timer.tag))),
+            tag::DECAY => self.on_decay_timer(ctx, ClientId(tag::id(timer.tag))),
+            tag::EXCHANGE => self.on_exchange_timer(ctx, MovieId(tag::id(timer.tag))),
+            tag::SHUTDOWN => ctx.exit(),
+            _ => debug_assert!(false, "unknown timer tag {}", timer.tag),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media::FrameNo;
+
+    #[test]
+    fn timer_tags_round_trip() {
+        for client in [0u32, 1, 77, u32::MAX] {
+            let t = tag::send(client);
+            assert_eq!(tag::kind(t), tag::SEND);
+            assert_eq!(tag::id(t), client);
+            let t = tag::decay(client);
+            assert_eq!(tag::kind(t), tag::DECAY);
+            assert_eq!(tag::id(t), client);
+        }
+        let t = tag::exchange(42);
+        assert_eq!(tag::kind(t), tag::EXCHANGE);
+        assert_eq!(tag::id(t), 42);
+    }
+
+    fn record(epoch: u64, at: u64, owner: u32, frame: u64) -> ClientRecord {
+        ClientRecord {
+            client: ClientId(1),
+            client_node: NodeId(100),
+            session_group: crate::protocol::session_group(ClientId(1)),
+            movie: MovieId(1),
+            next_frame: FrameNo(frame),
+            rate_fps: 30,
+            max_fps: 30,
+            owner: NodeId(owner),
+            assigned_epoch: epoch,
+            updated_at: simnet::SimTime::from_millis(at),
+            paused: false,
+        }
+    }
+
+    #[test]
+    fn record_merge_order_prefers_epoch_then_freshness() {
+        // A redistribution result (newer epoch, older timestamp) dominates
+        // a periodic report from before the view change.
+        let redistributed = record(5, 1_000, 3, 100);
+        let stale_periodic = record(4, 2_000, 1, 120);
+        assert!(record_key(&redistributed) > record_key(&stale_periodic));
+        // Within an epoch, the fresher report wins.
+        let older = record(5, 1_000, 3, 100);
+        let newer = record(5, 1_500, 3, 130);
+        assert!(record_key(&newer) > record_key(&older));
+        // Full ties resolve identically everywhere (deterministic merge).
+        assert_eq!(record_key(&older), record_key(&record(5, 1_000, 3, 100)));
+    }
+
+    #[test]
+    fn session_group_ids_map_back_to_clients() {
+        let g = crate::protocol::session_group(ClientId(17));
+        assert_eq!(client_of_session_group(g), Some(ClientId(17)));
+        assert_eq!(client_of_session_group(crate::protocol::SERVER_GROUP), None);
+        assert_eq!(
+            client_of_session_group(crate::protocol::movie_group(MovieId(3))),
+            None
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Scale tests: many clients, several movies, overlapping replica sets,
+//! failures under load — the deployment shape the paper's introduction
+//! motivates (VoD provided to many homes by telecom operators).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use ftvod_core::protocol::ClientId;
+use ftvod_core::scenario::ScenarioBuilder;
+use ftvod_core::server::VodServer;
+use media::{Movie, MovieId, MovieSpec};
+use simnet::{LinkProfile, NodeId, SimTime};
+
+fn movie(id: u32, secs: u64) -> Movie {
+    Movie::generate(
+        MovieId(id),
+        &MovieSpec::paper_default()
+            .with_duration(Duration::from_secs(secs))
+            .with_seed(u64::from(id)),
+    )
+}
+
+#[test]
+fn sixteen_clients_two_movies_three_servers() {
+    let servers = [NodeId(1), NodeId(2), NodeId(3)];
+    let mut builder = ScenarioBuilder::new(31);
+    builder
+        .network(LinkProfile::lan())
+        .movie(movie(1, 120), &servers)
+        .movie(movie(2, 120), &[NodeId(2), NodeId(3)]);
+    for &s in &servers {
+        builder.server(s);
+    }
+    let clients: Vec<ClientId> = (1..=16).map(ClientId).collect();
+    for &c in &clients {
+        let which = if c.0 % 2 == 0 { MovieId(2) } else { MovieId(1) };
+        builder.client(c, NodeId(100 + c.0), which, SimTime::from_secs(2 + u64::from(c.0) / 4));
+    }
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(60));
+    // Everyone is served, smoothly.
+    let mut load: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for &c in &clients {
+        let owner = sim.owner_of(c).unwrap_or_else(|| panic!("{c} unserved"));
+        *load.entry(owner).or_default() += 1;
+        let stats = sim.client_stats(c).unwrap();
+        assert_eq!(stats.stalls.total(), 0, "{c} stalled");
+        assert!(stats.frames_received > 1300, "{c} starved: {}", stats.frames_received);
+    }
+    // The load is spread: no server hogs everything.
+    let max = load.values().copied().max().unwrap();
+    assert!(max <= 8, "load concentrated: {load:?}");
+}
+
+#[test]
+fn crash_under_load_migrates_a_whole_cohort() {
+    let servers = [NodeId(1), NodeId(2)];
+    let mut builder = ScenarioBuilder::new(32);
+    builder
+        .network(LinkProfile::lan())
+        .movie(movie(1, 120), &servers)
+        .server(NodeId(1))
+        .server(NodeId(2));
+    let clients: Vec<ClientId> = (1..=8).map(ClientId).collect();
+    for &c in &clients {
+        builder.client(c, NodeId(100 + c.0), MovieId(1), SimTime::from_secs(2));
+    }
+    builder.crash_at(SimTime::from_secs(25), NodeId(2));
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(55));
+    for &c in &clients {
+        assert_eq!(sim.owner_of(c), Some(NodeId(1)), "{c} not adopted");
+        let stats = sim.client_stats(c).unwrap();
+        assert_eq!(stats.stalls.total(), 0, "{c} froze during the mass takeover");
+    }
+    // The survivor's counters reflect the cohort takeover.
+    let takeovers = sim
+        .sim_mut()
+        .with_process(NodeId(1), |s: &VodServer| s.stats().takeovers.total())
+        .unwrap();
+    assert!(takeovers >= 4, "survivor recorded {takeovers} takeovers");
+}
+
+#[test]
+fn owned_over_time_series_tracks_load_balance() {
+    let servers = [NodeId(1), NodeId(2), NodeId(3)];
+    let mut builder = ScenarioBuilder::new(33);
+    builder
+        .network(LinkProfile::lan())
+        .movie(movie(1, 120), &servers)
+        .server(NodeId(1))
+        .server(NodeId(2))
+        .server_at(SimTime::from_secs(30), NodeId(3));
+    for c in 1..=6u32 {
+        builder.client(ClientId(c), NodeId(100 + c), MovieId(1), SimTime::from_secs(2));
+    }
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(60));
+    let series = sim
+        .sim_mut()
+        .with_process(NodeId(2), |s: &VodServer| s.stats().owned_over_time.clone())
+        .unwrap();
+    let before = series.mean_in_window(15.0, 29.0).unwrap();
+    let after = series.mean_in_window(45.0, 60.0).unwrap();
+    assert!(
+        after < before,
+        "n2 should shed load to the new server: {before} -> {after}"
+    );
+    let n3_series = sim
+        .sim_mut()
+        .with_process(NodeId(3), |s: &VodServer| s.stats().owned_over_time.clone())
+        .unwrap();
+    let n3_load = n3_series.mean_in_window(45.0, 60.0).unwrap();
+    assert!(n3_load >= 1.5, "new server absorbed load: {n3_load}");
+}
+
+#[test]
+fn deterministic_at_scale() {
+    let run = |seed: u64| {
+        let servers = [NodeId(1), NodeId(2), NodeId(3)];
+        let mut builder = ScenarioBuilder::new(seed);
+        builder
+            .network(LinkProfile::wan())
+            .movie(movie(1, 90), &servers)
+            .server(NodeId(1))
+            .server(NodeId(2))
+            .server(NodeId(3))
+            .crash_at(SimTime::from_secs(20), NodeId(3));
+        for c in 1..=6u32 {
+            builder.client(ClientId(c), NodeId(100 + c), MovieId(1), SimTime::from_secs(2));
+        }
+        let mut sim = builder.build();
+        sim.run_until(SimTime::from_secs(45));
+        (1..=6u32)
+            .map(|c| {
+                let stats = sim.client_stats(ClientId(c)).unwrap();
+                (stats.frames_received, stats.skipped.total(), stats.late.total())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(77), run(77));
+}

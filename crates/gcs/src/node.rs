@@ -1,0 +1,2199 @@
+//! The per-node group communication endpoint.
+//!
+//! [`GcsNode`] is designed to be *embedded* in a [`simnet::Process`]: the
+//! application reserves one port and one timer tag for the GCS, forwards
+//! matching datagrams to [`GcsNode::on_packet`] and the tick timer to
+//! [`GcsNode::on_timer`], and reacts to the [`GcsEvent`]s these calls
+//! return.
+//!
+//! # Protocol overview
+//!
+//! * **Failure detection** — heartbeats to every known peer; a peer silent
+//!   for [`GcsConfig::suspect_timeout`] is suspected (any packet refreshes
+//!   liveness).
+//! * **Reliable FIFO multicast** — per-(group, sender) sequence numbers;
+//!   receivers buffer out-of-order packets and NAK gaps back to the origin;
+//!   senders retransmit from a send buffer; cumulative ACKs establish
+//!   stability and garbage-collect retained messages. A node delivers its
+//!   own multicasts immediately (loopback).
+//! * **View-synchronous membership** — the minimum live member coordinates
+//!   a two-phase view change (`Prepare` → `FlushAck` → `Install`).
+//!   Candidates stop delivering when they promise, report their delivery
+//!   floors and hand over all unstable messages; the coordinator computes a
+//!   per-sender *cut* (the maximum delivered floor, extended through the
+//!   pooled messages) and distributes the messages needed to bring every
+//!   member up to the cut. All members of two consecutive views therefore
+//!   deliver the same set of messages in between — the property the VoD
+//!   servers rely on when agreeing on client migration.
+//! * **Join / leave / merge** — joiners solicit membership via `JoinReq`
+//!   (falling back to a singleton view when nobody answers); coordinators
+//!   periodically announce their view to non-members, and the minimum
+//!   coordinator merges components after a partition heals. After a merge,
+//!   messages that became stable on one side only may be unrecoverable for
+//!   the other; the node then *forces the gap closed* and counts it in
+//!   [`GcsNode::forced_gaps`] — applications that exchange full state on
+//!   every view change (as the VoD servers do) are unaffected.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use simnet::{Context, Endpoint, NodeId, Payload, Port, SimTime, Timer};
+
+use crate::packet::{Carried, GcsPacket};
+use crate::types::{GcsConfig, GcsEvent, GroupId, View, ViewId};
+
+/// Error returned when multicasting to a group the node is not (and is not
+/// becoming) a member of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotMemberError {
+    /// The group that rejected the send.
+    pub group: GroupId,
+}
+
+impl fmt::Display for NotMemberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not a member of group {}", self.group)
+    }
+}
+
+impl Error for NotMemberError {}
+
+/// Membership status of this node with respect to one group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupStatus {
+    /// Not a member and not trying to become one.
+    Idle,
+    /// Join requested; waiting to be included in a view.
+    Joining,
+    /// Member of an installed view; sends and deliveries flow normally.
+    Member,
+    /// Promised a view change: deliveries are paused until the install.
+    Flushing,
+}
+
+struct RecvState<P> {
+    /// Next sequence number to deliver from this sender.
+    next: u64,
+    /// Out-of-order buffer.
+    buf: BTreeMap<u64, Carried<P>>,
+}
+
+impl<P> RecvState<P> {
+    fn new(next: u64) -> Self {
+        RecvState {
+            next,
+            buf: BTreeMap::new(),
+        }
+    }
+}
+
+struct ViewChangeState<P> {
+    vid: ViewId,
+    candidates: Vec<NodeId>,
+    acked: BTreeSet<NodeId>,
+    delivered_max: BTreeMap<NodeId, u64>,
+    causal_max: BTreeMap<NodeId, u64>,
+    pool: BTreeMap<(NodeId, u64), Carried<P>>,
+    start_tick: u64,
+    /// Tick of the most recent `Prepare` (re)transmission; lost prepares
+    /// and flush-acks are re-solicited every couple of ticks.
+    last_prepare_tick: u64,
+}
+
+/// A causal arrival waiting for its dependencies:
+/// `(sender, dependency vector, payload)`.
+type CausalPending<P> = (NodeId, Vec<(NodeId, u64)>, P);
+
+struct ForeignInfo {
+    vid: ViewId,
+    members: Vec<NodeId>,
+    seen_tick: u64,
+}
+
+struct GroupState<P> {
+    status: GroupStatus,
+    view: View,
+    had_view: bool,
+    promised: Option<ViewId>,
+    promised_tick: u64,
+    max_epoch_seen: u64,
+    leaving: bool,
+    leave_tick: u64,
+    join_contacts: Vec<NodeId>,
+    join_start_tick: u64,
+    last_join_send_tick: u64,
+    next_seq: u64,
+    send_buf: BTreeMap<u64, Carried<P>>,
+    recv: BTreeMap<NodeId, RecvState<P>>,
+    retained: BTreeMap<(NodeId, u64), Carried<P>>,
+    ack_floors: BTreeMap<NodeId, BTreeMap<NodeId, u64>>,
+    pending_sends: VecDeque<Carried<P>>,
+    /// Agreed-multicast origin state: my next origin_seq, unsequenced
+    /// payloads awaiting the sequencer, and the per-origin delivery floor
+    /// (sequencer dedupe across coordinator changes).
+    next_order_seq: u64,
+    pending_order: BTreeMap<u64, P>,
+    order_floor: BTreeMap<NodeId, u64>,
+    /// Sequencer-side inbox of order requests not yet contiguous.
+    order_inbox: BTreeMap<NodeId, BTreeMap<u64, P>>,
+    /// Causal multicast: messages delivered per sender, and arrivals whose
+    /// dependencies are not yet satisfied.
+    causal_delivered: BTreeMap<NodeId, u64>,
+    causal_waiting: Vec<CausalPending<P>>,
+    pending_joiners: BTreeSet<NodeId>,
+    pending_leavers: BTreeSet<NodeId>,
+    vc: Option<ViewChangeState<P>>,
+    foreign: BTreeMap<NodeId, ForeignInfo>,
+    last_nak_tick: BTreeMap<NodeId, u64>,
+    /// A freshly computed install, blindly retransmitted a few ticks in a
+    /// row so that a single lost datagram cannot strand a member in the
+    /// old view (installs are idempotent).
+    install_resend: Option<InstallResend<P>>,
+}
+
+struct InstallResend<P> {
+    view: View,
+    cut: Vec<(NodeId, u64)>,
+    fill: Vec<(NodeId, u64, Carried<P>)>,
+    causal: Vec<(NodeId, u64)>,
+    remaining: u8,
+}
+
+impl<P> GroupState<P> {
+    fn new() -> Self {
+        GroupState {
+            status: GroupStatus::Idle,
+            view: View::default(),
+            had_view: false,
+            promised: None,
+            promised_tick: 0,
+            max_epoch_seen: 0,
+            leaving: false,
+            leave_tick: 0,
+            join_contacts: Vec::new(),
+            join_start_tick: 0,
+            last_join_send_tick: 0,
+            next_seq: 1,
+            send_buf: BTreeMap::new(),
+            recv: BTreeMap::new(),
+            retained: BTreeMap::new(),
+            ack_floors: BTreeMap::new(),
+            pending_sends: VecDeque::new(),
+            next_order_seq: 1,
+            pending_order: BTreeMap::new(),
+            order_floor: BTreeMap::new(),
+            order_inbox: BTreeMap::new(),
+            causal_delivered: BTreeMap::new(),
+            causal_waiting: Vec::new(),
+            pending_joiners: BTreeSet::new(),
+            pending_leavers: BTreeSet::new(),
+            vc: None,
+            foreign: BTreeMap::new(),
+            last_nak_tick: BTreeMap::new(),
+            install_resend: None,
+        }
+    }
+
+    /// Snapshot of the causal delivery counts.
+    fn causal_snapshot(&self) -> Vec<(NodeId, u64)> {
+        self.causal_delivered.iter().map(|(&n, &c)| (n, c)).collect()
+    }
+
+    /// Highest contiguously delivered sequence per sender (self included).
+    fn floors(&self, me: NodeId) -> Vec<(NodeId, u64)> {
+        let mut floors = vec![(me, self.next_seq - 1)];
+        for (&sender, state) in &self.recv {
+            if sender != me {
+                floors.push((sender, state.next - 1));
+            }
+        }
+        floors
+    }
+
+    /// Everything this node holds that may be unstable: own sent messages
+    /// plus retained (delivered) and buffered (undelivered) foreign ones.
+    fn held(&self, me: NodeId) -> Vec<(NodeId, u64, Carried<P>)>
+    where
+        P: Clone,
+    {
+        let mut held: Vec<(NodeId, u64, Carried<P>)> = self
+            .send_buf
+            .iter()
+            .map(|(&seq, p)| (me, seq, p.clone()))
+            .collect();
+        for (&(sender, seq), p) in &self.retained {
+            held.push((sender, seq, p.clone()));
+        }
+        for (&sender, state) in &self.recv {
+            for (&seq, p) in &state.buf {
+                held.push((sender, seq, p.clone()));
+            }
+        }
+        held
+    }
+}
+
+/// A group communication endpoint, embedded into one simulated process.
+///
+/// See the crate-level documentation for the protocol description and
+/// the crate examples for the embedding pattern.
+pub struct GcsNode<P: Payload> {
+    node: NodeId,
+    port: Port,
+    tick_tag: u64,
+    config: GcsConfig,
+    bootstrap: Vec<NodeId>,
+    ticks: u64,
+    started: bool,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    suspected: BTreeSet<NodeId>,
+    groups: BTreeMap<GroupId, GroupState<P>>,
+    next_nonmember_id: u64,
+    nonmember_seen: BTreeMap<(NodeId, u64), u64>,
+    forced_gaps: u64,
+    views_installed: u64,
+    /// Events produced in contexts that cannot return them directly
+    /// (e.g. flush abandonment inside a tick); drained into the next batch.
+    deferred_events: Vec<GcsEvent<P>>,
+}
+
+impl<P: Payload> fmt::Debug for GcsNode<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GcsNode")
+            .field("node", &self.node)
+            .field("groups", &self.groups.len())
+            .field("suspected", &self.suspected)
+            .finish()
+    }
+}
+
+impl<P: Payload> GcsNode<P> {
+    /// Creates an endpoint for `node`, exchanging GCS packets on `port` and
+    /// driving itself from the application timer with tag `tick_tag`.
+    ///
+    /// `bootstrap` is the set of nodes contacted for joins, announces and
+    /// non-member sends — typically "every node that might ever run a
+    /// server". The local node may be included; it is skipped on send.
+    pub fn new(
+        config: GcsConfig,
+        node: NodeId,
+        port: Port,
+        tick_tag: u64,
+        bootstrap: Vec<NodeId>,
+    ) -> Self {
+        GcsNode {
+            node,
+            port,
+            tick_tag,
+            config,
+            bootstrap,
+            ticks: 0,
+            started: false,
+            last_heard: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            groups: BTreeMap::new(),
+            next_nonmember_id: 1,
+            nonmember_seen: BTreeMap::new(),
+            forced_gaps: 0,
+            views_installed: 0,
+            deferred_events: Vec::new(),
+        }
+    }
+
+    /// The node this endpoint lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The port GCS packets travel on.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Currently installed view of `group`, if this node is a member (or
+    /// flushing toward the next view).
+    pub fn view(&self, group: GroupId) -> Option<&View> {
+        let state = self.groups.get(&group)?;
+        match state.status {
+            GroupStatus::Member | GroupStatus::Flushing if state.had_view => Some(&state.view),
+            _ => None,
+        }
+    }
+
+    /// Membership status for `group`.
+    pub fn status(&self, group: GroupId) -> GroupStatus {
+        self.groups
+            .get(&group)
+            .map_or(GroupStatus::Idle, |g| g.status)
+    }
+
+    /// Whether this node currently belongs to an installed view of `group`.
+    pub fn is_member(&self, group: GroupId) -> bool {
+        self.view(group).is_some_and(|v| v.contains(self.node))
+    }
+
+    /// Nodes currently suspected by the local failure detector.
+    pub fn suspected(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.suspected.iter().copied()
+    }
+
+    /// Number of messages skipped to close unrecoverable gaps (possible
+    /// only across partition merges; see the module docs).
+    pub fn forced_gaps(&self) -> u64 {
+        self.forced_gaps
+    }
+
+    /// Number of views this node has installed across all groups.
+    pub fn views_installed(&self) -> u64 {
+        self.views_installed
+    }
+
+    /// Arms the housekeeping timer. Call once from
+    /// [`Process::on_start`](simnet::Process::on_start).
+    pub fn start<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        if !self.started {
+            self.started = true;
+            ctx.set_timer_after(self.config.tick, self.tick_tag);
+        }
+    }
+
+    /// Creates `group` with this node as its only member, effective
+    /// immediately. Use when the caller owns the group's identity — e.g. a
+    /// VoD client creating its own session group.
+    pub fn create_group(&mut self, group: GroupId) -> Vec<GcsEvent<P>> {
+        let node = self.node;
+        let state = self.group_mut(group);
+        if state.status != GroupStatus::Idle {
+            return Vec::new();
+        }
+        let vid = ViewId {
+            epoch: state.max_epoch_seen + 1,
+            coordinator: node,
+        };
+        state.max_epoch_seen = vid.epoch;
+        state.view = View::new(vid, vec![node]);
+        state.had_view = true;
+        state.status = GroupStatus::Member;
+        self.views_installed += 1;
+        vec![GcsEvent::View {
+            group,
+            view: self.groups[&group].view.clone(),
+        }]
+    }
+
+    /// Starts joining `group`. Join requests go to the bootstrap set plus
+    /// `contacts` (nodes known to be members — e.g. the client of a session
+    /// group). If nobody answers within
+    /// [`GcsConfig::singleton_form_ticks`], a singleton view is formed.
+    pub fn join<M>(&mut self, ctx: &mut Context<'_, M>, group: GroupId, contacts: &[NodeId])
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let ticks = self.ticks;
+        let state = self.group_mut(group);
+        if state.status != GroupStatus::Idle {
+            return;
+        }
+        state.status = GroupStatus::Joining;
+        state.join_contacts = contacts.to_vec();
+        state.join_start_tick = ticks;
+        state.last_join_send_tick = ticks;
+        let targets = self.join_targets(group);
+        for target in targets {
+            self.emit(ctx, target, GcsPacket::JoinReq { group, joiner: node });
+        }
+    }
+
+    /// Requests a graceful departure from `group`. The node keeps operating
+    /// until a view excluding it is installed (or a local timeout forces
+    /// the exit).
+    pub fn leave<M>(&mut self, ctx: &mut Context<'_, M>, group: GroupId)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let ticks = self.ticks;
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if state.status == GroupStatus::Idle {
+            return;
+        }
+        if state.view.members == vec![node] {
+            // Sole member: dissolve immediately.
+            self.groups.remove(&group);
+            return;
+        }
+        state.leaving = true;
+        state.leave_tick = ticks;
+        state.pending_leavers.insert(node);
+        if let Some(coord) = state.view.coordinator_candidate() {
+            if coord != node {
+                self.emit(ctx, coord, GcsPacket::LeaveReq { group, leaver: node });
+            }
+        }
+    }
+
+    /// Reliably multicasts `payload` in `group` (FIFO per sender, view
+    /// synchronous). The local node delivers its own message immediately —
+    /// the returned events include that self-delivery.
+    ///
+    /// While a view change or join is in progress the message is queued and
+    /// sent in the next view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotMemberError`] if the node is neither a member of
+    /// `group` nor in the process of joining it.
+    pub fn multicast<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        payload: P,
+    ) -> Result<Vec<GcsEvent<P>>, NotMemberError>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        match self.status(group) {
+            GroupStatus::Idle => Err(NotMemberError { group }),
+            GroupStatus::Joining | GroupStatus::Flushing => {
+                self.group_mut(group)
+                    .pending_sends
+                    .push_back(Carried::Plain(payload));
+                Ok(Vec::new())
+            }
+            GroupStatus::Member => Ok(self.do_multicast(ctx, group, Carried::Plain(payload))),
+        }
+    }
+
+    /// Reliably multicasts `payload` with *agreed* (total-order) delivery:
+    /// every member of the view — the sender included — delivers all
+    /// agreed messages of the group in the same order.
+    ///
+    /// Implementation: the group coordinator acts as the sequencer; agreed
+    /// messages ride its FIFO stream, so view synchrony and recovery apply
+    /// unchanged. Unlike [`GcsNode::multicast`] there is no immediate
+    /// self-delivery — the sender, too, waits for the sequenced copy.
+    /// Pending requests are re-sent across coordinator changes and deduped
+    /// by `(origin, origin_seq)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotMemberError`] if the node is neither a member of
+    /// `group` nor in the process of joining it.
+    pub fn multicast_agreed<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        payload: P,
+    ) -> Result<Vec<GcsEvent<P>>, NotMemberError>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        if self.status(group) == GroupStatus::Idle {
+            return Err(NotMemberError { group });
+        }
+        let node = self.node;
+        let (origin_seq, sequencer) = {
+            let state = self.group_mut(group);
+            let seq = state.next_order_seq;
+            state.next_order_seq += 1;
+            state.pending_order.insert(seq, payload.clone());
+            (seq, state.view.coordinator_candidate())
+        };
+        match sequencer {
+            Some(seq_node) if seq_node == node => {
+                Ok(self.on_order_req(ctx, group, node, origin_seq, payload))
+            }
+            Some(seq_node) => {
+                self.emit(
+                    ctx,
+                    seq_node,
+                    GcsPacket::OrderReq {
+                        group,
+                        origin: node,
+                        origin_seq,
+                        payload,
+                    },
+                );
+                Ok(Vec::new())
+            }
+            // Still joining: the pending queue re-sends once a view forms.
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Sequencer side: buffer the request, then stamp and multicast every
+    /// contiguous pending request per origin.
+    fn on_order_req<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        origin: NodeId,
+        origin_seq: u64,
+        payload: P,
+    ) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        if self.status(group) != GroupStatus::Member {
+            return Vec::new();
+        }
+        let node = self.node;
+        {
+            let state = self.group_mut(group);
+            if state.view.coordinator_candidate() != Some(node) {
+                return Vec::new(); // not the sequencer (stale request)
+            }
+            let floor = state.order_floor.get(&origin).copied().unwrap_or(0);
+            if origin_seq <= floor {
+                return Vec::new(); // already sequenced and delivered
+            }
+            state
+                .order_inbox
+                .entry(origin)
+                .or_default()
+                .insert(origin_seq, payload);
+        }
+        self.drain_order_inbox(ctx, group)
+    }
+
+    /// Multicasts every contiguously available order request. Also invoked
+    /// after installs, when a new sequencer may have inherited an inbox.
+    fn drain_order_inbox<M>(&mut self, ctx: &mut Context<'_, M>, group: GroupId) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let mut events = Vec::new();
+        loop {
+            let next: Option<(NodeId, u64, P)> = {
+                let state = self.group_mut(group);
+                if state.view.coordinator_candidate() != Some(node) {
+                    return events;
+                }
+                let mut found = None;
+                for (&origin, inbox) in state.order_inbox.iter() {
+                    let floor = state.order_floor.get(&origin).copied().unwrap_or(0);
+                    if let Some(payload) = inbox.get(&(floor + 1)) {
+                        found = Some((origin, floor + 1, payload.clone()));
+                        break;
+                    }
+                }
+                found
+            };
+            let Some((origin, origin_seq, payload)) = next else {
+                return events;
+            };
+            events.extend(self.do_multicast(
+                ctx,
+                group,
+                Carried::Ordered {
+                    origin,
+                    origin_seq,
+                    payload,
+                },
+            ));
+        }
+    }
+
+    /// Reliably multicasts `payload` with *causal* delivery: any message
+    /// the sender had delivered before this multicast is delivered before
+    /// it at every member. Stronger than FIFO, weaker (and cheaper: no
+    /// sequencer round-trip) than [`GcsNode::multicast_agreed`].
+    ///
+    /// The returned events include the immediate self-delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotMemberError`] if the node is neither a member of
+    /// `group` nor in the process of joining it.
+    pub fn multicast_causal<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        payload: P,
+    ) -> Result<Vec<GcsEvent<P>>, NotMemberError>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        if self.status(group) == GroupStatus::Idle {
+            return Err(NotMemberError { group });
+        }
+        let deps: Vec<(NodeId, u64)> = {
+            let state = self.group_mut(group);
+            state
+                .causal_delivered
+                .iter()
+                .map(|(&n, &c)| (n, c))
+                .collect()
+        };
+        let carried = Carried::Causal { deps, payload };
+        match self.status(group) {
+            GroupStatus::Member => Ok(self.do_multicast(ctx, group, carried)),
+            _ => {
+                self.group_mut(group).pending_sends.push_back(carried);
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Best-effort send from a non-member to every member of `group`
+    /// (duplicate-suppressed at the receivers). Used by clients to contact
+    /// the abstract server group without joining it.
+    pub fn send_to_group<M>(&mut self, ctx: &mut Context<'_, M>, group: GroupId, payload: P)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let msg_id = self.next_nonmember_id;
+        self.next_nonmember_id += 1;
+        let origin = self.node;
+        let targets: Vec<NodeId> = self
+            .bootstrap
+            .iter()
+            .copied()
+            .filter(|&n| n != self.node)
+            .collect();
+        for target in targets {
+            self.emit(
+                ctx,
+                target,
+                GcsPacket::NonMemberSend {
+                    group,
+                    origin,
+                    msg_id,
+                    payload: payload.clone(),
+                },
+            );
+        }
+    }
+
+    /// Handles an incoming GCS packet. Returns the upcalls it produced.
+    pub fn on_packet<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        from: Endpoint,
+        pkt: GcsPacket<P>,
+    ) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let peer = from.node;
+        self.last_heard.insert(peer, ctx.now());
+        self.suspected.remove(&peer);
+        match pkt {
+            GcsPacket::Heartbeat => Vec::new(),
+            GcsPacket::JoinReq { group, joiner } => {
+                self.on_join_req(ctx, group, joiner);
+                Vec::new()
+            }
+            GcsPacket::LeaveReq { group, leaver } => {
+                if self.status(group) == GroupStatus::Member {
+                    self.group_mut(group).pending_leavers.insert(leaver);
+                }
+                Vec::new()
+            }
+            GcsPacket::AppMsg {
+                group,
+                origin,
+                seq,
+                payload,
+            } => self.on_app_msg(ctx, group, origin, seq, payload),
+            GcsPacket::OrderReq {
+                group,
+                origin,
+                origin_seq,
+                payload,
+            } => self.on_order_req(ctx, group, origin, origin_seq, payload),
+            GcsPacket::Nak {
+                group,
+                origin,
+                from_seq,
+                to_seq,
+            } => {
+                self.on_nak(ctx, peer, group, origin, from_seq, to_seq);
+                Vec::new()
+            }
+            GcsPacket::Ack { group, delivered } => {
+                self.on_ack(ctx, group, peer, delivered);
+                Vec::new()
+            }
+            GcsPacket::Prepare {
+                group,
+                vid,
+                candidates,
+            } => {
+                self.on_prepare(ctx, group, vid, candidates);
+                Vec::new()
+            }
+            GcsPacket::FlushAck {
+                group,
+                vid,
+                delivered,
+                held,
+                causal,
+            } => self.on_flush_ack(ctx, group, peer, vid, delivered, held, causal),
+            GcsPacket::Install {
+                group,
+                view,
+                cut,
+                fill,
+                causal,
+            } => self.on_install(ctx, group, view, cut, fill, causal),
+            GcsPacket::Announce {
+                group,
+                vid,
+                members,
+            } => {
+                self.on_announce(group, peer, vid, members);
+                Vec::new()
+            }
+            GcsPacket::NonMemberSend {
+                group,
+                origin,
+                msg_id,
+                payload,
+            } => self.on_nonmember_send(group, origin, msg_id, payload),
+        }
+    }
+
+    /// Handles the housekeeping timer. The application must forward timers
+    /// whose tag equals the `tick_tag` passed at construction.
+    pub fn on_timer<M>(&mut self, ctx: &mut Context<'_, M>, timer: Timer) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        debug_assert_eq!(timer.tag, self.tick_tag, "timer routed to wrong component");
+        ctx.set_timer_after(self.config.tick, self.tick_tag);
+        self.ticks += 1;
+        let mut events = Vec::new();
+        self.tick_failure_detector(ctx);
+        if self.ticks.is_multiple_of(self.config.hb_every_ticks) {
+            self.tick_heartbeats(ctx);
+        }
+        if self.ticks.is_multiple_of(self.config.ack_every_ticks) {
+            self.tick_acks(ctx);
+        }
+        self.tick_naks(ctx);
+        self.tick_resends(ctx);
+        if self.ticks.is_multiple_of(4) {
+            self.tick_order_resends(ctx);
+        }
+        events.extend(self.tick_joins(ctx));
+        self.tick_view_changes(ctx);
+        if self.ticks.is_multiple_of(self.config.announce_every_ticks) {
+            self.tick_announces(ctx);
+        }
+        self.tick_prune();
+        events.append(&mut self.deferred_events);
+        events
+    }
+
+    // ------------------------------------------------------------------
+    // Multicast machinery
+    // ------------------------------------------------------------------
+
+    fn do_multicast<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        payload: Carried<P>,
+    ) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let state = self.group_mut(group);
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.send_buf.insert(seq, payload.clone());
+        let peers: Vec<NodeId> = state
+            .view
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != node)
+            .collect();
+        for member in peers {
+            self.emit(
+                ctx,
+                member,
+                GcsPacket::AppMsg {
+                    group,
+                    origin: node,
+                    seq,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        let mut events: Vec<GcsEvent<P>> = self
+            .deliver_carried(group, node, payload)
+            .into_iter()
+            .collect();
+        events.extend(self.drain_causal_waiting(group));
+        events
+    }
+
+    /// Unwraps a delivered envelope into the application upcall, doing the
+    /// agreed-delivery bookkeeping for ordered messages.
+    fn deliver_carried(
+        &mut self,
+        group: GroupId,
+        appmsg_sender: NodeId,
+        carried: Carried<P>,
+    ) -> Option<GcsEvent<P>> {
+        match carried {
+            Carried::Plain(payload) => Some(GcsEvent::Deliver {
+                group,
+                sender: appmsg_sender,
+                payload,
+            }),
+            Carried::Ordered {
+                origin,
+                origin_seq,
+                payload,
+            } => {
+                let node = self.node;
+                let state = self.group_mut(group);
+                let floor = state.order_floor.entry(origin).or_insert(0);
+                if origin_seq <= *floor {
+                    return None; // duplicate across a sequencer change
+                }
+                *floor = origin_seq;
+                if let Some(inbox) = state.order_inbox.get_mut(&origin) {
+                    inbox.retain(|&s, _| s > origin_seq);
+                }
+                if origin == node {
+                    state.pending_order.remove(&origin_seq);
+                }
+                Some(GcsEvent::DeliverAgreed {
+                    group,
+                    sender: origin,
+                    payload,
+                })
+            }
+            Carried::Causal { deps, payload } => {
+                let state = self.group_mut(group);
+                if causally_ready(&state.causal_delivered, &deps) {
+                    *state.causal_delivered.entry(appmsg_sender).or_insert(0) += 1;
+                    Some(GcsEvent::DeliverCausal {
+                        group,
+                        sender: appmsg_sender,
+                        payload,
+                    })
+                } else {
+                    state.causal_waiting.push((appmsg_sender, deps, payload));
+                    None
+                }
+            }
+        }
+    }
+
+    /// Delivers every waiting causal message whose dependencies became
+    /// satisfied (to a fixpoint). Called after causal deliveries and at
+    /// view installs.
+    fn drain_causal_waiting(&mut self, group: GroupId) -> Vec<GcsEvent<P>> {
+        let mut events = Vec::new();
+        loop {
+            let ready_idx = {
+                let state = self.group_mut(group);
+                state
+                    .causal_waiting
+                    .iter()
+                    .position(|(_, deps, _)| causally_ready(&state.causal_delivered, deps))
+            };
+            let Some(idx) = ready_idx else {
+                return events;
+            };
+            let (sender, _, payload) = {
+                let state = self.group_mut(group);
+                state.causal_waiting.remove(idx)
+            };
+            let state = self.group_mut(group);
+            *state.causal_delivered.entry(sender).or_insert(0) += 1;
+            events.push(GcsEvent::DeliverCausal {
+                group,
+                sender,
+                payload,
+            });
+        }
+    }
+
+    fn on_app_msg<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        origin: NodeId,
+        seq: u64,
+        payload: Carried<P>,
+    ) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let status = self.status(group);
+        if status == GroupStatus::Idle {
+            return Vec::new();
+        }
+        let node = self.node;
+        if origin == node {
+            return Vec::new();
+        }
+        let ticks = self.ticks;
+        let state = self.group_mut(group);
+        let recv = state
+            .recv
+            .entry(origin)
+            .or_insert_with(|| RecvState::new(1));
+        if seq < recv.next {
+            return Vec::new(); // duplicate / already delivered
+        }
+        recv.buf.insert(seq, payload);
+        let mut delivered: Vec<Carried<P>> = Vec::new();
+        if status == GroupStatus::Member {
+            // Deliver contiguously; flushing/joining nodes only buffer.
+            while let Some(payload) = recv.buf.remove(&recv.next) {
+                state.retained.insert((origin, recv.next), payload.clone());
+                recv.next += 1;
+                delivered.push(payload);
+            }
+        }
+        let mut events = Vec::new();
+        for carried in delivered {
+            events.extend(self.deliver_carried(group, origin, carried));
+        }
+        // A causal delivery may unblock queued arrivals.
+        events.extend(self.drain_causal_waiting(group));
+        let state = self.group_mut(group);
+        // NAK any remaining gap, rate-limited.
+        let gap = state
+            .recv
+            .get(&origin)
+            .and_then(|r| r.buf.keys().next().map(|&first| (r.next, first)));
+        if let Some((next, first)) = gap {
+            if first > next {
+                let last_nak = state.last_nak_tick.get(&origin).copied().unwrap_or(0);
+                if ticks.saturating_sub(last_nak) >= 2 || last_nak == 0 {
+                    state.last_nak_tick.insert(origin, ticks.max(1));
+                    self.emit(
+                        ctx,
+                        origin,
+                        GcsPacket::Nak {
+                            group,
+                            origin,
+                            from_seq: next,
+                            to_seq: first - 1,
+                        },
+                    );
+                }
+            }
+        }
+        events
+    }
+
+    fn on_nak<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        requester: NodeId,
+        group: GroupId,
+        origin: NodeId,
+        from_seq: u64,
+        to_seq: u64,
+    ) where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        if origin != self.node {
+            return;
+        }
+        let Some(state) = self.groups.get(&group) else {
+            return;
+        };
+        let resend: Vec<(u64, Carried<P>)> = state
+            .send_buf
+            .range(from_seq..=to_seq)
+            .map(|(&s, p)| (s, p.clone()))
+            .collect();
+        for (seq, payload) in resend {
+            self.emit(
+                ctx,
+                requester,
+                GcsPacket::AppMsg {
+                    group,
+                    origin,
+                    seq,
+                    payload,
+                },
+            );
+        }
+    }
+
+    fn on_ack<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        member: NodeId,
+        delivered: Vec<(NodeId, u64)>,
+    ) where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let ticks = self.ticks;
+        if self.status(group) == GroupStatus::Idle {
+            return;
+        }
+        // Tail-gap detection: if any member (in particular the sender
+        // itself, whose floor equals its send horizon) has delivered
+        // further than we have, the missing suffix will never be revealed
+        // by a successor packet — NAK it now.
+        let mut tail_naks: Vec<(NodeId, u64, u64)> = Vec::new();
+        {
+            let state = self.group_mut(group);
+            for &(sender, floor) in &delivered {
+                if sender == node {
+                    continue;
+                }
+                let recv = state
+                    .recv
+                    .entry(sender)
+                    .or_insert_with(|| RecvState::new(1));
+                let mine = recv.next - 1;
+                if floor > mine && !recv.buf.contains_key(&recv.next) {
+                    let last = state.last_nak_tick.get(&sender).copied().unwrap_or(0);
+                    if ticks.saturating_sub(last) >= 2 {
+                        state.last_nak_tick.insert(sender, ticks.max(1));
+                        tail_naks.push((sender, recv.next, floor));
+                    }
+                }
+            }
+        }
+        for (origin, from_seq, to_seq) in tail_naks {
+            self.emit(
+                ctx,
+                origin,
+                GcsPacket::Nak {
+                    group,
+                    origin,
+                    from_seq,
+                    to_seq,
+                },
+            );
+        }
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        state
+            .ack_floors
+            .insert(member, delivered.into_iter().collect());
+        // Stability: a message is stable once every current member has
+        // delivered it; only then may retained copies be dropped.
+        let members = state.view.members.clone();
+        if members.is_empty() {
+            return;
+        }
+        let mut stable: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let senders: BTreeSet<NodeId> = state
+            .recv
+            .keys()
+            .copied()
+            .chain(std::iter::once(node))
+            .collect();
+        for sender in senders {
+            let mut min_floor = u64::MAX;
+            for &m in &members {
+                let floor = if m == node {
+                    if sender == node {
+                        state.next_seq - 1
+                    } else {
+                        state.recv.get(&sender).map_or(0, |r| r.next - 1)
+                    }
+                } else {
+                    state
+                        .ack_floors
+                        .get(&m)
+                        .and_then(|f| f.get(&sender).copied())
+                        .unwrap_or(0)
+                };
+                min_floor = min_floor.min(floor);
+            }
+            if min_floor > 0 && min_floor < u64::MAX {
+                stable.insert(sender, min_floor);
+            }
+        }
+        if let Some(&floor) = stable.get(&node) {
+            state.send_buf.retain(|&seq, _| seq > floor);
+        }
+        state
+            .retained
+            .retain(|&(sender, seq), _| seq > stable.get(&sender).copied().unwrap_or(0));
+    }
+
+    // ------------------------------------------------------------------
+    // Membership: joins, prepares, flush, install
+    // ------------------------------------------------------------------
+
+    fn on_join_req<M>(&mut self, ctx: &mut Context<'_, M>, group: GroupId, joiner: NodeId)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        if joiner == self.node || self.status(group) != GroupStatus::Member {
+            return;
+        }
+        let state = self.group_mut(group);
+        if state.view.contains(joiner) {
+            return;
+        }
+        state.pending_joiners.insert(joiner);
+        // Relay to the coordinator in case the joiner does not know it.
+        if let Some(coord) = state.view.coordinator_candidate() {
+            let node = self.node;
+            if coord != node {
+                self.emit(ctx, coord, GcsPacket::JoinReq { group, joiner });
+            }
+        }
+    }
+
+    fn on_prepare<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        vid: ViewId,
+        candidates: Vec<NodeId>,
+    ) where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        if !candidates.contains(&node) {
+            return;
+        }
+        let ticks = self.ticks;
+        let state = self.group_mut(group);
+        state.max_epoch_seen = state.max_epoch_seen.max(vid.epoch);
+        // Refuse proposals that do not dominate what we installed/promised.
+        if state.had_view && vid.epoch <= state.view.id.epoch {
+            return;
+        }
+        if let Some(promised) = state.promised {
+            if vid <= promised {
+                return;
+            }
+        }
+        if state.status == GroupStatus::Idle {
+            // Membership requires consent: a node with no state for this
+            // group (never joined, or just left) must not be pulled in by
+            // a stale candidate list. The coordinator times out on the
+            // missing flush-ack and drops us.
+            return;
+        }
+        state.promised = Some(vid);
+        state.promised_tick = ticks;
+        if state.status == GroupStatus::Member {
+            state.status = GroupStatus::Flushing;
+        }
+        let delivered = state.floors(node);
+        let held = state.held(node);
+        let causal = state.causal_snapshot();
+        self.emit(
+            ctx,
+            vid.coordinator,
+            GcsPacket::FlushAck {
+                group,
+                vid,
+                delivered,
+                held,
+                causal,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_flush_ack<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        from: NodeId,
+        vid: ViewId,
+        delivered: Vec<(NodeId, u64)>,
+        held: Vec<(NodeId, u64, Carried<P>)>,
+        causal: Vec<(NodeId, u64)>,
+    ) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let Some(state) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        let Some(vc) = state.vc.as_mut() else {
+            return Vec::new();
+        };
+        if vc.vid != vid || !vc.candidates.contains(&from) {
+            return Vec::new();
+        }
+        vc.acked.insert(from);
+        for (sender, floor) in delivered {
+            let entry = vc.delivered_max.entry(sender).or_insert(0);
+            *entry = (*entry).max(floor);
+        }
+        for (sender, seq, payload) in held {
+            vc.pool.insert((sender, seq), payload);
+        }
+        for (sender, count) in causal {
+            let entry = vc.causal_max.entry(sender).or_insert(0);
+            *entry = (*entry).max(count);
+        }
+        if vc.candidates.iter().all(|c| vc.acked.contains(c)) {
+            return self.complete_view_change(ctx, group);
+        }
+        Vec::new()
+    }
+
+    /// All candidates flushed: compute the cut, distribute `Install`.
+    fn complete_view_change<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+    ) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let state = self.group_mut(group);
+        let Some(vc) = state.vc.take() else {
+            return Vec::new();
+        };
+        let mut cut: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for &candidate in &vc.candidates {
+            cut.insert(candidate, 0);
+        }
+        for (&sender, &floor) in &vc.delivered_max {
+            cut.insert(sender, floor);
+        }
+        // Extend each sender's cut through the pooled messages: anything
+        // contiguously available to the coordinator can be delivered by all.
+        for (sender, horizon) in cut.iter_mut() {
+            while vc.pool.contains_key(&(*sender, *horizon + 1)) {
+                *horizon += 1;
+            }
+        }
+        let fill: Vec<(NodeId, u64, Carried<P>)> = vc
+            .pool
+            .iter()
+            .filter(|((sender, seq), _)| *seq <= cut.get(sender).copied().unwrap_or(0))
+            .map(|(&(sender, seq), p)| (sender, seq, p.clone()))
+            .collect();
+        let view = View::new(vid_of(&vc), vc.candidates.clone());
+        let cut_vec: Vec<(NodeId, u64)> = cut.into_iter().collect();
+        let causal_vec: Vec<(NodeId, u64)> = vc.causal_max.iter().map(|(&n, &c)| (n, c)).collect();
+        let peers: Vec<NodeId> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != node)
+            .collect();
+        for member in peers {
+            self.emit(
+                ctx,
+                member,
+                GcsPacket::Install {
+                    group,
+                    view: view.clone(),
+                    cut: cut_vec.clone(),
+                    fill: fill.clone(),
+                    causal: causal_vec.clone(),
+                },
+            );
+        }
+        // Blindly re-send the install for a few ticks: a single lost
+        // datagram must not strand a member in the old view.
+        self.group_mut(group).install_resend = Some(InstallResend {
+            view: view.clone(),
+            cut: cut_vec.clone(),
+            fill: fill.clone(),
+            causal: causal_vec.clone(),
+            remaining: 3,
+        });
+        self.on_install(ctx, group, view, cut_vec, fill, causal_vec)
+    }
+
+    fn on_install<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        view: View,
+        cut: Vec<(NodeId, u64)>,
+        fill: Vec<(NodeId, u64, Carried<P>)>,
+        causal: Vec<(NodeId, u64)>,
+    ) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let mut events = Vec::new();
+        let mut cut_deliveries: Vec<(NodeId, Carried<P>)> = Vec::new();
+        let mut forced = 0u64;
+        {
+            let state = self.group_mut(group);
+            state.max_epoch_seen = state.max_epoch_seen.max(view.id.epoch);
+            if state.had_view && view.id.epoch <= state.view.id.epoch {
+                return events; // stale install
+            }
+            if !view.contains(node) {
+                // We were excluded (graceful leave or false suspicion).
+                events.push(GcsEvent::View {
+                    group,
+                    view: view.clone(),
+                });
+                self.groups.remove(&group);
+                return events;
+            }
+            let was_member = state.had_view;
+            let cut: BTreeMap<NodeId, u64> = cut.into_iter().collect();
+            // Merge the fill into receive buffers.
+            for (sender, seq, payload) in fill {
+                if sender == node {
+                    continue;
+                }
+                let recv = state
+                    .recv
+                    .entry(sender)
+                    .or_insert_with(|| RecvState::new(1));
+                if seq >= recv.next {
+                    recv.buf.entry(seq).or_insert(payload);
+                }
+            }
+            for (&sender, &horizon) in &cut {
+                if sender == node {
+                    // All our own messages are covered by the cut (we
+                    // deliver them on send), so the send buffer is stable.
+                    debug_assert!(state.next_seq - 1 <= horizon);
+                    state.next_seq = horizon + 1;
+                    state.send_buf.clear();
+                    continue;
+                }
+                let recv = state
+                    .recv
+                    .entry(sender)
+                    .or_insert_with(|| RecvState::new(1));
+                if was_member {
+                    // Deliver up to the cut (the fill guarantees the
+                    // messages exist except across lossy merges).
+                    while recv.next <= horizon {
+                        match recv.buf.remove(&recv.next) {
+                            Some(payload) => {
+                                recv.next += 1;
+                                cut_deliveries.push((sender, payload));
+                            }
+                            None => {
+                                forced += horizon + 1 - recv.next;
+                                recv.next = horizon + 1;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    // Joiners start fresh at the cut.
+                    recv.buf.retain(|&seq, _| seq > horizon);
+                    recv.next = recv.next.max(horizon + 1);
+                }
+            }
+            let state = self.group_mut(group);
+            // Keep receive state only for members of the new view.
+            state.recv.retain(|sender, _| view.contains(*sender));
+            state.retained.clear();
+            state.ack_floors.clear();
+            state.last_nak_tick.clear();
+            state.pending_joiners.retain(|j| !view.contains(*j));
+            state
+                .pending_leavers
+                .retain(|l| view.contains(*l) && *l != node);
+            state.promised = None;
+            if let Some(vc) = &state.vc {
+                if vc.vid.epoch <= view.id.epoch {
+                    state.vc = None;
+                }
+            }
+            state.foreign.retain(|n, _| !view.contains(*n));
+            state.view = view.clone();
+            state.had_view = true;
+            state.status = GroupStatus::Member;
+        }
+        self.forced_gaps += forced;
+        self.views_installed += 1;
+        // Unwrap the deliveries that completed the old view (bookkeeping
+        // for agreed messages included).
+        for (sender, carried) in cut_deliveries {
+            events.extend(self.deliver_carried(group, sender, carried));
+        }
+        events.extend(self.drain_causal_waiting(group));
+        // Adopt the view's causal horizon (joiners start from it; old
+        // members only move forward) and force-deliver any causal message
+        // whose dependency became unrecoverable — deterministically, since
+        // post-flush every member holds the same leftovers.
+        {
+            let state = self.group_mut(group);
+            for (sender, count) in causal {
+                let entry = state.causal_delivered.entry(sender).or_insert(0);
+                *entry = (*entry).max(count);
+            }
+        }
+        events.extend(self.drain_causal_waiting(group));
+        let leftovers: Vec<CausalPending<P>> = {
+            let state = self.group_mut(group);
+            let mut left = std::mem::take(&mut state.causal_waiting);
+            left.sort_by(|a, b| {
+                (a.0, a.1.iter().map(|&(_, c)| c).sum::<u64>())
+                    .cmp(&(b.0, b.1.iter().map(|&(_, c)| c).sum::<u64>()))
+            });
+            left
+        };
+        for (sender, _, payload) in leftovers {
+            self.forced_gaps += 1;
+            let state = self.group_mut(group);
+            *state.causal_delivered.entry(sender).or_insert(0) += 1;
+            events.push(GcsEvent::DeliverCausal {
+                group,
+                sender,
+                payload,
+            });
+        }
+        events.push(GcsEvent::View { group, view });
+        // Flush sends queued during the change.
+        let pending: Vec<Carried<P>> = {
+            let state = self.group_mut(group);
+            state.pending_sends.drain(..).collect()
+        };
+        for payload in pending {
+            events.extend(self.do_multicast(ctx, group, payload));
+        }
+        // If we are the new sequencer, drain any inherited order requests;
+        // origins also re-send pending requests on their next tick.
+        events.extend(self.drain_order_inbox(ctx, group));
+        // Refresh liveness for all members so a freshly installed view is
+        // not immediately re-torn: a stale timestamp may linger from an
+        // earlier non-member contact (e.g. a connection-establishment
+        // broadcast long before this node shared any group with the peer).
+        let now = ctx.now();
+        let members = self.groups[&group].view.members.clone();
+        for m in members {
+            if m != node {
+                self.last_heard.insert(m, now);
+                self.suspected.remove(&m);
+            }
+        }
+        events
+    }
+
+    fn on_announce(&mut self, group: GroupId, from: NodeId, vid: ViewId, members: Vec<NodeId>) {
+        let ticks = self.ticks;
+        match self.status(group) {
+            GroupStatus::Member => {
+                let node = self.node;
+                let state = self.group_mut(group);
+                state.max_epoch_seen = state.max_epoch_seen.max(vid.epoch);
+                if state.view.contains(from) || members.contains(&node) && vid == state.view.id {
+                    return;
+                }
+                        state.foreign.insert(
+                    from,
+                    ForeignInfo {
+                        vid,
+                        members,
+                        seen_tick: ticks,
+                    },
+                );
+            }
+            GroupStatus::Joining => {
+                // A live member announced itself: aim future join requests
+                // at it.
+                let state = self.group_mut(group);
+                if !state.join_contacts.contains(&from) {
+                    state.join_contacts.push(from);
+                }
+                // Restart the singleton clock: the group clearly exists.
+                state.join_start_tick = ticks;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_nonmember_send(
+        &mut self,
+        group: GroupId,
+        origin: NodeId,
+        msg_id: u64,
+        payload: P,
+    ) -> Vec<GcsEvent<P>> {
+        if self.status(group) != GroupStatus::Member {
+            return Vec::new();
+        }
+        let ticks = self.ticks;
+        if self
+            .nonmember_seen
+            .insert((origin, msg_id), ticks)
+            .is_some()
+        {
+            return Vec::new();
+        }
+        vec![GcsEvent::Deliver {
+            group,
+            sender: origin,
+            payload,
+        }]
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping ticks
+    // ------------------------------------------------------------------
+
+    fn tick_failure_detector<M: Payload>(&mut self, ctx: &mut Context<'_, M>) {
+        let now = ctx.now();
+        let timeout = self.config.suspect_timeout;
+        let mut peers: BTreeSet<NodeId> = BTreeSet::new();
+        for state in self.groups.values() {
+            peers.extend(state.view.members.iter().copied());
+        }
+        peers.remove(&self.node);
+        for peer in peers {
+            let heard = self.last_heard.get(&peer).copied();
+            match heard {
+                Some(at) if now.saturating_since(at) > timeout => {
+                    self.suspected.insert(peer);
+                }
+                Some(_) => {
+                    // Recently heard: clear any stale suspicion (e.g. one
+                    // acquired across an old partition).
+                    self.suspected.remove(&peer);
+                }
+                None => {
+                    self.last_heard.insert(peer, now);
+                }
+            }
+        }
+    }
+
+    fn tick_heartbeats<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let mut peers: BTreeSet<NodeId> = BTreeSet::new();
+        for state in self.groups.values() {
+            if state.status == GroupStatus::Member || state.status == GroupStatus::Flushing {
+                peers.extend(state.view.members.iter().copied());
+            }
+        }
+        peers.remove(&self.node);
+        for peer in peers {
+            self.emit(ctx, peer, GcsPacket::Heartbeat);
+        }
+    }
+
+    fn tick_acks<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let groups: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, s)| s.status == GroupStatus::Member && s.view.len() > 1)
+            .map(|(&g, _)| g)
+            .collect();
+        for group in groups {
+            let state = &self.groups[&group];
+            let delivered = state.floors(node);
+            let peers: Vec<NodeId> = state
+                .view
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| m != node)
+                .collect();
+            for member in peers {
+                self.emit(
+                    ctx,
+                    member,
+                    GcsPacket::Ack {
+                        group,
+                        delivered: delivered.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Re-issue NAKs for gaps that persist (the original NAK or its
+    /// retransmission may itself have been lost).
+    fn tick_naks<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let ticks = self.ticks;
+        let mut naks: Vec<(GroupId, NodeId, u64, u64)> = Vec::new();
+        for (&group, state) in &mut self.groups {
+            if state.status != GroupStatus::Member {
+                continue;
+            }
+            for (&sender, recv) in &state.recv {
+                if let Some(&first) = recv.buf.keys().next() {
+                    if first > recv.next {
+                        let last = state.last_nak_tick.get(&sender).copied().unwrap_or(0);
+                        if ticks.saturating_sub(last) >= 2 {
+                            naks.push((group, sender, recv.next, first - 1));
+                        }
+                    }
+                }
+            }
+            for &(g, sender, _, _) in naks.iter().filter(|n| n.0 == group) {
+                debug_assert_eq!(g, group);
+                state.last_nak_tick.insert(sender, ticks.max(1));
+            }
+        }
+        for (group, origin, from_seq, to_seq) in naks {
+            self.emit(
+                ctx,
+                origin,
+                GcsPacket::Nak {
+                    group,
+                    origin,
+                    from_seq,
+                    to_seq,
+                },
+            );
+        }
+    }
+
+    /// Retransmits in-flight `Prepare`s (to candidates that have not
+    /// flush-acked) and freshly installed views; both are idempotent, and
+    /// without retransmission a single lost control datagram could stall a
+    /// view change for a whole timeout cycle.
+    fn tick_resends<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let ticks = self.ticks;
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            // Re-send pending Prepares.
+            let prepare: Option<(ViewId, Vec<NodeId>, Vec<NodeId>)> = {
+                let state = self.group_mut(group);
+                match state.vc.as_mut() {
+                    Some(vc) if ticks.saturating_sub(vc.last_prepare_tick) >= 2 => {
+                        vc.last_prepare_tick = ticks;
+                        let missing: Vec<NodeId> = vc
+                            .candidates
+                            .iter()
+                            .copied()
+                            .filter(|c| !vc.acked.contains(c) && *c != node)
+                            .collect();
+                        Some((vc.vid, vc.candidates.clone(), missing))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some((vid, candidates, missing)) = prepare {
+                for candidate in missing {
+                    self.emit(
+                        ctx,
+                        candidate,
+                        GcsPacket::Prepare {
+                            group,
+                            vid,
+                            candidates: candidates.clone(),
+                        },
+                    );
+                }
+            }
+            // Re-send recent installs.
+            type InstallParts<P> = (
+                View,
+                Vec<(NodeId, u64)>,
+                Vec<(NodeId, u64, Carried<P>)>,
+                Vec<(NodeId, u64)>,
+            );
+            let install: Option<InstallParts<P>> = {
+                let state = self.group_mut(group);
+                match state.install_resend.as_mut() {
+                    Some(resend) if resend.remaining > 0 => {
+                        resend.remaining -= 1;
+                        Some((
+                            resend.view.clone(),
+                            resend.cut.clone(),
+                            resend.fill.clone(),
+                            resend.causal.clone(),
+                        ))
+                    }
+                    Some(_) => {
+                        state.install_resend = None;
+                        None
+                    }
+                    None => None,
+                }
+            };
+            if let Some((view, cut, fill, causal)) = install {
+                let peers: Vec<NodeId> = view
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != node)
+                    .collect();
+                for member in peers {
+                    self.emit(
+                        ctx,
+                        member,
+                        GcsPacket::Install {
+                            group,
+                            view: view.clone(),
+                            cut: cut.clone(),
+                            fill: fill.clone(),
+                            causal: causal.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-sends unsequenced agreed-multicast requests to the current
+    /// sequencer (the original may have been lost, or the sequencer may
+    /// have changed).
+    fn tick_order_resends<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let mut resend: Vec<(GroupId, NodeId, u64, P)> = Vec::new();
+        let mut local: Vec<(GroupId, u64, P)> = Vec::new();
+        for (&group, state) in &self.groups {
+            if state.status != GroupStatus::Member || state.pending_order.is_empty() {
+                continue;
+            }
+            match state.view.coordinator_candidate() {
+                Some(seq_node) if seq_node == node => {
+                    for (&origin_seq, payload) in &state.pending_order {
+                        local.push((group, origin_seq, payload.clone()));
+                    }
+                }
+                Some(seq_node) => {
+                    for (&origin_seq, payload) in &state.pending_order {
+                        resend.push((group, seq_node, origin_seq, payload.clone()));
+                    }
+                }
+                None => {}
+            }
+        }
+        for (group, seq_node, origin_seq, payload) in resend {
+            self.emit(
+                ctx,
+                seq_node,
+                GcsPacket::OrderReq {
+                    group,
+                    origin: node,
+                    origin_seq,
+                    payload,
+                },
+            );
+        }
+        for (group, origin_seq, payload) in local {
+            let events = self.on_order_req(ctx, group, node, origin_seq, payload);
+            self.deferred_events.extend(events);
+        }
+    }
+
+    fn tick_joins<M>(&mut self, ctx: &mut Context<'_, M>) -> Vec<GcsEvent<P>>
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let ticks = self.ticks;
+        let join_retry_ticks = self.config.join_retry_ticks;
+        let singleton_form_ticks = self.config.singleton_form_ticks;
+        let mut events = Vec::new();
+        let joining: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, s)| s.status == GroupStatus::Joining)
+            .map(|(&g, _)| g)
+            .collect();
+        for group in joining {
+            let (resend, form_singleton) = {
+                let state = self.group_mut(group);
+                let resend =
+                    ticks.saturating_sub(state.last_join_send_tick) >= join_retry_ticks;
+                let form = ticks.saturating_sub(state.join_start_tick) >= singleton_form_ticks
+                    && state.promised.is_none();
+                (resend, form)
+            };
+            if form_singleton {
+                let state = self.group_mut(group);
+                state.status = GroupStatus::Idle;
+                events.extend(self.create_group(group));
+                let pending: Vec<Carried<P>> = {
+                    let state = self.group_mut(group);
+                    state.pending_sends.drain(..).collect()
+                };
+                for payload in pending {
+                    events.extend(self.do_multicast(ctx, group, payload));
+                }
+                continue;
+            }
+            if resend {
+                self.group_mut(group).last_join_send_tick = ticks;
+                let targets = self.join_targets(group);
+                for target in targets {
+                    self.emit(ctx, target, GcsPacket::JoinReq { group, joiner: node });
+                }
+            }
+        }
+        // Re-send LeaveReqs periodically: the original may have hit the
+        // coordinator mid-flush and been dropped.
+        let leave_retries: Vec<(GroupId, NodeId)> = self
+            .groups
+            .iter()
+            .filter(|(_, s)| {
+                s.leaving
+                    && s.status == GroupStatus::Member
+                    && ticks.saturating_sub(s.leave_tick) % join_retry_ticks == 0
+            })
+            .filter_map(|(&g, s)| {
+                s.view
+                    .members
+                    .iter()
+                    .copied()
+                    .find(|&m| m != node)
+                    .map(|coord| (g, coord))
+            })
+            .collect();
+        for (group, coord) in leave_retries {
+            self.emit(ctx, coord, GcsPacket::LeaveReq { group, leaver: node });
+        }
+        // Forced leave for nodes whose LeaveReq went unanswered.
+        let stale_leavers: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, s)| {
+                s.leaving && ticks.saturating_sub(s.leave_tick) > 2 * self.config.flush_timeout_ticks
+            })
+            .map(|(&g, _)| g)
+            .collect();
+        for group in stale_leavers {
+            self.groups.remove(&group);
+        }
+        events
+    }
+
+    fn tick_view_changes<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let ticks = self.ticks;
+        let flush_timeout_ticks = self.config.flush_timeout_ticks;
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            // Abandon flushes whose coordinator went quiet, releasing any
+            // sends that were queued behind the promise.
+            let abandoned_pending: Option<Vec<Carried<P>>> = {
+                let state = self.group_mut(group);
+                if state.status == GroupStatus::Flushing
+                    && ticks.saturating_sub(state.promised_tick) > 2 * flush_timeout_ticks
+                {
+                    state.status = GroupStatus::Member;
+                    Some(state.pending_sends.drain(..).collect())
+                } else {
+                    None
+                }
+            };
+            if let Some(pending) = abandoned_pending {
+                for payload in pending {
+                    let events = self.do_multicast(ctx, group, payload);
+                    self.deferred_events.extend(events);
+                }
+            }
+            // Coordinator-side timeout: drop unresponsive candidates, retry.
+            let retry = {
+                let state = self.group_mut(group);
+                matches!(&state.vc,
+                    Some(vc) if ticks.saturating_sub(vc.start_tick) > flush_timeout_ticks)
+            };
+            if retry {
+                let state = self.group_mut(group);
+                if let Some(vc) = state.vc.take() {
+                    for candidate in &vc.candidates {
+                        if !vc.acked.contains(candidate) {
+                            self.suspected.insert(*candidate);
+                        }
+                    }
+                }
+            }
+            if self.status(group) != GroupStatus::Member {
+                continue;
+            }
+            if self.groups[&group].vc.is_some() {
+                continue;
+            }
+            // A leaving node must not reconfigure the group from its
+            // (possibly stale) vantage point: the remaining members
+            // process its LeaveReq, and the local force-quit is the
+            // fallback.
+            if self.groups[&group].leaving {
+                continue;
+            }
+            let state = &self.groups[&group];
+            let members = &state.view.members;
+            let alive: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|m| !self.suspected.contains(m))
+                .collect();
+            // Only the minimum live member coordinates.
+            if alive.first() != Some(&node) {
+                continue;
+            }
+            let mut candidates: BTreeSet<NodeId> = alive.iter().copied().collect();
+            for joiner in &state.pending_joiners {
+                if !self.suspected.contains(joiner) {
+                    candidates.insert(*joiner);
+                }
+            }
+            for leaver in &state.pending_leavers {
+                candidates.remove(leaver);
+            }
+            let mut merge_epoch = 0;
+            for info in state.foreign.values() {
+                if ticks.saturating_sub(info.seen_tick) <= self.config.foreign_expiry_ticks {
+                    let min_other = info.members.iter().copied().min();
+                    // Merge only if we are the global minimum; otherwise the
+                    // other side's coordinator will pull us in.
+                    if min_other.is_some_and(|other| node < other) {
+                        merge_epoch = merge_epoch.max(info.vid.epoch);
+                        candidates.extend(
+                            info.members
+                                .iter()
+                                .copied()
+                                .filter(|m| !self.suspected.contains(m)),
+                        );
+                    }
+                }
+            }
+            let leaving = state.leaving;
+            if !leaving {
+                candidates.insert(node);
+            }
+            if candidates.is_empty() {
+                // We are leaving and nobody else is reachable: dissolve.
+                self.groups.remove(&group);
+                continue;
+            }
+            let candidates: Vec<NodeId> = candidates.into_iter().collect();
+            if candidates == *members {
+                continue;
+            }
+            let epoch = self.groups[&group]
+                .max_epoch_seen
+                .max(merge_epoch)
+                .max(self.groups[&group].view.id.epoch)
+                + 1;
+            self.initiate_view_change(ctx, group, epoch, candidates);
+        }
+    }
+
+    fn initiate_view_change<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        group: GroupId,
+        epoch: u64,
+        candidates: Vec<NodeId>,
+    ) where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let ticks = self.ticks;
+        let vid = ViewId {
+            epoch,
+            coordinator: node,
+        };
+        {
+            let state = self.group_mut(group);
+            state.max_epoch_seen = state.max_epoch_seen.max(epoch);
+            state.vc = Some(ViewChangeState {
+                vid,
+                candidates: candidates.clone(),
+                acked: BTreeSet::new(),
+                delivered_max: BTreeMap::new(),
+                causal_max: BTreeMap::new(),
+                pool: BTreeMap::new(),
+                start_tick: ticks,
+                last_prepare_tick: ticks,
+            });
+            state.foreign.clear();
+        }
+        for &candidate in &candidates {
+            if candidate != node {
+                self.emit(
+                    ctx,
+                    candidate,
+                    GcsPacket::Prepare {
+                        group,
+                        vid,
+                        candidates: candidates.clone(),
+                    },
+                );
+            }
+        }
+        // Flush ourselves inline.
+        {
+            let state = self.group_mut(group);
+            state.promised = Some(vid);
+            state.promised_tick = ticks;
+            if state.status == GroupStatus::Member {
+                state.status = GroupStatus::Flushing;
+            }
+            let delivered = state.floors(node);
+            let held = state.held(node);
+            let causal = state.causal_snapshot();
+            if let Some(vc) = state.vc.as_mut() {
+                vc.acked.insert(node);
+                for (sender, floor) in delivered {
+                    let entry = vc.delivered_max.entry(sender).or_insert(0);
+                    *entry = (*entry).max(floor);
+                }
+                for (sender, seq, payload) in held {
+                    vc.pool.insert((sender, seq), payload);
+                }
+                for (sender, count) in causal {
+                    let entry = vc.causal_max.entry(sender).or_insert(0);
+                    *entry = (*entry).max(count);
+                }
+            }
+        }
+        // Singleton proposals complete immediately; surface the install's
+        // upcalls through the deferred queue (this runs inside a tick).
+        if candidates == [node] {
+            let events = self.complete_view_change(ctx, group);
+            self.deferred_events.extend(events);
+        }
+    }
+
+    fn tick_announces<M>(&mut self, ctx: &mut Context<'_, M>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        let node = self.node;
+        let announces: Vec<(GroupId, ViewId, Vec<NodeId>)> = self
+            .groups
+            .iter()
+            .filter(|(_, s)| {
+                s.status == GroupStatus::Member && s.view.coordinator_candidate() == Some(node)
+            })
+            .map(|(&g, s)| (g, s.view.id, s.view.members.clone()))
+            .collect();
+        for (group, vid, members) in announces {
+            let targets: Vec<NodeId> = self
+                .bootstrap
+                .iter()
+                .copied()
+                .filter(|n| *n != node && !members.contains(n))
+                .collect();
+            for target in targets {
+                self.emit(
+                    ctx,
+                    target,
+                    GcsPacket::Announce {
+                        group,
+                        vid,
+                        members: members.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn tick_prune(&mut self) {
+        let ticks = self.ticks;
+        let horizon = 10 * self.config.announce_every_ticks;
+        self.nonmember_seen
+            .retain(|_, &mut seen| ticks.saturating_sub(seen) <= horizon);
+        let expiry = self.config.foreign_expiry_ticks;
+        for state in self.groups.values_mut() {
+            state
+                .foreign
+                .retain(|_, info| ticks.saturating_sub(info.seen_tick) <= expiry);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn group_mut(&mut self, group: GroupId) -> &mut GroupState<P> {
+        self.groups.entry(group).or_insert_with(GroupState::new)
+    }
+
+    fn join_targets(&self, group: GroupId) -> Vec<NodeId> {
+        let mut targets: BTreeSet<NodeId> = self.bootstrap.iter().copied().collect();
+        if let Some(state) = self.groups.get(&group) {
+            targets.extend(state.join_contacts.iter().copied());
+        }
+        targets.remove(&self.node);
+        targets.into_iter().collect()
+    }
+
+    fn emit<M>(&self, ctx: &mut Context<'_, M>, dst: NodeId, pkt: GcsPacket<P>)
+    where
+        M: Payload + From<GcsPacket<P>>,
+    {
+        ctx.send(self.port, Endpoint::new(dst, self.port), M::from(pkt));
+    }
+}
+
+fn vid_of<P>(vc: &ViewChangeState<P>) -> ViewId {
+    vc.vid
+}
+
+/// Whether every causal dependency is satisfied by the local delivery
+/// counts.
+fn causally_ready(delivered: &BTreeMap<NodeId, u64>, deps: &[(NodeId, u64)]) -> bool {
+    deps.iter()
+        .all(|(n, need)| delivered.get(n).copied().unwrap_or(0) >= *need)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_readiness_checks_every_dependency() {
+        let mut delivered = BTreeMap::new();
+        delivered.insert(NodeId(1), 3u64);
+        delivered.insert(NodeId(2), 1u64);
+        assert!(causally_ready(&delivered, &[]));
+        assert!(causally_ready(&delivered, &[(NodeId(1), 3)]));
+        assert!(causally_ready(&delivered, &[(NodeId(1), 2), (NodeId(2), 1)]));
+        assert!(!causally_ready(&delivered, &[(NodeId(1), 4)]));
+        assert!(
+            !causally_ready(&delivered, &[(NodeId(3), 1)]),
+            "unknown senders count as zero delivered"
+        );
+    }
+
+    #[test]
+    fn not_member_error_is_a_real_error() {
+        let err = NotMemberError {
+            group: GroupId(9),
+        };
+        assert_eq!(err.to_string(), "not a member of group g9");
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.source().is_none());
+    }
+
+    #[test]
+    fn group_state_floors_include_self() {
+        // Fresh state: own floor is zero (next_seq starts at 1).
+        let floors = GroupState::<u8>::new().floors(NodeId(5));
+        assert_eq!(floors, vec![(NodeId(5), 0)]);
+    }
+}

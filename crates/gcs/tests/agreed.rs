@@ -1,0 +1,159 @@
+//! Tests for agreed (total-order) multicast: identical delivery order at
+//! every member, exactly-once semantics, and survival of sequencer
+//! crashes.
+
+mod common;
+
+use std::time::Duration;
+
+use common::*;
+use gcs::GroupId;
+use simnet::{LinkProfile, NodeId, SimTime, Simulation};
+
+const G: GroupId = GroupId(400);
+
+fn formed(seed: u64, n: u32, profile: LinkProfile) -> (Simulation<Wire>, Vec<NodeId>) {
+    let mut sim = Simulation::new(seed);
+    sim.set_default_profile(profile);
+    let ids = boot(&mut sim, n);
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, ids[0], G);
+    for &id in &ids[1..] {
+        join(&mut sim, id, G, &[ids[0]]);
+    }
+    sim.run_for(Duration::from_secs(3));
+    (sim, ids)
+}
+
+#[test]
+fn all_members_deliver_in_the_same_total_order() {
+    // Concurrent senders over a jittery link: plain FIFO gives no
+    // cross-sender order, agreed delivery must.
+    let jittery = LinkProfile::lan().with_jitter(Duration::from_millis(20));
+    let (mut sim, ids) = formed(1, 4, jittery);
+    for round in 0..25u64 {
+        for (k, &id) in ids.iter().enumerate() {
+            say_agreed(&mut sim, id, G, round * 10 + k as u64);
+        }
+        sim.run_for(Duration::from_millis(15));
+    }
+    sim.run_for(Duration::from_secs(2));
+    let reference = agreed_log(&sim, ids[0], G);
+    assert_eq!(reference.len(), 100, "all 100 messages delivered");
+    for &id in &ids[1..] {
+        assert_eq!(
+            agreed_log(&sim, id, G),
+            reference,
+            "total order differs at {id}"
+        );
+    }
+}
+
+#[test]
+fn sender_waits_for_its_own_sequenced_copy() {
+    let (mut sim, ids) = formed(2, 3, LinkProfile::lan());
+    // A non-coordinator's agreed multicast is not self-delivered
+    // immediately: it round-trips through the sequencer.
+    let immediate = sim
+        .invoke(ids[1], |app: &mut App, ctx| {
+            let events = app.gcs.multicast_agreed(ctx, G, Chat(7)).unwrap();
+            app.record(events);
+            app.agreed.len()
+        })
+        .unwrap();
+    assert_eq!(immediate, 0, "agreed delivery must wait for sequencing");
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(agreed_log(&sim, ids[1], G), vec![(ids[1], 7)]);
+}
+
+#[test]
+fn agreed_interleaves_with_fifo_multicast() {
+    let (mut sim, ids) = formed(3, 3, LinkProfile::lan());
+    for v in 0..20 {
+        say(&mut sim, ids[1], G, 1000 + v);
+        say_agreed(&mut sim, ids[2], G, 2000 + v);
+        sim.run_for(Duration::from_millis(20));
+    }
+    sim.run_for(Duration::from_secs(1));
+    for &id in &ids {
+        let fifo = sim
+            .with_process(id, |a: &App| a.delivered_from(G, ids[1]))
+            .unwrap();
+        assert_eq!(fifo, (1000..1020).collect::<Vec<u64>>(), "fifo at {id}");
+        let agreed = agreed_log(&sim, id, G);
+        assert_eq!(
+            agreed.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            (2000..2020).collect::<Vec<u64>>(),
+            "agreed at {id}"
+        );
+    }
+}
+
+#[test]
+fn agreed_messages_survive_loss() {
+    let (mut sim, ids) = formed(4, 3, LinkProfile::lan().with_loss(0.15));
+    for v in 0..40 {
+        say_agreed(&mut sim, ids[2], G, v);
+        sim.run_for(Duration::from_millis(40));
+    }
+    sim.run_for(Duration::from_secs(4));
+    for &id in &ids {
+        let got: Vec<u64> = agreed_log(&sim, id, G).iter().map(|&(_, v)| v).collect();
+        assert_eq!(got, (0..40).collect::<Vec<u64>>(), "lossy agreed at {id}");
+    }
+}
+
+#[test]
+fn sequencer_crash_preserves_exactly_once() {
+    let (mut sim, ids) = formed(5, 4, LinkProfile::lan());
+    // The sequencer is the coordinator: n1. Stream agreed messages from
+    // n3 and kill n1 mid-stream; n2 takes over sequencing.
+    let crash_at = sim.now() + Duration::from_millis(600);
+    sim.crash_at(crash_at, NodeId(1));
+    for v in 0..60 {
+        say_agreed(&mut sim, ids[2], G, v);
+        sim.run_for(Duration::from_millis(30));
+    }
+    sim.run_for(Duration::from_secs(3));
+    let survivors = [NodeId(2), NodeId(3), NodeId(4)];
+    let reference = agreed_log(&sim, NodeId(2), G);
+    let values: Vec<u64> = reference.iter().map(|&(_, v)| v).collect();
+    assert_eq!(
+        values,
+        (0..60).collect::<Vec<u64>>(),
+        "agreed stream lost or duplicated across the sequencer crash"
+    );
+    for &s in &survivors[1..] {
+        assert_eq!(agreed_log(&sim, s, G), reference, "order differs at {s}");
+    }
+}
+
+#[test]
+fn coordinator_can_originate_agreed_messages() {
+    let (mut sim, ids) = formed(6, 3, LinkProfile::lan());
+    // The sequencer itself multicasts agreed messages (self-sequencing).
+    for v in 0..10 {
+        say_agreed(&mut sim, ids[0], G, v);
+    }
+    sim.run_for(Duration::from_secs(1));
+    for &id in &ids {
+        let got: Vec<u64> = agreed_log(&sim, id, G).iter().map(|&(_, v)| v).collect();
+        assert_eq!(got, (0..10).collect::<Vec<u64>>(), "at {id}");
+    }
+}
+
+#[test]
+fn agreed_total_order_is_deterministic() {
+    let run = |seed: u64| {
+        let (mut sim, ids) = formed(seed, 3, LinkProfile::wan().with_loss(0.0));
+        for v in 0..20 {
+            for &id in &ids {
+                say_agreed(&mut sim, id, G, v);
+            }
+            sim.run_for(Duration::from_millis(30));
+        }
+        sim.run_for(Duration::from_secs(3));
+        agreed_log(&sim, ids[0], G)
+    };
+    assert_eq!(run(42), run(42));
+}

@@ -1,0 +1,163 @@
+//! Tests for causal multicast: happened-before is preserved across
+//! asymmetric link delays, concurrent messages still flow, and membership
+//! changes keep the dependency horizon satisfiable.
+
+mod common;
+
+use std::time::Duration;
+
+use common::*;
+use gcs::GroupId;
+use simnet::{LinkProfile, NodeId, SimTime, Simulation};
+
+const G: GroupId = GroupId(500);
+
+fn formed(seed: u64, n: u32, profile: LinkProfile) -> (Simulation<Wire>, Vec<NodeId>) {
+    let mut sim = Simulation::new(seed);
+    sim.set_default_profile(profile);
+    let ids = boot(&mut sim, n);
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, ids[0], G);
+    for &id in &ids[1..] {
+        join(&mut sim, id, G, &[ids[0]]);
+    }
+    sim.run_for(Duration::from_secs(3));
+    (sim, ids)
+}
+
+/// The classic causality triangle: A multicasts m1; B replies with m2 after
+/// delivering m1; the link A→C is much slower than B→C, so m2's packet
+/// overtakes m1's. C must nevertheless deliver m1 first.
+#[test]
+fn reply_never_overtakes_its_cause() {
+    let (mut sim, _) = formed(1, 3, LinkProfile::lan());
+    let (a, b, c) = (NodeId(1), NodeId(2), NodeId(3));
+    // Make A→C pathologically slow.
+    sim.set_link_profile(a, c, LinkProfile::lan().with_base_delay(Duration::from_millis(200)));
+    say_causal(&mut sim, a, G, 1); // the cause
+    // B delivers m1 quickly (A→B is fast) and "replies".
+    sim.run_for(Duration::from_millis(50));
+    assert_eq!(causal_log(&sim, b, G), vec![(a, 1)], "B saw the cause");
+    say_causal(&mut sim, b, G, 2); // the reply
+    sim.run_for(Duration::from_millis(60));
+    // At this point C has B's reply in hand but not A's cause: nothing may
+    // be delivered yet.
+    assert_eq!(causal_log(&sim, c, G), vec![], "reply must wait for its cause");
+    sim.run_for(Duration::from_millis(300));
+    assert_eq!(
+        causal_log(&sim, c, G),
+        vec![(a, 1), (b, 2)],
+        "cause before reply at C"
+    );
+}
+
+#[test]
+fn concurrent_messages_are_unconstrained_but_all_delivered() {
+    let jittery = LinkProfile::lan().with_jitter(Duration::from_millis(25));
+    let (mut sim, ids) = formed(2, 4, jittery);
+    for round in 0..20u64 {
+        for (k, &id) in ids.iter().enumerate() {
+            say_causal(&mut sim, id, G, round * 10 + k as u64);
+        }
+        sim.run_for(Duration::from_millis(10));
+    }
+    sim.run_for(Duration::from_secs(2));
+    for &id in &ids {
+        let log = causal_log(&sim, id, G);
+        assert_eq!(log.len(), 80, "all causal messages delivered at {id}");
+        // Per-sender FIFO still holds inside the causal stream.
+        for &sender in &ids {
+            let from: Vec<u64> = log.iter().filter(|&&(s, _)| s == sender).map(|&(_, v)| v).collect();
+            let mut sorted = from.clone();
+            sorted.sort_unstable();
+            assert_eq!(from, sorted, "per-sender order broken at {id} from {sender}");
+        }
+    }
+}
+
+/// Causality chains across three hops: A→B→C→D replies.
+#[test]
+fn chained_causality_holds_everywhere() {
+    let (mut sim, ids) = formed(3, 4, LinkProfile::lan().with_jitter(Duration::from_millis(15)));
+    let chain = [(ids[0], 10), (ids[1], 20), (ids[2], 30), (ids[3], 40)];
+    for &(node, value) in &chain {
+        // Each node replies only after having delivered everything so far.
+        sim.run_for(Duration::from_millis(120));
+        say_causal(&mut sim, node, G, value);
+    }
+    sim.run_for(Duration::from_secs(1));
+    let expected: Vec<(NodeId, u64)> = chain.to_vec();
+    for &id in &ids {
+        assert_eq!(causal_log(&sim, id, G), expected, "chain broken at {id}");
+    }
+}
+
+#[test]
+fn joiner_can_satisfy_future_dependencies() {
+    // Build up causal history between 1 and 2, then admit node 3: its
+    // adopted horizon must let it deliver messages that depend on the old
+    // history.
+    let mut sim = Simulation::new(4);
+    sim.set_default_profile(LinkProfile::lan());
+    let _ids = boot(&mut sim, 3);
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, NodeId(1), G);
+    join(&mut sim, NodeId(2), G, &[NodeId(1)]);
+    sim.run_for(Duration::from_secs(2));
+    for v in 0..10 {
+        say_causal(&mut sim, NodeId(1), G, v);
+        sim.run_for(Duration::from_millis(20));
+    }
+    join(&mut sim, NodeId(3), G, &[NodeId(1)]);
+    sim.run_for(Duration::from_secs(2));
+    // A new message depends on the pre-join history via its deps vector.
+    say_causal(&mut sim, NodeId(2), G, 99);
+    sim.run_for(Duration::from_secs(1));
+    let log = causal_log(&sim, NodeId(3), G);
+    assert_eq!(
+        log,
+        vec![(NodeId(2), 99)],
+        "joiner delivers post-join causal traffic (and only that)"
+    );
+}
+
+#[test]
+fn causal_survives_a_crash() {
+    let (mut sim, ids) = formed(5, 3, LinkProfile::lan());
+    for v in 0..10 {
+        say_causal(&mut sim, NodeId(2), G, v);
+        sim.run_for(Duration::from_millis(25));
+    }
+    sim.crash_at(sim.now(), NodeId(3));
+    sim.run_for(Duration::from_secs(2));
+    for v in 10..20 {
+        say_causal(&mut sim, NodeId(2), G, v);
+        sim.run_for(Duration::from_millis(25));
+    }
+    sim.run_for(Duration::from_secs(1));
+    for &id in &[NodeId(1), NodeId(2)] {
+        let from_2: Vec<u64> = causal_log(&sim, id, G)
+            .iter()
+            .filter(|&&(s, _)| s == NodeId(2))
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(from_2, (0..20).collect::<Vec<u64>>(), "at {id}");
+    }
+    let _ = ids;
+}
+
+#[test]
+fn causal_is_deterministic() {
+    let run = |seed: u64| {
+        let (mut sim, ids) = formed(seed, 3, LinkProfile::lan().with_jitter(Duration::from_millis(10)));
+        for v in 0..15 {
+            for &id in &ids {
+                say_causal(&mut sim, id, G, v);
+            }
+            sim.run_for(Duration::from_millis(20));
+        }
+        sim.run_for(Duration::from_secs(1));
+        causal_log(&sim, ids[0], G)
+    };
+    assert_eq!(run(42), run(42));
+}

@@ -1,0 +1,200 @@
+//! Membership-service integration tests: group formation, crash handling,
+//! joins, leaves, partitions and merges.
+
+mod common;
+
+use std::time::Duration;
+
+use common::*;
+use gcs::{GroupId, GroupStatus};
+use simnet::{LinkProfile, NodeId, SimTime, Simulation};
+
+const G: GroupId = GroupId(100);
+
+fn lan_sim(seed: u64, n: u32) -> (Simulation<Wire>, Vec<NodeId>) {
+    let mut sim = Simulation::new(seed);
+    sim.set_default_profile(LinkProfile::lan());
+    let ids = boot(&mut sim, n);
+    (sim, ids)
+}
+
+/// Creates the group on node 1 and joins nodes 2..n, then settles.
+fn form_group(sim: &mut Simulation<Wire>, ids: &[NodeId]) {
+    sim.run_until(sim.now() + Duration::from_millis(100));
+    create(sim, ids[0], G);
+    for &id in &ids[1..] {
+        join(sim, id, G, &[ids[0]]);
+    }
+    sim.run_for(Duration::from_secs(3));
+}
+
+#[test]
+fn group_forms_with_all_members() {
+    let (mut sim, ids) = lan_sim(1, 3);
+    form_group(&mut sim, &ids);
+    for &id in &ids {
+        let view = view_at(&sim, id, G).expect("view installed");
+        assert_eq!(view.members, ids, "node {id} sees wrong membership");
+    }
+    // All three agree on the same view id.
+    let vids: Vec<_> = ids
+        .iter()
+        .map(|&id| view_at(&sim, id, G).unwrap().id)
+        .collect();
+    assert!(vids.windows(2).all(|w| w[0] == w[1]), "view ids differ: {vids:?}");
+}
+
+#[test]
+fn crash_removes_member_within_a_second() {
+    let (mut sim, ids) = lan_sim(2, 3);
+    form_group(&mut sim, &ids);
+    let crash_at = sim.now();
+    sim.crash_at(crash_at, NodeId(2));
+    sim.run_for(Duration::from_secs(2));
+    for &id in &[NodeId(1), NodeId(3)] {
+        let view = view_at(&sim, id, G).unwrap();
+        assert_eq!(
+            view.members,
+            vec![NodeId(1), NodeId(3)],
+            "survivor {id} still sees the dead node"
+        );
+    }
+    // Check the view excluding n2 was installed quickly (paper: ~0.5 s
+    // detection + takeover).
+    let when = sim
+        .with_process(NodeId(1), |app: &App| {
+            app.views
+                .iter()
+                .position(|(g, v)| *g == G && !v.contains(NodeId(2)))
+        })
+        .unwrap();
+    assert!(when.is_some(), "no exclusion view recorded");
+}
+
+#[test]
+fn coordinator_crash_is_survivable() {
+    let (mut sim, ids) = lan_sim(3, 3);
+    form_group(&mut sim, &ids);
+    // Node 1 is the coordinator (minimum id): kill it.
+    sim.crash_at(sim.now(), NodeId(1));
+    sim.run_for(Duration::from_secs(3));
+    for &id in &[NodeId(2), NodeId(3)] {
+        let view = view_at(&sim, id, G).unwrap();
+        assert_eq!(view.members, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(view.id.coordinator, NodeId(2), "new coordinator is the min survivor");
+    }
+    let _ = ids;
+}
+
+#[test]
+fn late_joiner_is_admitted() {
+    let (mut sim, _) = lan_sim(4, 4);
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, NodeId(1), G);
+    join(&mut sim, NodeId(2), G, &[]);
+    sim.run_for(Duration::from_secs(2));
+    join(&mut sim, NodeId(4), G, &[]);
+    sim.run_for(Duration::from_secs(2));
+    for &id in &[NodeId(1), NodeId(2), NodeId(4)] {
+        let view = view_at(&sim, id, G).unwrap();
+        assert_eq!(view.members, vec![NodeId(1), NodeId(2), NodeId(4)]);
+    }
+    // Node 3 never joined.
+    assert_eq!(view_at(&sim, NodeId(3), G), None);
+}
+
+#[test]
+fn graceful_leave_shrinks_the_view() {
+    let (mut sim, ids) = lan_sim(5, 3);
+    form_group(&mut sim, &ids);
+    sim.invoke(NodeId(3), |app: &mut App, ctx| {
+        app.gcs.leave(ctx, G);
+    })
+    .unwrap();
+    sim.run_for(Duration::from_secs(2));
+    for &id in &[NodeId(1), NodeId(2)] {
+        let view = view_at(&sim, id, G).unwrap();
+        assert_eq!(view.members, vec![NodeId(1), NodeId(2)]);
+    }
+    let status = sim
+        .with_process(NodeId(3), |app: &App| app.gcs.status(G))
+        .unwrap();
+    assert_eq!(status, GroupStatus::Idle, "leaver should be out");
+}
+
+#[test]
+fn partition_splits_and_merge_reunites() {
+    let (mut sim, ids) = lan_sim(6, 4);
+    form_group(&mut sim, &ids);
+    let side_a = [NodeId(1), NodeId(2)];
+    let side_b = [NodeId(3), NodeId(4)];
+    sim.partition_at(sim.now(), &side_a, &side_b);
+    sim.run_for(Duration::from_secs(3));
+    // Each side installs its own component view.
+    assert_eq!(view_at(&sim, NodeId(1), G).unwrap().members, side_a.to_vec());
+    assert_eq!(view_at(&sim, NodeId(2), G).unwrap().members, side_a.to_vec());
+    assert_eq!(view_at(&sim, NodeId(3), G).unwrap().members, side_b.to_vec());
+    assert_eq!(view_at(&sim, NodeId(4), G).unwrap().members, side_b.to_vec());
+    // Heal: announces drive a merge back to the full membership.
+    sim.heal_all_at(sim.now());
+    sim.run_for(Duration::from_secs(5));
+    for &id in &ids {
+        let view = view_at(&sim, id, G).unwrap();
+        assert_eq!(view.members, ids, "node {id} did not re-merge");
+    }
+}
+
+#[test]
+fn two_singletons_merge() {
+    // Both nodes create the "same" group independently (a race the
+    // announce/merge path must resolve).
+    let (mut sim, _) = lan_sim(7, 2);
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, NodeId(1), G);
+    create(&mut sim, NodeId(2), G);
+    sim.run_for(Duration::from_secs(4));
+    for id in [NodeId(1), NodeId(2)] {
+        let view = view_at(&sim, id, G).unwrap();
+        assert_eq!(view.members, vec![NodeId(1), NodeId(2)]);
+    }
+}
+
+#[test]
+fn joiner_with_no_group_forms_singleton() {
+    let (mut sim, _) = lan_sim(8, 2);
+    sim.run_until(SimTime::from_millis(100));
+    join(&mut sim, NodeId(1), G, &[]);
+    sim.run_for(Duration::from_secs(3));
+    let view = view_at(&sim, NodeId(1), G).unwrap();
+    assert_eq!(view.members, vec![NodeId(1)]);
+}
+
+#[test]
+fn restarted_node_can_rejoin() {
+    let (mut sim, ids) = lan_sim(9, 3);
+    form_group(&mut sim, &ids);
+    sim.crash_at(sim.now(), NodeId(3));
+    sim.run_for(Duration::from_secs(2));
+    // Bring node 3 back with a fresh process and rejoin.
+    sim.start_node_at(sim.now(), NodeId(3), App::new(NodeId(3), ids.clone()));
+    sim.run_for(Duration::from_millis(200));
+    join(&mut sim, NodeId(3), G, &[NodeId(1)]);
+    sim.run_for(Duration::from_secs(3));
+    for &id in &ids {
+        let view = view_at(&sim, id, G).unwrap();
+        assert_eq!(view.members, ids, "node {id} missing the rejoined member");
+    }
+}
+
+#[test]
+fn views_are_deterministic_across_runs() {
+    let run = |seed: u64| {
+        let (mut sim, ids) = lan_sim(seed, 3);
+        form_group(&mut sim, &ids);
+        sim.crash_at(sim.now(), NodeId(2));
+        sim.run_for(Duration::from_secs(2));
+        sim.with_process(NodeId(1), |app: &App| app.views.clone())
+            .unwrap()
+    };
+    assert_eq!(run(42), run(42));
+}

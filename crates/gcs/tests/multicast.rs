@@ -1,0 +1,216 @@
+//! Reliable-multicast integration tests: FIFO delivery, loss recovery,
+//! view synchrony across crashes, non-member sends.
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use common::*;
+use gcs::GroupId;
+use simnet::{LinkProfile, NodeId, SimTime, Simulation};
+
+const G: GroupId = GroupId(200);
+
+fn formed(seed: u64, n: u32, profile: LinkProfile) -> (Simulation<Wire>, Vec<NodeId>) {
+    let mut sim = Simulation::new(seed);
+    sim.set_default_profile(profile);
+    let ids = boot(&mut sim, n);
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, ids[0], G);
+    for &id in &ids[1..] {
+        join(&mut sim, id, G, &[ids[0]]);
+    }
+    sim.run_for(Duration::from_secs(3));
+    (sim, ids)
+}
+
+#[test]
+fn everyone_delivers_everything_fifo() {
+    let (mut sim, ids) = formed(1, 3, LinkProfile::lan());
+    for round in 0..10 {
+        for (k, &id) in ids.iter().enumerate() {
+            say(&mut sim, id, G, round * 10 + k as u64);
+        }
+        sim.run_for(Duration::from_millis(20));
+    }
+    sim.run_for(Duration::from_secs(1));
+    for &receiver in &ids {
+        for (k, &sender) in ids.iter().enumerate() {
+            let got = sim
+                .with_process(receiver, |app: &App| app.delivered_from(G, sender))
+                .unwrap();
+            let want: Vec<u64> = (0..10).map(|r| r * 10 + k as u64).collect();
+            assert_eq!(got, want, "receiver {receiver} from sender {sender}");
+        }
+    }
+}
+
+#[test]
+fn self_delivery_is_immediate_and_ordered() {
+    let (mut sim, _) = formed(2, 2, LinkProfile::lan());
+    for v in 0..5 {
+        say(&mut sim, NodeId(1), G, v);
+    }
+    let own = sim
+        .with_process(NodeId(1), |app: &App| app.delivered_from(G, NodeId(1)))
+        .unwrap();
+    assert_eq!(own, vec![0, 1, 2, 3, 4], "loopback must not wait for the net");
+}
+
+#[test]
+fn lossy_links_are_recovered_by_naks() {
+    let profile = LinkProfile::lan().with_loss(0.2);
+    let (mut sim, ids) = formed(3, 3, profile);
+    for v in 0..50 {
+        say(&mut sim, NodeId(1), G, v);
+        sim.run_for(Duration::from_millis(30));
+    }
+    sim.run_for(Duration::from_secs(3));
+    for &receiver in &ids {
+        let got = sim
+            .with_process(receiver, |app: &App| app.delivered_from(G, NodeId(1)))
+            .unwrap();
+        assert_eq!(
+            got,
+            (0..50).collect::<Vec<u64>>(),
+            "receiver {receiver} lost messages despite reliability"
+        );
+    }
+}
+
+#[test]
+fn view_synchrony_across_a_crash() {
+    // Sender 1 streams while node 2 crashes. Both survivors (1 and 3) must
+    // agree exactly on which messages were delivered before the new view.
+    let (mut sim, _) = formed(4, 3, LinkProfile::lan());
+    let crash_time = sim.now() + Duration::from_millis(500);
+    sim.crash_at(crash_time, NodeId(2));
+    for v in 0..100 {
+        say(&mut sim, NodeId(1), G, v);
+        sim.run_for(Duration::from_millis(10));
+    }
+    sim.run_for(Duration::from_secs(2));
+    let cut_at = |node: NodeId| -> (Vec<u64>, usize) {
+        sim.with_process(node, |app: &App| {
+            // Messages delivered before the view that excludes node 2.
+            let view_pos = app
+                .views
+                .iter()
+                .position(|(g, v)| *g == G && v.len() == 2)
+                .expect("exclusion view");
+            (app.delivered_from(G, NodeId(1)), view_pos)
+        })
+        .unwrap()
+    };
+    let (d1, _) = cut_at(NodeId(1));
+    let (d3, _) = cut_at(NodeId(3));
+    // Survivors deliver the same prefix of the stream with no gaps.
+    assert_eq!(d1, (0..100).collect::<Vec<u64>>());
+    assert_eq!(d3, (0..100).collect::<Vec<u64>>());
+}
+
+#[test]
+fn messages_queued_during_flush_arrive_in_next_view() {
+    let (mut sim, ids) = formed(5, 3, LinkProfile::lan());
+    // Crash node 3 and immediately multicast from node 2 while the view
+    // change is (or will shortly be) in progress.
+    sim.crash_at(sim.now(), NodeId(3));
+    sim.run_for(Duration::from_millis(450));
+    for v in 200..210 {
+        say(&mut sim, NodeId(2), G, v);
+        sim.run_for(Duration::from_millis(20));
+    }
+    sim.run_for(Duration::from_secs(2));
+    for &receiver in &[NodeId(1), NodeId(2)] {
+        let got = sim
+            .with_process(receiver, |app: &App| app.delivered_from(G, NodeId(2)))
+            .unwrap();
+        assert_eq!(got, (200..210).collect::<Vec<u64>>(), "at {receiver}");
+    }
+    let _ = ids;
+}
+
+#[test]
+fn non_member_send_reaches_every_member_once() {
+    let (mut sim, ids) = formed(6, 4, LinkProfile::lan());
+    // Node 4 leaves the bootstrap trio out: make node 4 a pure outsider by
+    // using a fresh group only 1..3 joined. Here all four are members, so
+    // instead boot a 5th node as the outsider.
+    let outsider = NodeId(5);
+    sim.add_node(outsider, App::new(outsider, ids.clone()));
+    sim.run_for(Duration::from_millis(100));
+    sim.invoke(outsider, |app: &mut App, ctx| {
+        app.gcs.send_to_group(ctx, G, Chat(777));
+    })
+    .unwrap();
+    sim.run_for(Duration::from_secs(1));
+    for &member in &ids {
+        let got = sim
+            .with_process(member, |app: &App| app.delivered_from(G, outsider))
+            .unwrap();
+        assert_eq!(got, vec![777], "member {member}");
+    }
+}
+
+#[test]
+fn duplicated_packets_do_not_duplicate_deliveries() {
+    let mut profile = LinkProfile::lan();
+    profile.duplicate = 0.5;
+    let (mut sim, ids) = formed(7, 3, profile);
+    for v in 0..30 {
+        say(&mut sim, NodeId(1), G, v);
+        sim.run_for(Duration::from_millis(15));
+    }
+    sim.run_for(Duration::from_secs(1));
+    for &receiver in &ids {
+        let got = sim
+            .with_process(receiver, |app: &App| app.delivered_from(G, NodeId(1)))
+            .unwrap();
+        assert_eq!(got, (0..30).collect::<Vec<u64>>(), "at {receiver}");
+    }
+}
+
+#[test]
+fn send_buffers_are_garbage_collected() {
+    let (mut sim, _) = formed(8, 3, LinkProfile::lan());
+    for v in 0..200 {
+        say(&mut sim, NodeId(1), G, v);
+        sim.run_for(Duration::from_millis(5));
+    }
+    // Give stability acks time to propagate.
+    sim.run_for(Duration::from_secs(2));
+    // Inspect retained state indirectly: another view change must stay
+    // small. We assert the flush completes promptly even after 200 sends.
+    let views_before = sim
+        .with_process(NodeId(1), |app: &App| app.views.len())
+        .unwrap();
+    sim.crash_at(sim.now(), NodeId(3));
+    sim.run_for(Duration::from_secs(2));
+    let views_after = sim
+        .with_process(NodeId(1), |app: &App| app.views.len())
+        .unwrap();
+    assert!(views_after > views_before, "view change did not complete");
+}
+
+#[test]
+fn concurrent_senders_no_loss_on_wan() {
+    let (mut sim, ids) = formed(9, 3, LinkProfile::wan());
+    for v in 0..40 {
+        for &id in &ids {
+            say(&mut sim, id, G, v);
+        }
+        sim.run_for(Duration::from_millis(50));
+    }
+    sim.run_for(Duration::from_secs(5));
+    for &receiver in &ids {
+        for &sender in &ids {
+            let got: BTreeSet<u64> = sim
+                .with_process(receiver, |app: &App| app.delivered_from(G, sender))
+                .unwrap()
+                .into_iter()
+                .collect();
+            assert_eq!(got.len(), 40, "receiver {receiver} from {sender}: {got:?}");
+        }
+    }
+}

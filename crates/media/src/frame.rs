@@ -1,0 +1,178 @@
+//! Video frames: types, metadata and GOP (group-of-pictures) patterns.
+
+use std::fmt;
+
+/// MPEG frame type.
+///
+/// `I` (intra) frames carry a full image; `P` and `B` frames are
+/// incremental and cannot be decoded without the I frame that anchors their
+/// GOP. The VoD service never inspects pixel data, but several of its
+/// policies depend on the distinction (paper §3, §4.3): buffer overflow
+/// discards incremental frames before I frames, and quality adaptation
+/// always transmits the I frames.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FrameType {
+    /// Intra frame: a full image.
+    I,
+    /// Predicted frame: forward-incremental.
+    P,
+    /// Bidirectional frame: incremental against both neighbours.
+    B,
+}
+
+impl FrameType {
+    /// Whether this frame carries a full image.
+    pub fn is_intra(self) -> bool {
+        self == FrameType::I
+    }
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            FrameType::I => 'I',
+            FrameType::P => 'P',
+            FrameType::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Position of a frame within a movie (0-based display order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameNo(pub u64);
+
+impl FrameNo {
+    /// The first frame of a movie.
+    pub const ZERO: FrameNo = FrameNo(0);
+
+    /// The frame `n` positions later.
+    pub fn plus(self, n: u64) -> FrameNo {
+        FrameNo(self.0 + n)
+    }
+}
+
+impl fmt::Debug for FrameNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FrameNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for FrameNo {
+    fn from(raw: u64) -> Self {
+        FrameNo(raw)
+    }
+}
+
+/// Metadata of one encoded frame (the simulation's stand-in for the actual
+/// bitstream).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameMeta {
+    /// Display-order position in the movie.
+    pub no: FrameNo,
+    /// Frame type.
+    pub ftype: FrameType,
+    /// Encoded size in bytes.
+    pub size: u32,
+}
+
+/// A repeating GOP structure, e.g. `IBBPBBPBBPBBPBB`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GopPattern {
+    types: Vec<FrameType>,
+}
+
+impl GopPattern {
+    /// The common MPEG-1 pattern used throughout the experiments: one I
+    /// frame anchoring 15 frames (half a second at 30 fps).
+    pub fn mpeg1() -> Self {
+        GopPattern::from_str_pattern("IBBPBBPBBPBBPBB").expect("static pattern is valid")
+    }
+
+    /// Parses a pattern from characters `I`, `P`, `B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the string is empty, does not start with `I`, or
+    /// contains other characters.
+    pub fn from_str_pattern(pattern: &str) -> Option<Self> {
+        if pattern.is_empty() || !pattern.starts_with('I') {
+            return None;
+        }
+        let types: Option<Vec<FrameType>> = pattern
+            .chars()
+            .map(|c| match c {
+                'I' => Some(FrameType::I),
+                'P' => Some(FrameType::P),
+                'B' => Some(FrameType::B),
+                _ => None,
+            })
+            .collect();
+        types.map(|types| GopPattern { types })
+    }
+
+    /// Number of frames in one GOP.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the pattern is empty (never true for constructed patterns).
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// The frame type at display position `no` of the movie.
+    pub fn type_at(&self, no: FrameNo) -> FrameType {
+        self.types[(no.0 % self.types.len() as u64) as usize]
+    }
+
+    /// Number of I frames per GOP (always ≥ 1).
+    pub fn intra_per_gop(&self) -> usize {
+        self.types.iter().filter(|t| t.is_intra()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpeg1_pattern_shape() {
+        let gop = GopPattern::mpeg1();
+        assert_eq!(gop.len(), 15);
+        assert_eq!(gop.intra_per_gop(), 1);
+        assert_eq!(gop.type_at(FrameNo(0)), FrameType::I);
+        assert_eq!(gop.type_at(FrameNo(15)), FrameType::I);
+        assert_eq!(gop.type_at(FrameNo(1)), FrameType::B);
+        assert_eq!(gop.type_at(FrameNo(3)), FrameType::P);
+    }
+
+    #[test]
+    fn pattern_parsing_validates() {
+        assert!(GopPattern::from_str_pattern("").is_none());
+        assert!(GopPattern::from_str_pattern("PBB").is_none());
+        assert!(GopPattern::from_str_pattern("IXB").is_none());
+        let g = GopPattern::from_str_pattern("IPPP").unwrap();
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn intra_detection() {
+        assert!(FrameType::I.is_intra());
+        assert!(!FrameType::P.is_intra());
+        assert!(!FrameType::B.is_intra());
+    }
+
+    #[test]
+    fn frame_no_arithmetic() {
+        assert_eq!(FrameNo::ZERO.plus(5), FrameNo(5));
+        assert!(FrameNo(4) < FrameNo(5));
+        assert_eq!(FrameNo::from(9).to_string(), "9");
+    }
+}

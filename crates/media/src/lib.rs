@@ -1,0 +1,40 @@
+//! # media — MPEG-like media model
+//!
+//! The paper streams real MPEG-1 movies decoded by Optibase hardware; the
+//! VoD service logic only depends on frame *types*, *sizes* and *timing*,
+//! all of which this crate models:
+//!
+//! * [`FrameType`], [`FrameMeta`], [`GopPattern`] — the I/P/B structure of
+//!   an MPEG stream;
+//! * [`Movie`], [`MovieSpec`], [`Catalog`] — deterministic synthetic movies
+//!   calibrated to a target bitrate (default: the paper's 1.4 Mbps / 30 fps
+//!   stream) and the catalog replicas serve from;
+//! * [`HardwareDecoder`] — the client's decoder input buffer: byte-bounded,
+//!   FIFO, one frame consumed per display tick, stalling when empty;
+//! * [`QualityFilter`] — the §4.3 quality-adaptation policy (keep all I
+//!   frames, thin incremental frames to the client's capability).
+//!
+//! # Examples
+//!
+//! ```
+//! use media::{Movie, MovieId, MovieSpec};
+//!
+//! let movie = Movie::generate(MovieId(1), &MovieSpec::paper_default());
+//! assert_eq!(movie.fps(), 30);
+//! // The synthetic stream hits the paper's 1.4 Mbps within a few percent.
+//! let err = (movie.measured_bitrate_bps() - 1.4e6).abs() / 1.4e6;
+//! assert!(err < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod decoder;
+mod frame;
+mod movie;
+mod quality;
+
+pub use decoder::{DecoderFullError, DisplayOutcome, HardwareDecoder};
+pub use frame::{FrameMeta, FrameNo, FrameType, GopPattern};
+pub use movie::{Catalog, Movie, MovieId, MovieSpec};
+pub use quality::QualityFilter;

@@ -1,0 +1,335 @@
+//! Synthetic movies and the movie catalog.
+//!
+//! The paper streams real MPEG-1 files; the service logic, however, only
+//! depends on each frame's *type* and *size*. [`Movie::generate`] produces a
+//! deterministic synthetic frame sequence calibrated to a target bitrate,
+//! with I frames several times larger than P/B frames — the statistics that
+//! drive buffer occupancy and bandwidth in the experiments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame::{FrameMeta, FrameNo, FrameType, GopPattern};
+
+/// Identifier of a movie in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MovieId(pub u32);
+
+impl fmt::Debug for MovieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MovieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for MovieId {
+    fn from(raw: u32) -> Self {
+        MovieId(raw)
+    }
+}
+
+/// Parameters for generating a synthetic movie.
+///
+/// The default matches the paper's measurement setup: a ~1.4 Mbps, 30
+/// frames-per-second MPEG stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MovieSpec {
+    /// Human-readable title.
+    pub title: String,
+    /// Target average bitrate, bits per second.
+    pub bitrate_bps: u64,
+    /// Frames per second.
+    pub fps: u32,
+    /// Total length of the movie.
+    pub duration: Duration,
+    /// GOP structure.
+    pub gop: GopPattern,
+    /// Seed for the per-frame size jitter.
+    pub seed: u64,
+    /// Relative size jitter (0.2 = ±20 %).
+    pub size_jitter: f64,
+}
+
+impl MovieSpec {
+    /// The paper's stream: 1.4 Mbps, 30 fps, MPEG-1 GOP, 2 minutes long.
+    pub fn paper_default() -> Self {
+        MovieSpec {
+            title: "paper-stream".to_owned(),
+            bitrate_bps: 1_400_000,
+            fps: 30,
+            duration: Duration::from_secs(120),
+            gop: GopPattern::mpeg1(),
+            seed: 1,
+            size_jitter: 0.2,
+        }
+    }
+
+    /// Returns a copy with a different duration.
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Returns a copy with a different title.
+    pub fn with_title(mut self, title: &str) -> Self {
+        self.title = title.to_owned();
+        self
+    }
+
+    /// Returns a copy with a different seed (gives a different movie with
+    /// the same statistics).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Relative encoded-size weight of each frame type (I frames are several
+/// times larger than incremental frames).
+fn type_weight(ftype: FrameType) -> f64 {
+    match ftype {
+        FrameType::I => 6.0,
+        FrameType::P => 2.5,
+        FrameType::B => 1.0,
+    }
+}
+
+/// A fully generated movie: an immutable sequence of frame metadata.
+#[derive(Clone, PartialEq)]
+pub struct Movie {
+    id: MovieId,
+    title: String,
+    fps: u32,
+    frames: Vec<FrameMeta>,
+    gop: GopPattern,
+    target_bitrate_bps: u64,
+}
+
+impl Movie {
+    /// Generates a deterministic synthetic movie from `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has zero fps or zero duration.
+    pub fn generate(id: MovieId, spec: &MovieSpec) -> Self {
+        assert!(spec.fps > 0, "fps must be positive");
+        let frame_count = (spec.duration.as_secs_f64() * spec.fps as f64).round() as u64;
+        assert!(frame_count > 0, "movie must contain at least one frame");
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ (id.0 as u64) << 32);
+        // Calibrate: mean frame size must equal bitrate / (8 * fps).
+        let mean_size = spec.bitrate_bps as f64 / 8.0 / spec.fps as f64;
+        let gop_len = spec.gop.len() as u64;
+        let weight_sum: f64 = (0..gop_len)
+            .map(|i| type_weight(spec.gop.type_at(FrameNo(i))))
+            .sum();
+        let unit = mean_size * gop_len as f64 / weight_sum;
+        let frames = (0..frame_count)
+            .map(|i| {
+                let no = FrameNo(i);
+                let ftype = spec.gop.type_at(no);
+                let jitter = 1.0 + spec.size_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                let size = (unit * type_weight(ftype) * jitter).max(64.0) as u32;
+                FrameMeta { no, ftype, size }
+            })
+            .collect();
+        Movie {
+            id,
+            title: spec.title.clone(),
+            fps: spec.fps,
+            frames,
+            gop: spec.gop.clone(),
+            target_bitrate_bps: spec.bitrate_bps,
+        }
+    }
+
+    /// Catalog identifier.
+    pub fn id(&self) -> MovieId {
+        self.id
+    }
+
+    /// Human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Frames per second at full quality.
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// Time between consecutive frames at full quality.
+    pub fn frame_interval(&self) -> Duration {
+        Duration::from_secs_f64(1.0 / self.fps as f64)
+    }
+
+    /// Total number of frames.
+    pub fn frame_count(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Movie length.
+    pub fn duration(&self) -> Duration {
+        Duration::from_secs_f64(self.frame_count() as f64 / self.fps as f64)
+    }
+
+    /// The GOP structure the movie was encoded with.
+    pub fn gop(&self) -> &GopPattern {
+        &self.gop
+    }
+
+    /// Metadata of frame `no`, or `None` past the end of the movie.
+    pub fn frame(&self, no: FrameNo) -> Option<FrameMeta> {
+        self.frames.get(no.0 as usize).copied()
+    }
+
+    /// Average frame size in bytes.
+    pub fn mean_frame_size(&self) -> f64 {
+        let total: u64 = self.frames.iter().map(|f| f.size as u64).sum();
+        total as f64 / self.frames.len() as f64
+    }
+
+    /// Actual average bitrate of the generated stream, bits per second.
+    pub fn measured_bitrate_bps(&self) -> f64 {
+        self.mean_frame_size() * 8.0 * self.fps as f64
+    }
+
+    /// The bitrate the generator was asked for.
+    pub fn target_bitrate_bps(&self) -> u64 {
+        self.target_bitrate_bps
+    }
+}
+
+impl fmt::Debug for Movie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Movie")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .field("fps", &self.fps)
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+/// The set of movies offered by a VoD deployment.
+///
+/// Movies are shared via [`Arc`]: every replica server holds the same
+/// immutable data (the paper assumes a separate replication mechanism for
+/// the video material; see DESIGN.md).
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    movies: BTreeMap<MovieId, Arc<Movie>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a movie, returning the catalog for chaining.
+    pub fn add(&mut self, movie: Movie) -> &mut Self {
+        self.movies.insert(movie.id(), Arc::new(movie));
+        self
+    }
+
+    /// Looks up a movie by id.
+    pub fn get(&self, id: MovieId) -> Option<&Arc<Movie>> {
+        self.movies.get(&id)
+    }
+
+    /// Ids of all offered movies, in order.
+    pub fn ids(&self) -> Vec<MovieId> {
+        self.movies.keys().copied().collect()
+    }
+
+    /// Number of movies offered.
+    pub fn len(&self) -> usize {
+        self.movies.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.movies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_bitrate_close_to_target() {
+        let movie = Movie::generate(MovieId(1), &MovieSpec::paper_default());
+        let measured = movie.measured_bitrate_bps();
+        let target = 1_400_000.0;
+        assert!(
+            (measured - target).abs() / target < 0.05,
+            "measured {measured} too far from target {target}"
+        );
+    }
+
+    #[test]
+    fn frame_count_matches_duration() {
+        let spec = MovieSpec::paper_default().with_duration(Duration::from_secs(10));
+        let movie = Movie::generate(MovieId(2), &spec);
+        assert_eq!(movie.frame_count(), 300);
+        assert_eq!(movie.duration(), Duration::from_secs(10));
+        assert_eq!(movie.frame_interval(), Duration::from_secs_f64(1.0 / 30.0));
+    }
+
+    #[test]
+    fn i_frames_are_larger() {
+        let movie = Movie::generate(MovieId(3), &MovieSpec::paper_default());
+        let mean = |t: FrameType| {
+            let sizes: Vec<u64> = (0..movie.frame_count())
+                .filter_map(|i| movie.frame(FrameNo(i)))
+                .filter(|f| f.ftype == t)
+                .map(|f| f.size as u64)
+                .collect();
+            sizes.iter().sum::<u64>() as f64 / sizes.len() as f64
+        };
+        assert!(mean(FrameType::I) > 2.0 * mean(FrameType::P));
+        assert!(mean(FrameType::P) > 1.5 * mean(FrameType::B));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = MovieSpec::paper_default();
+        let a = Movie::generate(MovieId(1), &spec);
+        let b = Movie::generate(MovieId(1), &spec);
+        assert_eq!(a, b);
+        let c = Movie::generate(MovieId(1), &spec.clone().with_seed(9));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn out_of_range_frame_is_none() {
+        let spec = MovieSpec::paper_default().with_duration(Duration::from_secs(1));
+        let movie = Movie::generate(MovieId(1), &spec);
+        assert!(movie.frame(FrameNo(29)).is_some());
+        assert!(movie.frame(FrameNo(30)).is_none());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut catalog = Catalog::new();
+        assert!(catalog.is_empty());
+        let spec = MovieSpec::paper_default().with_duration(Duration::from_secs(1));
+        catalog.add(Movie::generate(MovieId(1), &spec));
+        catalog.add(Movie::generate(MovieId(7), &spec.clone().with_title("other")));
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.ids(), vec![MovieId(1), MovieId(7)]);
+        assert_eq!(catalog.get(MovieId(7)).unwrap().title(), "other");
+        assert!(catalog.get(MovieId(9)).is_none());
+    }
+}

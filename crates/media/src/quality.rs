@@ -1,0 +1,149 @@
+//! Quality adaptation: selecting which frames to transmit for clients that
+//! cannot process the full frame rate (paper §4.3).
+//!
+//! When a client requests lower quality, the server "starts skipping
+//! frames, transmitting all the I (full image) frames, and some of the
+//! other frames, as the capabilities allow". [`QualityFilter`] implements
+//! that policy deterministically: every I frame is kept, and within each
+//! GOP the incremental frames are thinned out with even spacing to hit the
+//! target rate.
+
+use crate::frame::{FrameNo, GopPattern};
+
+/// Deterministic frame-selection filter for a reduced target frame rate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QualityFilter {
+    gop_len: u64,
+    /// Per-GOP bitmask: `keep[i]` is whether position `i` of each GOP is
+    /// transmitted.
+    keep: Vec<bool>,
+}
+
+impl QualityFilter {
+    /// Builds a filter that thins `gop`-structured video from `movie_fps`
+    /// down to approximately `target_fps`.
+    ///
+    /// I frames are always kept, so the effective floor on the delivered
+    /// rate is the I-frame rate (2 fps for the MPEG-1 GOP at 30 fps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `movie_fps` is zero.
+    pub fn new(gop: &GopPattern, movie_fps: u32, target_fps: u32) -> Self {
+        assert!(movie_fps > 0, "movie fps must be positive");
+        let gop_len = gop.len() as u64;
+        if target_fps >= movie_fps {
+            return QualityFilter {
+                gop_len,
+                keep: vec![true; gop.len()],
+            };
+        }
+        let mut keep = vec![false; gop.len()];
+        let non_intra: Vec<usize> = (0..gop.len())
+            .filter(|&i| {
+                let intra = gop.type_at(FrameNo(i as u64)).is_intra();
+                if intra {
+                    keep[i] = true;
+                }
+                !intra
+            })
+            .collect();
+        // Frames to keep per GOP to hit the target rate.
+        let want = ((gop.len() as f64) * f64::from(target_fps) / f64::from(movie_fps)).round()
+            as usize;
+        let extra = want.saturating_sub(gop.intra_per_gop());
+        let extra = extra.min(non_intra.len());
+        // Evenly spaced selection among the incremental frames.
+        for k in 0..extra {
+            let idx = non_intra[k * non_intra.len() / extra.max(1)];
+            keep[idx] = true;
+        }
+        QualityFilter { gop_len, keep }
+    }
+
+    /// Whether frame `no` of the movie should be transmitted.
+    pub fn should_send(&self, no: FrameNo) -> bool {
+        self.keep[(no.0 % self.gop_len) as usize]
+    }
+
+    /// Number of frames transmitted per GOP.
+    pub fn kept_per_gop(&self) -> usize {
+        self.keep.iter().filter(|&&k| k).count()
+    }
+
+    /// Effective delivered frame rate for a movie at `movie_fps`.
+    pub fn effective_fps(&self, movie_fps: u32) -> f64 {
+        f64::from(movie_fps) * self.kept_per_gop() as f64 / self.gop_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::GopPattern;
+
+    #[test]
+    fn full_rate_keeps_everything() {
+        let gop = GopPattern::mpeg1();
+        let filter = QualityFilter::new(&gop, 30, 30);
+        assert_eq!(filter.kept_per_gop(), 15);
+        let filter = QualityFilter::new(&gop, 30, 60);
+        assert_eq!(filter.kept_per_gop(), 15);
+    }
+
+    #[test]
+    fn half_rate_keeps_half() {
+        let gop = GopPattern::mpeg1();
+        let filter = QualityFilter::new(&gop, 30, 15);
+        assert_eq!(filter.kept_per_gop(), 8, "15 fps of 30 = 7.5 → 8 per GOP");
+        assert!((filter.effective_fps(30) - 16.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn i_frames_always_survive() {
+        let gop = GopPattern::mpeg1();
+        for target in [1, 2, 5, 10, 20, 29] {
+            let filter = QualityFilter::new(&gop, 30, target);
+            for i in 0..45u64 {
+                if gop.type_at(FrameNo(i)).is_intra() {
+                    assert!(
+                        filter.should_send(FrameNo(i)),
+                        "I frame {i} dropped at target {target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_reduction_floors_at_i_rate() {
+        let gop = GopPattern::mpeg1();
+        let filter = QualityFilter::new(&gop, 30, 1);
+        assert_eq!(filter.kept_per_gop(), 1, "only the I frame remains");
+        assert!((filter.effective_fps(30) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn selection_is_periodic() {
+        let gop = GopPattern::mpeg1();
+        let filter = QualityFilter::new(&gop, 30, 10);
+        for i in 0..15u64 {
+            assert_eq!(
+                filter.should_send(FrameNo(i)),
+                filter.should_send(FrameNo(i + 15))
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_target() {
+        // A higher target rate never keeps fewer frames.
+        let gop = GopPattern::mpeg1();
+        let mut prev = 0;
+        for target in 1..=30 {
+            let kept = QualityFilter::new(&gop, 30, target).kept_per_gop();
+            assert!(kept >= prev, "target {target}: kept {kept} < prev {prev}");
+            prev = kept;
+        }
+    }
+}

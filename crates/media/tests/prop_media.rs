@@ -1,0 +1,98 @@
+//! Property-based tests for the media model: movie generation statistics,
+//! quality-filter invariants and decoder conservation.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use media::{
+    DisplayOutcome, FrameMeta, FrameNo, GopPattern, HardwareDecoder, Movie, MovieId, MovieSpec,
+    QualityFilter,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated movies stay within a few percent of the target bitrate
+    /// and follow the GOP type pattern exactly.
+    #[test]
+    fn movie_statistics_hold(
+        bitrate_kbps in 200u64..8_000,
+        fps in 10u32..60,
+        secs in 2u64..20,
+        seed in 0u64..10_000,
+    ) {
+        let spec = MovieSpec {
+            title: "prop".to_owned(),
+            bitrate_bps: bitrate_kbps * 1000,
+            fps,
+            duration: Duration::from_secs(secs),
+            gop: GopPattern::mpeg1(),
+            seed,
+            size_jitter: 0.2,
+        };
+        let movie = Movie::generate(MovieId(1), &spec);
+        prop_assert_eq!(movie.frame_count(), secs * u64::from(fps));
+        let err = (movie.measured_bitrate_bps() - (bitrate_kbps * 1000) as f64).abs()
+            / (bitrate_kbps * 1000) as f64;
+        // Short movies carry more sampling variance: allow O(1/√n) slack.
+        let tolerance = 0.05 + 1.5 / (movie.frame_count() as f64).sqrt();
+        prop_assert!(err < tolerance, "bitrate error {err} > {tolerance}");
+        for i in 0..movie.frame_count() {
+            let frame = movie.frame(FrameNo(i)).expect("in range");
+            prop_assert_eq!(frame.ftype, movie.gop().type_at(FrameNo(i)));
+            prop_assert!(frame.size >= 64);
+        }
+    }
+
+    /// The quality filter always keeps I frames, never exceeds the GOP,
+    /// and is monotone in the requested rate.
+    #[test]
+    fn quality_filter_invariants(movie_fps in 10u32..60, target in 1u32..70) {
+        let gop = GopPattern::mpeg1();
+        let filter = QualityFilter::new(&gop, movie_fps, target);
+        for i in 0..30u64 {
+            if gop.type_at(FrameNo(i)).is_intra() {
+                prop_assert!(filter.should_send(FrameNo(i)), "dropped I frame {i}");
+            }
+        }
+        prop_assert!(filter.kept_per_gop() >= 1);
+        prop_assert!(filter.kept_per_gop() <= gop.len());
+        if target < movie_fps {
+            let next = QualityFilter::new(&gop, movie_fps, target + 1);
+            prop_assert!(next.kept_per_gop() >= filter.kept_per_gop());
+        }
+    }
+
+    /// Decoder conservation: bytes occupied always equal the queued frame
+    /// sizes; displayed + queued == accepted pushes.
+    #[test]
+    fn decoder_conserves_frames(
+        ops in prop::collection::vec((0u32..2, 100u32..20_000), 1..200),
+        capacity in 20_000u64..500_000,
+    ) {
+        let mut decoder = HardwareDecoder::new(capacity);
+        let mut accepted = 0u64;
+        let mut queued_bytes = 0u64;
+        let mut no = 0u64;
+        for (op, size) in ops {
+            if op == 0 {
+                let frame = FrameMeta {
+                    no: FrameNo(no),
+                    ftype: media::FrameType::P,
+                    size,
+                };
+                no += 1;
+                if decoder.push(frame).is_ok() {
+                    accepted += 1;
+                    queued_bytes += u64::from(size);
+                }
+            } else if let DisplayOutcome::Displayed(f) = decoder.tick_display() {
+                queued_bytes -= u64::from(f.size);
+            }
+            prop_assert_eq!(decoder.occupied(), queued_bytes);
+            prop_assert!(decoder.occupied() <= capacity);
+        }
+        prop_assert_eq!(decoder.displayed() + decoder.queued_frames() as u64, accepted);
+    }
+}

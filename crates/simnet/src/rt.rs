@@ -1,0 +1,544 @@
+//! Real-time execution of the same [`crate::Process`] state
+//! machines that run in the simulator.
+//!
+//! The discrete-event [`Simulation`](crate::Simulation) is the measurement
+//! substrate; [`RealTimeRunner`] is the *deployment* substrate: it drives
+//! identical process code on the wall clock, delivering datagrams through
+//! an in-process router that applies the same [`LinkProfile`] delay/loss
+//! model (with real elapsing time). A service developed and tested against
+//! the simulator therefore runs live without any code change — the VoD
+//! servers and clients of this workspace stream actual wall-clock seconds
+//! of video this way (see the `live_demo` example of the root crate).
+//!
+//! The runner is single-threaded and deterministic apart from the wall
+//! clock itself: given the same seed, the same random draws decide losses
+//! and jitter, but event interleaving follows real time.
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::net::{Endpoint, LinkProfile, NodeId, Payload};
+use crate::process::{AnyProcess, Context, Effect, Process, Timer, TimerId};
+use crate::stats::NetStats;
+use crate::time::SimTime;
+
+enum RtEvent<M: Payload> {
+    Deliver {
+        from: Endpoint,
+        to: Endpoint,
+        msg: M,
+        class: &'static str,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+    },
+}
+
+struct RtScheduled<M: Payload> {
+    at: Instant,
+    seq: u64,
+    event: RtEvent<M>,
+}
+
+impl<M: Payload> PartialEq for RtScheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M: Payload> Eq for RtScheduled<M> {}
+
+impl<M: Payload> PartialOrd for RtScheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M: Payload> Ord for RtScheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct RtSlot<M: Payload> {
+    process: Option<Box<dyn AnyProcess<M>>>,
+    alive: bool,
+}
+
+/// A wall-clock executor for [`Process`] state machines.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::rt::RealTimeRunner;
+/// use simnet::{Context, Endpoint, NodeId, Payload, Port, Process, Timer};
+/// use std::time::Duration;
+///
+/// #[derive(Clone, Debug)]
+/// struct Ping;
+/// impl Payload for Ping {
+///     fn size_bytes(&self) -> usize { 8 }
+/// }
+///
+/// struct Echo { heard: u32 }
+/// impl Process<Ping> for Echo {
+///     fn on_datagram(&mut self, _: &mut Context<'_, Ping>, _: Endpoint, _: Endpoint, _: Ping) {
+///         self.heard += 1;
+///     }
+///     fn on_timer(&mut self, _: &mut Context<'_, Ping>, _: Timer) {}
+/// }
+///
+/// struct Beeper { peer: NodeId }
+/// impl Process<Ping> for Beeper {
+///     fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+///         ctx.set_timer_after(Duration::from_millis(5), 1);
+///     }
+///     fn on_datagram(&mut self, _: &mut Context<'_, Ping>, _: Endpoint, _: Endpoint, _: Ping) {}
+///     fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, _: Timer) {
+///         ctx.send(Port(1), Endpoint::new(self.peer, Port(1)), Ping);
+///     }
+/// }
+///
+/// let mut rt = RealTimeRunner::new(7);
+/// rt.add_node(NodeId(1), Beeper { peer: NodeId(2) });
+/// rt.add_node(NodeId(2), Echo { heard: 0 });
+/// rt.run_for(Duration::from_millis(50)); // real wall-clock time
+/// let heard = rt.with_process(NodeId(2), |e: &Echo| e.heard).unwrap();
+/// assert_eq!(heard, 1);
+/// ```
+pub struct RealTimeRunner<M: Payload> {
+    started: Instant,
+    seq: u64,
+    queue: BinaryHeap<RtScheduled<M>>,
+    nodes: BTreeMap<NodeId, RtSlot<M>>,
+    default_profile: LinkProfile,
+    overrides: HashMap<(NodeId, NodeId), LinkProfile>,
+    rng: StdRng,
+    cancelled: HashSet<u64>,
+    next_timer_id: u64,
+    stats: NetStats,
+    effects: Vec<Effect<M>>,
+}
+
+impl<M: Payload> std::fmt::Debug for RealTimeRunner<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealTimeRunner")
+            .field("elapsed", &self.started.elapsed())
+            .field("nodes", &self.nodes.len())
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<M: Payload> RealTimeRunner<M> {
+    /// Creates a runner; `seed` controls the loss/jitter draws.
+    pub fn new(seed: u64) -> Self {
+        RealTimeRunner {
+            started: Instant::now(),
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: BTreeMap::new(),
+            default_profile: LinkProfile::ideal(),
+            overrides: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            cancelled: HashSet::new(),
+            next_timer_id: 0,
+            stats: NetStats::new(),
+            effects: Vec::new(),
+        }
+    }
+
+    /// Time elapsed since the runner was created, as the [`SimTime`] the
+    /// processes observe.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.started.elapsed().as_micros() as u64)
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Sets the profile applied to links without an override.
+    pub fn set_default_profile(&mut self, profile: LinkProfile) {
+        self.default_profile = profile;
+    }
+
+    /// Overrides the directed link `from → to`.
+    pub fn set_link_profile(&mut self, from: NodeId, to: NodeId, profile: LinkProfile) {
+        self.overrides.insert((from, to), profile);
+    }
+
+    /// Boots `process` on `node` immediately, running its `on_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live process already occupies `node`.
+    pub fn add_node(&mut self, node: NodeId, process: impl Process<M>) {
+        if let Some(slot) = self.nodes.get(&node) {
+            assert!(!slot.alive, "node {node} already has a live process");
+        }
+        self.nodes.insert(
+            node,
+            RtSlot {
+                process: Some(Box::new(process)),
+                alive: true,
+            },
+        );
+        self.run_handler(node, |process, ctx| process.on_start(ctx));
+    }
+
+    /// Stops delivering events to `node` (its state stays inspectable).
+    pub fn stop_node(&mut self, node: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&node) {
+            slot.alive = false;
+        }
+    }
+
+    /// Whether `node` hosts a live process.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).is_some_and(|s| s.alive)
+    }
+
+    /// Runs the event loop for `duration` of real time, sleeping between
+    /// events.
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = Instant::now() + duration;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.queue.peek().map(|e| e.at) {
+                Some(at) if at <= now => {
+                    let ev = self.queue.pop().expect("peeked event vanished");
+                    self.dispatch(ev.event);
+                }
+                Some(at) => {
+                    let wake = at.min(deadline);
+                    std::thread::sleep(wake.saturating_duration_since(now));
+                }
+                None => {
+                    std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+                }
+            }
+        }
+    }
+
+    /// Borrows the process on `node` as `T` (post-mortem friendly).
+    pub fn with_process<T: 'static, R>(&self, node: NodeId, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.nodes
+            .get(&node)?
+            .process
+            .as_ref()
+            .and_then(|p| p.as_any().downcast_ref::<T>())
+            .map(f)
+    }
+
+    /// Invokes `f` on the live process at `node` with a [`Context`],
+    /// applying its side effects — the live-mode analogue of
+    /// [`Simulation::invoke`](crate::Simulation::invoke).
+    pub fn invoke<T: 'static, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<'_, M>) -> R,
+    ) -> Option<R> {
+        let slot = self.nodes.get_mut(&node)?;
+        if !slot.alive {
+            return None;
+        }
+        let mut process = slot.process.take()?;
+        let now = self.now();
+        let mut effects = std::mem::take(&mut self.effects);
+        let result = {
+            let mut ctx = Context {
+                now,
+                node,
+                rng: &mut self.rng,
+                effects: &mut effects,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            process
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .map(|typed| f(typed, &mut ctx))
+        };
+        let exited = effects.iter().any(|e| matches!(e, Effect::Exit));
+        if let Some(slot) = self.nodes.get_mut(&node) {
+            slot.process = Some(process);
+            if exited && result.is_some() {
+                slot.alive = false;
+            }
+        }
+        if result.is_some() {
+            for effect in effects.drain(..) {
+                self.apply_effect(node, effect);
+            }
+        } else {
+            effects.clear();
+        }
+        self.effects = effects;
+        result
+    }
+
+    fn dispatch(&mut self, event: RtEvent<M>) {
+        match event {
+            RtEvent::Deliver {
+                from,
+                to,
+                msg,
+                class,
+            } => {
+                if !self.nodes.get(&to.node).is_some_and(|s| s.alive) {
+                    self.stats.class_mut(class).dropped_dead += 1;
+                    return;
+                }
+                self.stats.class_mut(class).delivered_msgs += 1;
+                self.run_handler(to.node, |process, ctx| {
+                    process.on_datagram(ctx, from, to, msg);
+                });
+            }
+            RtEvent::Timer { node, id, tag } => {
+                if self.cancelled.remove(&id.0) {
+                    return;
+                }
+                if !self.nodes.get(&node).is_some_and(|s| s.alive) {
+                    return;
+                }
+                self.run_handler(node, |process, ctx| {
+                    process.on_timer(ctx, Timer { id, tag });
+                });
+            }
+        }
+    }
+
+    fn run_handler(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn AnyProcess<M>, &mut Context<'_, M>),
+    ) {
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        let Some(mut process) = slot.process.take() else {
+            return;
+        };
+        let now = self.now();
+        let mut effects = std::mem::take(&mut self.effects);
+        {
+            let mut ctx = Context {
+                now,
+                node,
+                rng: &mut self.rng,
+                effects: &mut effects,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(process.as_mut(), &mut ctx);
+        }
+        let exited = effects.iter().any(|e| matches!(e, Effect::Exit));
+        if let Some(slot) = self.nodes.get_mut(&node) {
+            slot.process = Some(process);
+            if exited {
+                slot.alive = false;
+            }
+        }
+        for effect in effects.drain(..) {
+            self.apply_effect(node, effect);
+        }
+        self.effects = effects;
+    }
+
+    fn apply_effect(&mut self, node: NodeId, effect: Effect<M>) {
+        match effect {
+            Effect::Send { from, to, msg } => self.route(from, to, msg),
+            Effect::SetTimer { id, at, tag } => {
+                // `at` is a SimTime relative to runner start; convert back
+                // to a wall-clock instant.
+                let instant = self.started + Duration::from_micros(at.as_micros());
+                self.schedule(instant, RtEvent::Timer { node, id, tag });
+            }
+            Effect::CancelTimer(id) => {
+                self.cancelled.insert(id.0);
+            }
+            Effect::Exit => {}
+        }
+    }
+
+    fn route(&mut self, from: Endpoint, to: Endpoint, msg: M) {
+        let class = msg.class();
+        {
+            let counters = self.stats.class_mut(class);
+            counters.sent_msgs += 1;
+            counters.sent_bytes += msg.size_bytes() as u64;
+        }
+        let profile = self
+            .overrides
+            .get(&(from.node, to.node))
+            .unwrap_or(&self.default_profile)
+            .clone();
+        if profile.loss > 0.0 && self.rng.gen::<f64>() < profile.loss {
+            self.stats.class_mut(class).dropped_loss += 1;
+            return;
+        }
+        let mut delay = profile.base_delay;
+        if !profile.jitter.is_zero() {
+            delay += profile.jitter.mul_f64(self.rng.gen::<f64>());
+        }
+        if profile.reorder > 0.0 && self.rng.gen::<f64>() < profile.reorder {
+            delay += profile.reorder_extra;
+        }
+        let at = Instant::now() + delay;
+        self.schedule(
+            at,
+            RtEvent::Deliver {
+                from,
+                to,
+                msg,
+                class,
+            },
+        );
+    }
+
+    fn schedule(&mut self, at: Instant, event: RtEvent<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(RtScheduled { at, seq, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Port;
+
+    #[derive(Clone, Debug)]
+    struct Num(u64);
+
+    impl Payload for Num {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    /// Emits a message every 10 ms of real time.
+    struct Ticker {
+        peer: NodeId,
+        sent: u64,
+    }
+
+    impl Process<Num> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+            ctx.set_timer_after(Duration::from_millis(10), 1);
+        }
+
+        fn on_datagram(&mut self, _: &mut Context<'_, Num>, _: Endpoint, _: Endpoint, _: Num) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, Num>, _: Timer) {
+            ctx.send(Port(1), Endpoint::new(self.peer, Port(1)), Num(self.sent));
+            self.sent += 1;
+            ctx.set_timer_after(Duration::from_millis(10), 1);
+        }
+    }
+
+    #[derive(Default)]
+    struct Collector {
+        got: Vec<u64>,
+    }
+
+    impl Process<Num> for Collector {
+        fn on_datagram(&mut self, _: &mut Context<'_, Num>, _: Endpoint, _: Endpoint, m: Num) {
+            self.got.push(m.0);
+        }
+
+        fn on_timer(&mut self, _: &mut Context<'_, Num>, _: Timer) {}
+    }
+
+    #[test]
+    fn periodic_traffic_flows_in_real_time() {
+        let mut rt = RealTimeRunner::new(1);
+        rt.add_node(
+            NodeId(1),
+            Ticker {
+                peer: NodeId(2),
+                sent: 0,
+            },
+        );
+        rt.add_node(NodeId(2), Collector::default());
+        rt.run_for(Duration::from_millis(120));
+        let got = rt
+            .with_process(NodeId(2), |c: &Collector| c.got.clone())
+            .unwrap();
+        // ~12 ticks expected; accept generous scheduling slack.
+        assert!(
+            (5..=14).contains(&got.len()),
+            "unexpected tick count {}",
+            got.len()
+        );
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "out of order");
+    }
+
+    #[test]
+    fn stopped_node_receives_nothing_more() {
+        let mut rt = RealTimeRunner::new(2);
+        rt.add_node(
+            NodeId(1),
+            Ticker {
+                peer: NodeId(2),
+                sent: 0,
+            },
+        );
+        rt.add_node(NodeId(2), Collector::default());
+        rt.run_for(Duration::from_millis(50));
+        rt.stop_node(NodeId(2));
+        let before = rt
+            .with_process(NodeId(2), |c: &Collector| c.got.len())
+            .unwrap();
+        rt.run_for(Duration::from_millis(50));
+        let after = rt
+            .with_process(NodeId(2), |c: &Collector| c.got.len())
+            .unwrap();
+        assert_eq!(before, after);
+        assert!(rt.stats().class("default").dropped_dead > 0);
+    }
+
+    #[test]
+    fn invoke_applies_effects_live() {
+        let mut rt = RealTimeRunner::new(3);
+        rt.add_node(NodeId(1), Collector::default());
+        rt.add_node(NodeId(2), Collector::default());
+        rt.invoke(NodeId(1), |_: &mut Collector, ctx| {
+            ctx.send(Port(1), Endpoint::new(NodeId(2), Port(1)), Num(9));
+        })
+        .expect("invoke works");
+        rt.run_for(Duration::from_millis(20));
+        let got = rt
+            .with_process(NodeId(2), |c: &Collector| c.got.clone())
+            .unwrap();
+        assert_eq!(got, vec![9]);
+    }
+
+    #[test]
+    fn lossy_profile_drops_in_real_time_too() {
+        let mut rt = RealTimeRunner::new(4);
+        rt.set_default_profile(LinkProfile::ideal().with_loss(1.0));
+        rt.add_node(
+            NodeId(1),
+            Ticker {
+                peer: NodeId(2),
+                sent: 0,
+            },
+        );
+        rt.add_node(NodeId(2), Collector::default());
+        rt.run_for(Duration::from_millis(60));
+        let got = rt
+            .with_process(NodeId(2), |c: &Collector| c.got.len())
+            .unwrap();
+        assert_eq!(got, 0);
+        assert!(rt.stats().class("default").dropped_loss > 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Network traffic accounting.
+//!
+//! Every datagram handed to the network is counted under its
+//! [`Payload::class`](crate::Payload::class) label. The VoD experiments use
+//! this to verify the paper's claim that group-communication control traffic
+//! consumes less than one thousandth of the bandwidth used for video.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters for one traffic class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Datagrams submitted to the network.
+    pub sent_msgs: u64,
+    /// Bytes submitted to the network (per [`Payload::size_bytes`](crate::Payload::size_bytes)).
+    pub sent_bytes: u64,
+    /// Datagrams delivered to a live process.
+    pub delivered_msgs: u64,
+    /// Datagrams dropped by the random loss model.
+    pub dropped_loss: u64,
+    /// Datagrams dropped because source and destination were partitioned.
+    pub dropped_partition: u64,
+    /// Datagrams dropped because the destination node was crashed or absent.
+    pub dropped_dead: u64,
+    /// Extra copies created by the duplication model.
+    pub duplicated: u64,
+}
+
+/// Per-class traffic counters for a whole simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    classes: BTreeMap<&'static str, ClassStats>,
+}
+
+impl NetStats {
+    /// Creates an empty set of counters.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    pub(crate) fn class_mut(&mut self, class: &'static str) -> &mut ClassStats {
+        self.classes.entry(class).or_default()
+    }
+
+    /// Counters for `class`, or zeroed counters if the class never sent.
+    pub fn class(&self, class: &str) -> ClassStats {
+        self.classes.get(class).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(class, counters)` pairs in class-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &ClassStats)> {
+        self.classes.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total bytes submitted across all classes.
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.classes.values().map(|c| c.sent_bytes).sum()
+    }
+
+    /// Total datagrams submitted across all classes.
+    pub fn total_sent_msgs(&self) -> u64 {
+        self.classes.values().map(|c| c.sent_msgs).sum()
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>14} {:>10} {:>8} {:>8} {:>8}",
+            "class", "sent", "bytes", "delivered", "lost", "part", "dead"
+        )?;
+        for (class, c) in self.iter() {
+            writeln!(
+                f,
+                "{:<16} {:>10} {:>14} {:>10} {:>8} {:>8} {:>8}",
+                class,
+                c.sent_msgs,
+                c.sent_bytes,
+                c.delivered_msgs,
+                c.dropped_loss,
+                c.dropped_partition,
+                c.dropped_dead
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_class_is_zero() {
+        let stats = NetStats::new();
+        assert_eq!(stats.class("video"), ClassStats::default());
+        assert_eq!(stats.total_sent_bytes(), 0);
+    }
+
+    #[test]
+    fn class_mut_accumulates() {
+        let mut stats = NetStats::new();
+        stats.class_mut("video").sent_msgs += 2;
+        stats.class_mut("video").sent_bytes += 100;
+        stats.class_mut("gcs").sent_bytes += 5;
+        assert_eq!(stats.class("video").sent_msgs, 2);
+        assert_eq!(stats.total_sent_bytes(), 105);
+        assert_eq!(stats.total_sent_msgs(), 2);
+    }
+
+    #[test]
+    fn display_lists_classes_in_order() {
+        let mut stats = NetStats::new();
+        stats.class_mut("video").sent_msgs = 1;
+        stats.class_mut("gcs").sent_msgs = 1;
+        let text = stats.to_string();
+        let gcs_pos = text.find("gcs").unwrap();
+        let video_pos = text.find("video").unwrap();
+        assert!(gcs_pos < video_pos, "classes should print sorted:\n{text}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the network model: delivery ordering on
+//! perfect links and conservation of datagram accounting on lossy ones.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use simnet::{
+    Context, Endpoint, LinkProfile, NodeId, Payload, Port, Process, SimTime, Simulation, Timer,
+};
+
+const PORT: Port = Port(1);
+
+#[derive(Clone, Debug)]
+struct Tagged(u64);
+
+impl Payload for Tagged {
+    fn size_bytes(&self) -> usize {
+        16
+    }
+
+    fn class(&self) -> &'static str {
+        "tagged"
+    }
+}
+
+/// Sends a scripted schedule of (delay_ms, value) messages.
+struct Script {
+    peer: NodeId,
+    schedule: Vec<(u16, u64)>,
+    next: usize,
+}
+
+impl Process<Tagged> for Script {
+    fn on_start(&mut self, ctx: &mut Context<'_, Tagged>) {
+        ctx.set_timer_after(Duration::ZERO, 0);
+    }
+
+    fn on_datagram(&mut self, _: &mut Context<'_, Tagged>, _: Endpoint, _: Endpoint, _: Tagged) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Tagged>, _: Timer) {
+        if let Some(&(delay, value)) = self.schedule.get(self.next) {
+            self.next += 1;
+            ctx.send(PORT, Endpoint::new(self.peer, PORT), Tagged(value));
+            ctx.set_timer_after(Duration::from_millis(u64::from(delay) + 1), 0);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    got: Vec<u64>,
+}
+
+impl Process<Tagged> for Sink {
+    fn on_datagram(&mut self, _: &mut Context<'_, Tagged>, _: Endpoint, _: Endpoint, m: Tagged) {
+        self.got.push(m.0);
+    }
+
+    fn on_timer(&mut self, _: &mut Context<'_, Tagged>, _: Timer) {}
+}
+
+fn run(profile: LinkProfile, seed: u64, schedule: Vec<(u16, u64)>) -> (Vec<u64>, simnet::ClassStats) {
+    let n = schedule.len();
+    let mut sim = Simulation::new(seed);
+    sim.set_default_profile(profile);
+    sim.add_node(
+        NodeId(1),
+        Script {
+            peer: NodeId(2),
+            schedule,
+            next: 0,
+        },
+    );
+    sim.add_node(NodeId(2), Sink::default());
+    // Generous horizon: schedule delays are < 65.6 s total worst case.
+    sim.run_until(SimTime::from_secs(80 + n as u64));
+    let got = sim
+        .with_process(NodeId(2), |s: &Sink| s.got.clone())
+        .expect("sink exists");
+    (got, sim.stats().class("tagged"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On an ideal link every message arrives exactly once, in order.
+    #[test]
+    fn ideal_link_preserves_order(
+        schedule in prop::collection::vec((0u16..50, 0u64..1_000_000), 1..60),
+        seed in 0u64..1_000,
+    ) {
+        let sent: Vec<u64> = schedule.iter().map(|&(_, v)| v).collect();
+        let (got, stats) = run(LinkProfile::ideal(), seed, schedule);
+        prop_assert_eq!(got, sent);
+        prop_assert_eq!(stats.dropped_loss, 0);
+        prop_assert_eq!(stats.delivered_msgs, stats.sent_msgs);
+    }
+
+    /// Datagram accounting is conserved on an arbitrary lossy link.
+    #[test]
+    fn lossy_link_conserves_accounting(
+        schedule in prop::collection::vec((0u16..30, 0u64..100), 1..80),
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.9,
+        dup in 0.0f64..0.3,
+    ) {
+        let mut profile = LinkProfile::lan();
+        profile.loss = loss;
+        profile.duplicate = dup;
+        let n = schedule.len() as u64;
+        let (got, stats) = run(profile, seed, schedule);
+        prop_assert_eq!(stats.sent_msgs, n);
+        // delivered + lost == sent + duplicated (nothing vanishes).
+        prop_assert_eq!(
+            stats.delivered_msgs + stats.dropped_loss,
+            stats.sent_msgs + stats.duplicated
+        );
+        prop_assert_eq!(got.len() as u64, stats.delivered_msgs);
+    }
+
+    /// The same seed reproduces the identical delivery sequence.
+    #[test]
+    fn same_seed_is_reproducible(
+        schedule in prop::collection::vec((0u16..30, 0u64..100), 1..40),
+        seed in 0u64..1_000,
+    ) {
+        let a = run(LinkProfile::wan(), seed, schedule.clone());
+        let b = run(LinkProfile::wan(), seed, schedule);
+        prop_assert_eq!(a.0, b.0);
+    }
+}

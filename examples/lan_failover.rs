@@ -1,0 +1,73 @@
+//! The paper's LAN measurement scenario (§6.1, Figure 4), narrated.
+//!
+//! Two replicas serve a client on a switched-Ethernet profile. The
+//! transmitting server is killed ~38 s into the movie; ~24 s later a third
+//! server is brought up and the client is migrated to it for load
+//! balancing. The example prints the evolution of the four quantities the
+//! paper plots: skipped frames, late frames, software- and hardware-buffer
+//! occupancy.
+//!
+//! ```text
+//! cargo run --example lan_failover
+//! ```
+
+use ftvod::prelude::*;
+use ftvod::vod::metrics::sparkline;
+
+fn main() {
+    let (builder, crash_at, balance_at) = presets::fig4_lan(7);
+    let mut sim = builder.build();
+    println!(
+        "LAN scenario: crash at {crash_at}, load-balance migration at {balance_at}\n"
+    );
+
+    let mut last_late = 0;
+    let mut last_skipped = 0;
+    for checkpoint in (5..=120).step_by(5) {
+        sim.run_until(SimTime::from_secs(checkpoint));
+        let stats = sim.client_stats(presets::CLIENT_ID).unwrap();
+        let marker = if checkpoint as f64 >= crash_at.as_secs_f64()
+            && (checkpoint as f64) < crash_at.as_secs_f64() + 5.0
+        {
+            "  << CRASH"
+        } else if checkpoint as f64 >= balance_at.as_secs_f64()
+            && (checkpoint as f64) < balance_at.as_secs_f64() + 5.0
+        {
+            "  << LOAD BALANCE"
+        } else {
+            ""
+        };
+        println!(
+            "t={checkpoint:>3}s  owner={:?}  sw={:>2}f hw={:>3}KB  skipped={:>2} (+{})  late={:>2} (+{})  stalls={}{}",
+            sim.owner_of(presets::CLIENT_ID),
+            stats.sw_occupancy.last().unwrap_or(0.0) as u64,
+            stats.hw_occupancy.last().unwrap_or(0.0) as u64 / 1000,
+            stats.skipped.total(),
+            stats.skipped.total() - last_skipped,
+            stats.late.total(),
+            stats.late.total() - last_late,
+            stats.stalls.total(),
+            marker,
+        );
+        last_late = stats.late.total();
+        last_skipped = stats.skipped.total();
+    }
+
+    let stats = sim.client_stats(presets::CLIENT_ID).unwrap();
+    println!("\nsoftware buffer occupancy (frames) over the run:");
+    println!("  {}", sparkline(&stats.sw_occupancy, 80));
+    println!("hardware buffer occupancy (bytes) over the run:");
+    println!("  {}", sparkline(&stats.hw_occupancy, 80));
+    println!(
+        "\nsummary: {} frames received, {} displayed, {} visible freezes,",
+        stats.frames_received,
+        sim.client_displayed(presets::CLIENT_ID).unwrap(),
+        stats.stalls.total()
+    );
+    println!(
+        "{} duplicates at migrations, {} skipped, no I frame lost: {}",
+        stats.late.total(),
+        stats.skipped.total(),
+        stats.i_frames_evicted == 0
+    );
+}

@@ -1,0 +1,68 @@
+//! Dynamic load balancing: a new server is brought up on the fly and
+//! absorbs clients from the loaded replicas (paper §1, §5.2).
+//!
+//! Six clients watch the same movie from two replicas; a third replica is
+//! brought up mid-run. The deterministic redistribution evens out the load
+//! without interrupting anyone's movie.
+//!
+//! ```text
+//! cargo run --example load_balancing
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use ftvod::prelude::*;
+
+fn main() {
+    let movie = Movie::generate(
+        MovieId(1),
+        &MovieSpec::paper_default().with_duration(Duration::from_secs(120)),
+    );
+    let (s1, s2, s3) = (NodeId(1), NodeId(2), NodeId(3));
+    let clients: Vec<ClientId> = (1..=6).map(ClientId).collect();
+
+    let mut builder = ScenarioBuilder::new(5);
+    builder
+        .network(LinkProfile::lan())
+        .movie(movie, &[s1, s2, s3])
+        .server(s1)
+        .server(s2)
+        .server_at(SimTime::from_secs(30), s3);
+    for (i, &c) in clients.iter().enumerate() {
+        builder.client(c, NodeId(100 + c.0), MovieId(1), SimTime::from_secs(2 + i as u64));
+    }
+    let mut sim = builder.build();
+
+    let print_distribution = |sim: &VodSim, label: &str| {
+        let mut per_server: BTreeMap<NodeId, Vec<ClientId>> = BTreeMap::new();
+        for &c in &clients {
+            if let Some(owner) = sim.owner_of(c) {
+                per_server.entry(owner).or_default().push(c);
+            }
+        }
+        println!("{label}");
+        for (server, served) in &per_server {
+            println!("  {server} serves {} client(s): {served:?}", served.len());
+        }
+    };
+
+    sim.run_until(SimTime::from_secs(25));
+    print_distribution(&sim, "before the new server (t=25s):");
+
+    sim.run_until(SimTime::from_secs(45));
+    print_distribution(&sim, "\nafter bringing up n3 for load balancing (t=45s):");
+
+    sim.run_until(SimTime::from_secs(90));
+    println!("\nviewer experience through the migration:");
+    for &c in &clients {
+        let stats = sim.client_stats(c).unwrap();
+        println!(
+            "  {c}: {:>4} frames received, {} freezes, {} late, {} skipped",
+            stats.frames_received,
+            stats.stalls.total(),
+            stats.late.total(),
+            stats.skipped.total()
+        );
+    }
+}

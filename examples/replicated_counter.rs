@@ -1,0 +1,145 @@
+//! Beyond VoD: a replicated state machine in forty lines of application
+//! code, on the same group communication substrate.
+//!
+//! The paper closes with: "The concepts demonstrated in this work are
+//! general, and may be exploited to construct a variety of highly
+//! available servers." This example backs that claim — a replicated
+//! counter service built directly on [`gcs`]'s agreed (total-order)
+//! multicast: every replica applies the same operations in the same order,
+//! so replicas never diverge, and membership changes (crash, join) are
+//! handled by the substrate.
+//!
+//! ```text
+//! cargo run --example replicated_counter
+//! ```
+
+use std::time::Duration;
+
+use ftvod::group::{Carried, GcsConfig, GcsEvent, GcsNode, GcsPacket, GroupId};
+use ftvod::sim::{Context, Endpoint, LinkProfile, NodeId, Payload, Port, Process, SimTime, Simulation, Timer};
+
+const PORT: Port = Port(1);
+const TICK: u64 = 1;
+const GROUP: GroupId = GroupId(1);
+
+/// Operations on the replicated counter.
+#[derive(Clone, Debug, PartialEq)]
+enum Op {
+    Add(i64),
+    Reset,
+}
+
+impl Payload for Op {
+    fn size_bytes(&self) -> usize {
+        16
+    }
+}
+
+type Wire = GcsPacket<Op>;
+
+/// A counter replica: the whole application is `apply` plus the GCS
+/// plumbing.
+struct Replica {
+    gcs: GcsNode<Op>,
+    value: i64,
+    applied: u64,
+}
+
+impl Replica {
+    fn new(node: NodeId, peers: Vec<NodeId>) -> Self {
+        Replica {
+            gcs: GcsNode::new(GcsConfig::new(), node, PORT, TICK, peers),
+            value: 0,
+            applied: 0,
+        }
+    }
+
+    fn apply(&mut self, events: Vec<GcsEvent<Op>>) {
+        for event in events {
+            if let GcsEvent::DeliverAgreed { payload, .. } = event {
+                match payload {
+                    Op::Add(n) => self.value += n,
+                    Op::Reset => self.value = 0,
+                }
+                self.applied += 1;
+            }
+        }
+    }
+}
+
+impl Process<Wire> for Replica {
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire>) {
+        self.gcs.start(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_, Wire>, from: Endpoint, _: Endpoint, msg: Wire) {
+        let events = self.gcs.on_packet(ctx, from, msg);
+        self.apply(events);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Wire>, timer: Timer) {
+        let events = self.gcs.on_timer(ctx, timer);
+        self.apply(events);
+    }
+}
+
+fn submit(sim: &mut Simulation<Wire>, node: NodeId, op: Op) {
+    sim.invoke(node, |r: &mut Replica, ctx| {
+        let events = r.gcs.multicast_agreed(ctx, GROUP, op).expect("member");
+        r.apply(events);
+    });
+}
+
+fn main() {
+    let ids: Vec<NodeId> = (1..=3).map(NodeId).collect();
+    let mut sim = Simulation::new(11);
+    sim.set_default_profile(LinkProfile::lan().with_jitter(Duration::from_millis(5)));
+    for &id in &ids {
+        sim.add_node(id, Replica::new(id, ids.clone()));
+    }
+    sim.run_until(SimTime::from_millis(100));
+    sim.invoke(ids[0], |r: &mut Replica, _| {
+        let events = r.gcs.create_group(GROUP);
+        r.apply(events);
+    });
+    for &id in &ids[1..] {
+        sim.invoke(id, |r: &mut Replica, ctx| r.gcs.join(ctx, GROUP, &[]));
+    }
+    sim.run_for(Duration::from_secs(2));
+
+    // Concurrent conflicting operations from every replica.
+    println!("three replicas issue interleaved Add/Reset operations concurrently...");
+    for round in 0..10 {
+        submit(&mut sim, NodeId(1), Op::Add(1));
+        submit(&mut sim, NodeId(2), Op::Add(100));
+        if round % 3 == 2 {
+            submit(&mut sim, NodeId(3), Op::Reset);
+        }
+        sim.run_for(Duration::from_millis(20));
+    }
+    sim.run_for(Duration::from_secs(1));
+    for &id in &ids {
+        let (value, applied) = sim
+            .with_process(id, |r: &Replica| (r.value, r.applied))
+            .unwrap();
+        println!("  replica {id}: value = {value} after {applied} agreed operations");
+    }
+    let values: Vec<i64> = ids
+        .iter()
+        .map(|&id| sim.with_process(id, |r: &Replica| r.value).unwrap())
+        .collect();
+    assert!(values.windows(2).all(|w| w[0] == w[1]), "replicas diverged!");
+    println!("\nall replicas agree despite concurrent Resets — total order at work.");
+
+    // Crash one replica; the survivors keep accepting operations.
+    sim.crash_at(sim.now(), NodeId(1));
+    sim.run_for(Duration::from_secs(2));
+    submit(&mut sim, NodeId(2), Op::Add(7));
+    submit(&mut sim, NodeId(3), Op::Add(7));
+    sim.run_for(Duration::from_secs(1));
+    let v2 = sim.with_process(NodeId(2), |r: &Replica| r.value).unwrap();
+    let v3 = sim.with_process(NodeId(3), |r: &Replica| r.value).unwrap();
+    assert_eq!(v2, v3);
+    println!("after crashing a replica the survivors still agree: value = {v2}");
+    let _ = Carried::Plain(Op::Reset); // (re-exported envelope type)
+}

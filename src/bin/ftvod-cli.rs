@@ -1,0 +1,253 @@
+//! `ftvod-cli` — run fault-tolerant VoD scenarios from the command line.
+//!
+//! ```text
+//! ftvod-cli lan [--seed N]                  the paper's Figure 4 scenario
+//! ftvod-cli wan [--seed N]                  the paper's Figure 5 scenario
+//! ftvod-cli custom [options]                build your own deployment
+//!   --servers N        replicas at start            (default 2)
+//!   --clients M        viewers                      (default 1)
+//!   --seconds S        how long to run              (default 60)
+//!   --profile P        lan | wan | wan-reserved     (default lan)
+//!   --crash T          crash the serving replica at T seconds (repeatable)
+//!   --shutdown T       gracefully detach the serving replica at T
+//!   --seed N           determinism seed             (default 42)
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ftvod::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct CustomOptions {
+    servers: u32,
+    clients: u32,
+    seconds: u64,
+    profile: String,
+    crashes: Vec<u64>,
+    shutdowns: Vec<u64>,
+    seed: u64,
+}
+
+impl Default for CustomOptions {
+    fn default() -> Self {
+        CustomOptions {
+            servers: 2,
+            clients: 1,
+            seconds: 60,
+            profile: "lan".to_owned(),
+            crashes: Vec::new(),
+            shutdowns: Vec::new(),
+            seed: 42,
+        }
+    }
+}
+
+fn parse_custom(args: &[String]) -> Result<CustomOptions, String> {
+    let mut opts = CustomOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--servers" => opts.servers = value("--servers")?.parse().map_err(|e| format!("--servers: {e}"))?,
+            "--clients" => opts.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?,
+            "--seconds" => opts.seconds = value("--seconds")?.parse().map_err(|e| format!("--seconds: {e}"))?,
+            "--profile" => opts.profile = value("--profile")?.clone(),
+            "--crash" => opts.crashes.push(value("--crash")?.parse().map_err(|e| format!("--crash: {e}"))?),
+            "--shutdown" => opts
+                .shutdowns
+                .push(value("--shutdown")?.parse().map_err(|e| format!("--shutdown: {e}"))?),
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.servers == 0 || opts.clients == 0 {
+        return Err("need at least one server and one client".to_owned());
+    }
+    if opts.servers <= opts.crashes.len() as u32 + opts.shutdowns.len() as u32 {
+        return Err("cannot remove every replica".to_owned());
+    }
+    Ok(opts)
+}
+
+fn profile_by_name(name: &str) -> Result<LinkProfile, String> {
+    match name {
+        "lan" => Ok(LinkProfile::lan()),
+        "wan" => Ok(LinkProfile::wan()),
+        "wan-reserved" => Ok(LinkProfile::wan_reserved()),
+        other => Err(format!("unknown profile {other} (lan | wan | wan-reserved)")),
+    }
+}
+
+fn seed_flag(args: &[String]) -> u64 {
+    args.windows(2)
+        .find(|w| w[0] == "--seed")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(42)
+}
+
+fn summarize(sim: &VodSim, clients: &[ClientId]) {
+    println!(
+        "\n{:<8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}   served by",
+        "client", "received", "displayed", "late", "skipped", "stalls", "emerg"
+    );
+    for &c in clients {
+        let Some(stats) = sim.client_stats(c) else {
+            continue;
+        };
+        println!(
+            "{:<8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}   {:?}",
+            c.to_string(),
+            stats.frames_received,
+            sim.client_displayed(c).unwrap_or(0),
+            stats.late.total(),
+            stats.skipped.total(),
+            stats.stalls.total(),
+            stats.emergencies.total(),
+            sim.owner_of(c),
+        );
+        for (at, dur) in &stats.interruptions {
+            println!("         interruption at t={at:.2}s for {dur:.2}s");
+        }
+    }
+    println!("\nnetwork traffic:\n{}", sim.net_stats());
+}
+
+fn run_preset(which: &str, seed: u64) {
+    let (builder, a, b) = match which {
+        "lan" => presets::fig4_lan(seed),
+        _ => presets::fig5_wan(seed),
+    };
+    let (first, second) = if which == "lan" {
+        (("crash", a), ("load balance", b))
+    } else {
+        (("load balance", a), ("crash", b))
+    };
+    println!("running the paper's {which} scenario (seed {seed}):");
+    println!("  {} at {}, {} at {}", first.0, first.1, second.0, second.1);
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(92));
+    summarize(&sim, &[presets::CLIENT_ID]);
+}
+
+fn run_custom(opts: &CustomOptions) -> Result<(), String> {
+    let profile = profile_by_name(&opts.profile)?;
+    let servers: Vec<NodeId> = (1..=opts.servers).map(NodeId).collect();
+    let clients: Vec<ClientId> = (1..=opts.clients).map(ClientId).collect();
+    let movie = Movie::generate(
+        MovieId(1),
+        &MovieSpec::paper_default().with_duration(Duration::from_secs(opts.seconds + 40)),
+    );
+    let mut builder = ScenarioBuilder::new(opts.seed);
+    builder.network(profile).movie(movie, &servers);
+    for &s in &servers {
+        builder.server(s);
+    }
+    for (i, &c) in clients.iter().enumerate() {
+        builder.client(c, NodeId(100 + c.0), MovieId(1), SimTime::from_secs(2 + i as u64 / 4));
+    }
+    // Crashes/shutdowns target the highest-id replicas (the serving order).
+    let mut victims = servers.clone();
+    for &t in &opts.crashes {
+        if let Some(victim) = victims.pop() {
+            println!("scheduling crash of {victim} at t={t}s");
+            builder.crash_at(SimTime::from_secs(t), victim);
+        }
+    }
+    for &t in &opts.shutdowns {
+        if let Some(victim) = victims.pop() {
+            println!("scheduling graceful shutdown of {victim} at t={t}s");
+            builder.shutdown_at(SimTime::from_secs(t), victim);
+        }
+    }
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(opts.seconds));
+    summarize(&sim, &clients);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lan") => {
+            run_preset("lan", seed_flag(&args));
+            ExitCode::SUCCESS
+        }
+        Some("wan") => {
+            run_preset("wan", seed_flag(&args));
+            ExitCode::SUCCESS
+        }
+        Some("custom") => match parse_custom(&args[1..]) {
+            Ok(opts) => match run_custom(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: ftvod-cli <lan | wan | custom> [options]   (see --help in the source header)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let opts = parse_custom(&[]).unwrap();
+        assert_eq!(opts, CustomOptions::default());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let opts = parse_custom(&strings(&[
+            "--servers", "4", "--clients", "3", "--seconds", "90", "--profile", "wan",
+            "--crash", "20", "--crash", "40", "--shutdown", "60", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.servers, 4);
+        assert_eq!(opts.clients, 3);
+        assert_eq!(opts.seconds, 90);
+        assert_eq!(opts.profile, "wan");
+        assert_eq!(opts.crashes, vec![20, 40]);
+        assert_eq!(opts.shutdowns, vec![60]);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse_custom(&strings(&["--bogus"])).is_err());
+        assert!(parse_custom(&strings(&["--servers"])).is_err());
+        assert!(parse_custom(&strings(&["--servers", "x"])).is_err());
+    }
+
+    #[test]
+    fn rejects_removing_every_replica() {
+        let err = parse_custom(&strings(&["--servers", "2", "--crash", "10", "--crash", "20"]))
+            .unwrap_err();
+        assert!(err.contains("every replica"));
+    }
+
+    #[test]
+    fn profiles_resolve() {
+        assert!(profile_by_name("lan").is_ok());
+        assert!(profile_by_name("wan").is_ok());
+        assert!(profile_by_name("wan-reserved").is_ok());
+        assert!(profile_by_name("atm").is_err());
+    }
+}
