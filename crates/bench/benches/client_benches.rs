@@ -12,7 +12,11 @@ use simnet::SimTime;
 fn frame(no: u64) -> FrameMeta {
     FrameMeta {
         no: FrameNo(no),
-        ftype: if no.is_multiple_of(15) { FrameType::I } else { FrameType::B },
+        ftype: if no.is_multiple_of(15) {
+            FrameType::I
+        } else {
+            FrameType::B
+        },
         size: 5_800,
     }
 }

@@ -8,41 +8,47 @@ use ftvod_core::scenario::presets;
 use simnet::SimTime;
 
 fn bench_steady_second(c: &mut Criterion) {
-    c.bench_function("scenario: one simulated second at steady state (LAN)", |b| {
-        b.iter_batched(
-            || {
-                let (builder, _, _) = presets::fig4_lan(1);
-                let mut sim = builder.build();
-                sim.run_until(SimTime::from_secs(20));
-                sim
-            },
-            |mut sim| {
-                let now = sim.now();
-                sim.run_until(now + Duration::from_secs(1));
-                sim
-            },
-            BatchSize::PerIteration,
-        );
-    });
+    c.bench_function(
+        "scenario: one simulated second at steady state (LAN)",
+        |b| {
+            b.iter_batched(
+                || {
+                    let (builder, _, _) = presets::fig4_lan(1);
+                    let mut sim = builder.build();
+                    sim.run_until(SimTime::from_secs(20));
+                    sim
+                },
+                |mut sim| {
+                    let now = sim.now();
+                    sim.run_until(now + Duration::from_secs(1));
+                    sim
+                },
+                BatchSize::PerIteration,
+            );
+        },
+    );
 }
 
 fn bench_takeover(c: &mut Criterion) {
-    c.bench_function("scenario: crash takeover window (3 simulated seconds)", |b| {
-        b.iter_batched(
-            || {
-                let (builder, crash_at, _) = presets::fig4_lan(2);
-                let mut sim = builder.build();
-                sim.run_until(crash_at);
-                sim
-            },
-            |mut sim| {
-                let now = sim.now();
-                sim.run_until(now + Duration::from_secs(3));
-                sim
-            },
-            BatchSize::PerIteration,
-        );
-    });
+    c.bench_function(
+        "scenario: crash takeover window (3 simulated seconds)",
+        |b| {
+            b.iter_batched(
+                || {
+                    let (builder, crash_at, _) = presets::fig4_lan(2);
+                    let mut sim = builder.build();
+                    sim.run_until(crash_at);
+                    sim
+                },
+                |mut sim| {
+                    let now = sim.now();
+                    sim.run_until(now + Duration::from_secs(3));
+                    sim
+                },
+                BatchSize::PerIteration,
+            );
+        },
+    );
 }
 
 fn bench_full_wan(c: &mut Criterion) {

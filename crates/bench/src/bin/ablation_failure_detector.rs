@@ -39,7 +39,11 @@ fn run(timeout_ms: u64, seed: u64) -> Row {
     let mut builder = ScenarioBuilder::new(seed);
     builder
         // High jitter stresses the detector: heartbeats bunch up.
-        .network(LinkProfile::wan().with_loss(0.02).with_jitter(Duration::from_millis(60)))
+        .network(
+            LinkProfile::wan()
+                .with_loss(0.02)
+                .with_jitter(Duration::from_millis(60)),
+        )
         .config(cfg)
         .movie(movie, &[NodeId(1), NodeId(2), NodeId(3)])
         .server(NodeId(1))
@@ -126,7 +130,10 @@ fn main() {
         ),
         fastest.view_churn >= slowest.view_churn,
     );
-    let paper = rows.iter().find(|r| r.timeout_ms == 400).expect("400ms row");
+    let paper = rows
+        .iter()
+        .find(|r| r.timeout_ms == 400)
+        .expect("400ms row");
     compare(
         "the default 400 ms sits below the buffer budget",
         "sub-second takeover",

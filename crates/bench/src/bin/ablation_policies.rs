@@ -60,7 +60,10 @@ fn sum(outcomes: &[Outcome], f: impl Fn(&Outcome) -> u64) -> u64 {
 
 fn main() {
     let seeds: Vec<u64> = (200..208).collect();
-    println!("=== A3: conservative policy choices, {} WAN crash runs each ===\n", seeds.len());
+    println!(
+        "=== A3: conservative policy choices, {} WAN crash runs each ===\n",
+        seeds.len()
+    );
 
     // --- D4: overflow eviction policy ---
     let paper: Vec<Outcome> = seeds
@@ -101,7 +104,12 @@ fn main() {
     let conservative = &paper;
     let optimistic: Vec<Outcome> = seeds
         .iter()
-        .map(|&s| run(VodConfig::paper_default().with_resume(ResumePolicy::SkipAhead), s))
+        .map(|&s| {
+            run(
+                VodConfig::paper_default().with_resume(ResumePolicy::SkipAhead),
+                s,
+            )
+        })
         .collect();
     println!("\nD5 takeover resume          duplicates(late)   skipped   stalls");
     println!(

@@ -95,9 +95,7 @@ fn main() {
     let vbr_pct = 100 * cfg.emergency_base_severe / cfg.default_rate_fps;
     println!("\nreservation the service would request (paper §4.1):");
     println!("  CBR channel: {cbr_kbps} kbps (the stream's mean rate)");
-    println!(
-        "  VBR channel: up to {vbr_pct} % of CBR, carrying the decaying emergency bursts"
-    );
+    println!("  VBR channel: up to {vbr_pct} % of CBR, carrying the decaying emergency bursts");
 
     println!();
     compare(

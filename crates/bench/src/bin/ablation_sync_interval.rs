@@ -38,7 +38,11 @@ fn run(sync_ms: u64, seed: u64) -> (u64, u64, f64) {
     let dups = stats.late.in_window(30.0, 40.0);
     let sync_bytes = sim.net_stats().class("vod-sync").sent_bytes;
     let video_bytes = sim.net_stats().class("video").sent_bytes;
-    (dups, stats.stalls.total(), sync_bytes as f64 / video_bytes as f64)
+    (
+        dups,
+        stats.stalls.total(),
+        sync_bytes as f64 / video_bytes as f64,
+    )
 }
 
 fn main() {

@@ -35,7 +35,9 @@ fn run(clients: u32, servers: u32, seed: u64) -> Row {
         &MovieSpec::paper_default().with_duration(Duration::from_secs(90)),
     );
     let mut builder = ScenarioBuilder::new(seed);
-    builder.network(LinkProfile::lan()).movie(movie, &server_ids);
+    builder
+        .network(LinkProfile::lan())
+        .movie(movie, &server_ids);
     for &s in &server_ids {
         builder.server(s);
     }

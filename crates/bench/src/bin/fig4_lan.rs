@@ -53,7 +53,10 @@ fn main() {
         100,
     );
 
-    write_artifact("fig4a_skipped.csv", &cumulative_to_csv("skipped", &stats.skipped));
+    write_artifact(
+        "fig4a_skipped.csv",
+        &cumulative_to_csv("skipped", &stats.skipped),
+    );
     write_artifact("fig4b_late.csv", &cumulative_to_csv("late", &stats.late));
     write_artifact(
         "fig4c_sw_occupancy.csv",

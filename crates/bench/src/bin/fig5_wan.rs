@@ -41,7 +41,10 @@ fn main() {
         14,
     );
 
-    write_artifact("fig5a_skipped.csv", &cumulative_to_csv("skipped", &stats.skipped));
+    write_artifact(
+        "fig5a_skipped.csv",
+        &cumulative_to_csv("skipped", &stats.skipped),
+    );
     write_artifact(
         "fig5b_overflow.csv",
         &cumulative_to_csv("overflow", &stats.overflow),
@@ -80,7 +83,10 @@ fn main() {
     compare(
         "5b: overflow discards follow the emergency refills",
         "steps at events",
-        &format!("{ovf_events} near events of {} total", stats.overflow.total()),
+        &format!(
+            "{ovf_events} near events of {} total",
+            stats.overflow.total()
+        ),
         ovf_events > 0,
     );
     compare(

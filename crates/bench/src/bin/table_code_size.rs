@@ -73,10 +73,22 @@ fn main() {
 
     println!("=== T6: code size — the application vs its substrates ===\n");
     println!("{:<42} {:>10}   paper analogue", "module", "lines");
-    println!("{:<42} {:>10}   ~2500 lines of C++", "VoD server (crates/core/src/server)", server);
-    println!("{:<42} {:>10}   ~400 lines of C (excl. GUI/display)", "VoD client (crates/core/src/client)", client);
-    println!("{:<42} {:>10}   Transis (not counted by the paper)", "group communication (crates/gcs)", gcs);
-    println!("{:<42} {:>10}   the physical network", "network substrate (crates/simnet)", simnet);
+    println!(
+        "{:<42} {:>10}   ~2500 lines of C++",
+        "VoD server (crates/core/src/server)", server
+    );
+    println!(
+        "{:<42} {:>10}   ~400 lines of C (excl. GUI/display)",
+        "VoD client (crates/core/src/client)", client
+    );
+    println!(
+        "{:<42} {:>10}   Transis (not counted by the paper)",
+        "group communication (crates/gcs)", gcs
+    );
+    println!(
+        "{:<42} {:>10}   the physical network",
+        "network substrate (crates/simnet)", simnet
+    );
 
     println!();
     compare(

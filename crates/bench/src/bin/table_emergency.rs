@@ -16,7 +16,10 @@ use simnet::SimTime;
 
 fn main() {
     println!("=== T2: emergency decay sequences (q·f^i, iterated floor) ===\n");
-    println!("{:<10} {:<8} {:<40} {:>8}", "base q", "decay f", "sequence (frames/s)", "total");
+    println!(
+        "{:<10} {:<8} {:<40} {:>8}",
+        "base q", "decay f", "sequence (frames/s)", "total"
+    );
     for (q, f) in [(12u32, 0.8), (6, 0.8), (12, 0.5), (20, 0.8), (6, 0.9)] {
         let mut e = Emergency::new(f);
         e.trigger(q);

@@ -105,19 +105,31 @@ fn main() {
     compare(
         "k replicas tolerate k−1 failures (full policy)",
         "always",
-        if full_all_survive { "always" } else { "violated" },
+        if full_all_survive {
+            "always"
+        } else {
+            "violated"
+        },
         full_all_survive,
     );
     compare(
         "Tiger-like baseline dies at the second failure",
         "1 failure only",
-        if single_dies_at_two { "1 failure only" } else { "unexpected" },
+        if single_dies_at_two {
+            "1 failure only"
+        } else {
+            "unexpected"
+        },
         single_dies_at_two,
     );
     compare(
         "single-server baseline dies at the first failure",
         "0 failures",
-        if none_dies_at_one { "0 failures" } else { "unexpected" },
+        if none_dies_at_one {
+            "0 failures"
+        } else {
+            "unexpected"
+        },
         none_dies_at_one,
     );
 }

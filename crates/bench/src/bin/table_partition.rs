@@ -58,9 +58,7 @@ fn run(seed: u64) -> Outcome {
         .iter()
         .filter(|&&n| {
             sim.sim_mut()
-                .with_process(n, |s: &VodServer| {
-                    s.clients_owned().contains(&ClientId(1))
-                })
+                .with_process(n, |s: &VodServer| s.clients_owned().contains(&ClientId(1)))
                 .unwrap_or(false)
         })
         .count();
@@ -86,14 +84,21 @@ fn main() {
     let smooth = outcomes.iter().filter(|o| o.stalls == 0).count();
     let reconciled = outcomes.iter().filter(|o| o.served_after_heal).count();
     let double_owner = outcomes.iter().filter(|o| o.owners_after_heal > 1).count();
-    let mean_late_heal = outcomes.iter().map(|o| o.late_after_heal).sum::<u64>() as f64
-        / outcomes.len() as f64;
+    let mean_late_heal =
+        outcomes.iter().map(|o| o.late_after_heal).sum::<u64>() as f64 / outcomes.len() as f64;
 
     println!("stream interruption when the serving replica is cut off:");
-    println!("  mean {} s   max {} s", fmt_f(mean_outage), fmt_f(max_outage));
+    println!(
+        "  mean {} s   max {} s",
+        fmt_f(mean_outage),
+        fmt_f(max_outage)
+    );
     println!("runs with zero visible freezes: {smooth}/{runs}");
     println!("single owner after the heal: {reconciled}/{runs} (double owners: {double_owner})");
-    println!("duplicate frames after the heal (reconciliation churn): mean {}\n", fmt_f(mean_late_heal));
+    println!(
+        "duplicate frames after the heal (reconciliation churn): mean {}\n",
+        fmt_f(mean_late_heal)
+    );
 
     compare(
         "a partition is handled like a crash by the connected side",

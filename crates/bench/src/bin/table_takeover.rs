@@ -61,7 +61,10 @@ fn main() {
         fmt_f(p99),
         fmt_f(max)
     );
-    println!("duplicate burst after resume (the visible sync skew): mean {} frames", fmt_f(mean_dups));
+    println!(
+        "duplicate burst after resume (the visible sync skew): mean {} frames",
+        fmt_f(mean_dups)
+    );
     println!("runs with zero visible freezes: {smooth}/{runs}\n");
 
     compare(

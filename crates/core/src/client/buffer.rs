@@ -129,9 +129,7 @@ impl SoftwareBuffer {
             let frame = self.frames.remove(&no).expect("peeked frame exists");
             summary.passed_gaps += no - self.next_feed.0;
             self.next_feed = FrameNo(no + 1);
-            decoder
-                .push(frame)
-                .expect("checked fits() before pushing");
+            decoder.push(frame).expect("checked fits() before pushing");
             summary.fed += 1;
         }
         summary
@@ -272,7 +270,11 @@ mod tests {
         buf.insert(p(0));
         buf.reset_to(FrameNo(100));
         assert_eq!(buf.occupancy(), 0);
-        assert_eq!(buf.insert(p(50)), InsertOutcome::Late, "behind the seek point");
+        assert_eq!(
+            buf.insert(p(50)),
+            InsertOutcome::Late,
+            "behind the seek point"
+        );
         assert_eq!(
             buf.insert(p(100)),
             InsertOutcome::Accepted { evicted: None }

@@ -38,6 +38,19 @@ pub enum Band {
     AboveHigh,
 }
 
+impl Band {
+    /// Stable lower-snake-case name, used by the trace JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Band::CriticalSevere => "critical_severe",
+            Band::CriticalMild => "critical_mild",
+            Band::BelowLow => "below_low",
+            Band::Normal => "normal",
+            Band::AboveHigh => "above_high",
+        }
+    }
+}
+
 /// Stateful implementation of the Figure 2 policy.
 #[derive(Clone, Debug)]
 pub struct FlowController {
@@ -237,10 +250,7 @@ mod tests {
         for i in 1..=3 {
             assert_eq!(fc.on_frame_received(at(i), 20), None);
         }
-        assert_eq!(
-            fc.on_frame_received(at(4), 20),
-            Some(FlowRequest::Increase)
-        );
+        assert_eq!(fc.on_frame_received(at(4), 20), Some(FlowRequest::Increase));
         // Counter reset: three more Nones.
         assert_eq!(fc.on_frame_received(at(5), 20), None);
     }

@@ -21,9 +21,10 @@ use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer};
 use crate::config::VodConfig;
 use crate::metrics::{Cumulative, TimeSeries};
 use crate::protocol::{
-    session_group, ClientId, ControlPayload, OpenRequest, VcrCmd, VideoPacket, VodWire,
-    GCS_PORT, SERVER_GROUP,
+    session_group, ClientId, ControlPayload, OpenRequest, VcrCmd, VideoPacket, VodWire, GCS_PORT,
+    SERVER_GROUP,
 };
+use crate::trace::{DiscardKind, TraceHandle, VodEvent};
 
 /// Timer tags used by the client process.
 mod tag {
@@ -68,8 +69,9 @@ impl WatchRequest {
 }
 
 /// Counters and series recorded by a client — the exact quantities plotted
-/// in the paper's Figures 4 and 5.
-#[derive(Clone, Debug, Default)]
+/// in the paper's Figures 4 and 5. `PartialEq` backs the determinism
+/// contract: tests compare full stats between traced and untraced runs.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ClientStats {
     /// Video packets that reached this client.
     pub frames_received: u64,
@@ -113,6 +115,8 @@ pub struct VodClient {
     decoder: HardwareDecoder,
     flow: FlowController,
     stats: ClientStats,
+    trace: TraceHandle,
+    last_band: Band,
     display_interval: Duration,
     display_started: bool,
     paused: bool,
@@ -145,11 +149,12 @@ impl VodClient {
         // Combined capacity: software frames plus the hardware buffer
         // expressed in (mean-size) frames — together about 2.4 s of video
         // at the paper's operating point.
-        let mean_frame = (request.bitrate_bps as f64 / 8.0
-            / f64::from(request.movie_fps.max(1)))
-        .max(1.0);
+        let mean_frame =
+            (request.bitrate_bps as f64 / 8.0 / f64::from(request.movie_fps.max(1))).max(1.0);
         let hw_frames = (cfg.hw_buffer_bytes as f64 / mean_frame).floor() as usize;
         let total_frames = cfg.sw_buffer_frames + hw_frames;
+        let flow = FlowController::new(&cfg, total_frames);
+        let last_band = flow.band(0);
         VodClient {
             id,
             buffer: SoftwareBuffer::with_policy(
@@ -157,18 +162,34 @@ impl VodClient {
                 cfg.overflow_prefers_incremental,
             ),
             decoder: HardwareDecoder::new(cfg.hw_buffer_bytes),
-            flow: FlowController::new(&cfg, total_frames),
+            flow,
             gcs: GcsNode::new(cfg.gcs.clone(), node, GCS_PORT, tag::GCS_TICK, servers),
             cfg,
             request,
             speed_percent: 100,
             stats: ClientStats::default(),
+            trace: TraceHandle::disabled(),
+            last_band,
             display_interval: Duration::from_secs_f64(1.0 / effective_fps),
             display_started: false,
             paused: false,
             ended: false,
             stopped: false,
         }
+    }
+
+    /// Installs a trace handle: client-side events (water-mark crossings,
+    /// emergency requests, frame discards, VCR commands) and this node's
+    /// GCS events flow into it. Tracing is passive and does not change the
+    /// client's behaviour.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace.clone();
+        if trace.is_enabled() {
+            let node = self.gcs.node();
+            self.gcs
+                .set_tracer(move |event| trace.emit(|| VodEvent::from_gcs(node, event)));
+        }
+        self
     }
 
     /// This client's id.
@@ -273,6 +294,8 @@ impl VodClient {
             client: self.id,
             cmd,
         };
+        let (at, client) = (ctx.now(), self.id);
+        self.trace.emit(|| VodEvent::VcrIssued { at, client, cmd });
         // Self-delivery events are irrelevant to the client.
         let _ = self.gcs.multicast(ctx, group, payload);
     }
@@ -286,6 +309,13 @@ impl VodClient {
             max_fps: self.request.max_fps,
             start_at: self.buffer.next_feed(),
         };
+        let at = ctx.now();
+        self.trace.emit(|| VodEvent::OpenRequested {
+            at,
+            client: open.client,
+            movie: open.movie,
+            start_at: open.start_at,
+        });
         self.gcs
             .send_to_group(ctx, SERVER_GROUP, ControlPayload::Open(open));
     }
@@ -295,9 +325,16 @@ impl VodClient {
             return;
         }
         let now = ctx.now();
+        let client = self.id;
         self.stats.frames_received += 1;
         if self.stats.first_frame_at.is_none() {
             self.stats.first_frame_at = Some(now);
+            let frame = pkt.frame.no;
+            self.trace.emit(|| VodEvent::FirstFrame {
+                at: now,
+                client,
+                frame,
+            });
         }
         if let Some(last) = self.stats.last_frame_at {
             let gap = now.saturating_since(last);
@@ -305,6 +342,11 @@ impl VodClient {
                 self.stats
                     .interruptions
                     .push((last.as_secs_f64(), gap.as_secs_f64()));
+                self.trace.emit(|| VodEvent::StreamResumed {
+                    at: now,
+                    client,
+                    gap_s: gap.as_secs_f64(),
+                });
             }
         }
         self.stats.last_frame_at = Some(now);
@@ -315,6 +357,13 @@ impl VodClient {
         match self.buffer.insert(pkt.frame) {
             InsertOutcome::Late => {
                 self.stats.late.add(now, 1);
+                self.trace.emit(|| VodEvent::FrameDiscarded {
+                    at: now,
+                    client,
+                    frame: pkt.frame.no,
+                    ftype: pkt.frame.ftype,
+                    kind: DiscardKind::Late,
+                });
             }
             InsertOutcome::Accepted { evicted } => {
                 if let Some(evicted) = evicted {
@@ -324,20 +373,52 @@ impl VodClient {
                     if evicted.ftype.is_intra() {
                         self.stats.i_frames_evicted += 1;
                     }
+                    self.trace.emit(|| VodEvent::FrameDiscarded {
+                        at: now,
+                        client,
+                        frame: evicted.no,
+                        ftype: evicted.ftype,
+                        kind: DiscardKind::Overflow,
+                    });
                 }
             }
         }
         self.feed_decoder(now);
+        self.note_band(now);
         let combined = self.buffer.occupancy() + self.decoder.queued_frames();
         if let Some(req) = self.flow.on_frame_received(now, combined) {
-            if let crate::protocol::FlowRequest::Emergency { .. } = req {
+            if let crate::protocol::FlowRequest::Emergency { severe } = req {
                 self.stats.emergencies.add(now, 1);
+                self.trace.emit(|| VodEvent::EmergencyRequested {
+                    at: now,
+                    client,
+                    severe,
+                });
             }
             let payload = ControlPayload::Flow {
                 client: self.id,
                 req,
             };
             let _ = self.gcs.multicast(ctx, session_group(self.id), payload);
+        }
+    }
+
+    /// Emits a [`VodEvent::BandChanged`] when the combined occupancy moved
+    /// into a different Figure-2 band since the last check.
+    fn note_band(&mut self, now: SimTime) {
+        let occupancy = self.buffer.occupancy() + self.decoder.queued_frames();
+        let band = self.flow.band(occupancy);
+        if band != self.last_band {
+            let from = self.last_band.name();
+            self.last_band = band;
+            let client = self.id;
+            self.trace.emit(|| VodEvent::BandChanged {
+                at: now,
+                client,
+                from,
+                to: band.name(),
+                occupancy,
+            });
         }
     }
 
@@ -348,7 +429,7 @@ impl VodClient {
         }
     }
 
-    fn handle_events(&mut self, events: Vec<GcsEvent<ControlPayload>>) {
+    fn handle_events(&mut self, now: SimTime, events: Vec<GcsEvent<ControlPayload>>) {
         for event in events {
             if let GcsEvent::Deliver {
                 payload: ControlPayload::EndOfMovie { client },
@@ -357,6 +438,7 @@ impl VodClient {
             {
                 if client == self.id {
                     self.ended = true;
+                    self.trace.emit(|| VodEvent::MovieEnded { at: now, client });
                 }
             }
             // View events are deliberately ignored: the client is oblivious
@@ -369,7 +451,7 @@ impl Process<VodWire> for VodClient {
     fn on_start(&mut self, ctx: &mut Context<'_, VodWire>) {
         self.gcs.start(ctx);
         let events = self.gcs.create_group(session_group(self.id));
-        self.handle_events(events);
+        self.handle_events(ctx.now(), events);
         self.send_open(ctx);
         ctx.set_timer_after(self.cfg.sample_interval, tag::SAMPLE);
         ctx.set_timer_after(Duration::from_secs(1), tag::OPEN_RETRY);
@@ -386,7 +468,7 @@ impl Process<VodWire> for VodClient {
             VodWire::Video(pkt) => self.handle_video(ctx, pkt),
             VodWire::Gcs(pkt) => {
                 let events = self.gcs.on_packet(ctx, from, pkt);
-                self.handle_events(events);
+                self.handle_events(ctx.now(), events);
             }
         }
     }
@@ -395,7 +477,7 @@ impl Process<VodWire> for VodClient {
         match timer.tag {
             tag::GCS_TICK => {
                 let events = self.gcs.on_timer(ctx, timer);
-                self.handle_events(events);
+                self.handle_events(ctx.now(), events);
             }
             tag::DISPLAY => {
                 if self.stopped {
@@ -414,6 +496,7 @@ impl Process<VodWire> for VodClient {
                         }
                     }
                     self.feed_decoder(now);
+                    self.note_band(now);
                 }
                 ctx.set_timer_after(self.display_interval, tag::DISPLAY);
             }

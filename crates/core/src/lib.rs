@@ -11,7 +11,9 @@
 //! * [`client`] — clients: software/hardware buffering, the Figure 2 flow
 //!   control policy, VCR operations, statistics;
 //! * [`config`] — the paper's §6 operating point and ablation knobs;
-//! * [`metrics`] — time series/counters behind every reproduced figure.
+//! * [`metrics`] — time series/counters behind every reproduced figure;
+//! * [`trace`] — the cross-layer event stream, JSONL export and derived
+//!   run reports (takeover-latency breakdowns, latency percentiles).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,9 +24,12 @@ pub mod metrics;
 pub mod protocol;
 pub mod scenario;
 pub mod server;
+pub mod trace;
 
 pub use client::{ClientStats, VodClient, WatchRequest};
 pub use config::{ResumePolicy, TakeoverPolicy, VodConfig};
+pub use metrics::Histogram;
 pub use protocol::{ClientId, ControlPayload, VideoPacket, VodWire};
 pub use scenario::{ScenarioBuilder, VcrOp, VodSim};
 pub use server::{Replica, ServerStats, VodServer};
+pub use trace::{RunReport, TakeoverBreakdown, TraceHandle, TraceRecorder, VodEvent};

@@ -42,35 +42,44 @@ impl TimeSeries {
         self.points.last().map(|&(_, v)| v)
     }
 
-    /// Maximum value over the whole series.
+    /// Maximum value over the whole series, in one pass with no
+    /// intermediate allocation.
     pub fn max(&self) -> Option<f64> {
-        self.points
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+        let mut max: Option<f64> = None;
+        for &(_, v) in &self.points {
+            max = Some(max.map_or(v, |m| m.max(v)));
+        }
+        max
     }
 
-    /// Minimum value within the window `[from, to]` seconds.
+    /// Minimum value within the window `[from, to]` seconds, in one pass
+    /// with no intermediate allocation.
     pub fn min_in_window(&self, from: f64, to: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .filter(|&&(t, _)| t >= from && t <= to)
-            .map(|&(_, v)| v)
-            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+        let mut min: Option<f64> = None;
+        for &(t, v) in &self.points {
+            if t >= from && t <= to {
+                min = Some(min.map_or(v, |m| m.min(v)));
+            }
+        }
+        min
     }
 
-    /// Mean value within the window `[from, to]` seconds.
+    /// Mean value within the window `[from, to]` seconds, streaming a
+    /// running sum and count in one pass instead of collecting the window
+    /// into an intermediate `Vec`.
     pub fn mean_in_window(&self, from: f64, to: f64) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .points
-            .iter()
-            .filter(|&&(t, _)| t >= from && t <= to)
-            .map(|&(_, v)| v)
-            .collect();
-        if vals.is_empty() {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for &(t, v) in &self.points {
+            if t >= from && t <= to {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 {
             None
         } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            Some(sum / count as f64)
         }
     }
 
@@ -131,6 +140,157 @@ impl Cumulative {
     }
 }
 
+/// Sub-buckets per octave in [`Histogram`]: 16 linear steps, bounding the
+/// relative quantile error at ~6%.
+const HIST_SUB_BITS: u32 = 4;
+const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+
+/// A log-linear latency histogram (HdrHistogram-style, sized for
+/// microsecond-to-hours durations expressed in seconds).
+///
+/// Samples are bucketed at microsecond granularity: exact below 16 µs, then
+/// [`HIST_SUB`] linear sub-buckets per power-of-two octave, so quantiles
+/// carry at most ~6% relative error while the whole structure stays under
+/// a thousand `u64` counters regardless of sample count. Unlike
+/// [`percentile`], recording is O(1) and querying never sorts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+fn hist_bucket_index(us: u64) -> usize {
+    if us < HIST_SUB as u64 {
+        us as usize
+    } else {
+        let msb = 63 - us.leading_zeros();
+        let octave = (msb - HIST_SUB_BITS) as usize;
+        let sub = ((us >> (msb - HIST_SUB_BITS)) & (HIST_SUB as u64 - 1)) as usize;
+        HIST_SUB + octave * HIST_SUB + sub
+    }
+}
+
+/// Largest duration (µs) falling into bucket `idx` — the value quantiles
+/// report for samples in that bucket.
+fn hist_bucket_upper_us(idx: usize) -> u64 {
+    if idx < HIST_SUB {
+        idx as u64
+    } else {
+        let octave = (idx - HIST_SUB) / HIST_SUB;
+        let sub = ((idx - HIST_SUB) % HIST_SUB) as u64;
+        let width = 1u64 << octave;
+        (HIST_SUB as u64 + sub) * width + width - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a duration in seconds. Negative values clamp to zero;
+    /// non-finite values are ignored.
+    pub fn record(&mut self, seconds: f64) {
+        if !seconds.is_finite() {
+            return;
+        }
+        let seconds = seconds.max(0.0);
+        let us = (seconds * 1e6).round() as u64;
+        let idx = hist_bucket_index(us);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = seconds;
+            self.max = seconds;
+        } else {
+            self.min = self.min.min(seconds);
+            self.max = self.max.max(seconds);
+        }
+        self.count += 1;
+        self.sum += seconds;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (exact, not bucketed), in seconds.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (exact, not bucketed), in seconds.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed), in seconds.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (0.0–1.0) in seconds: the upper edge of the bucket
+    /// holding the nearest-rank sample, clamped to the observed
+    /// `[min, max]`. Monotone in `q` and always bounded by min/max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let value = hist_bucket_upper_us(idx) as f64 / 1e6;
+                return Some(value.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (idx, &n) in other.buckets.iter().enumerate() {
+            self.buckets[idx] += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
 /// The `q`-quantile (0.0–1.0) of a sample set, by nearest-rank on a sorted
 /// copy. Returns `None` for an empty slice.
 ///
@@ -138,7 +298,10 @@ impl Cumulative {
 ///
 /// Panics if `q` is outside `[0, 1]` or any sample is NaN.
 pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     if samples.is_empty() {
         return None;
     }
@@ -290,6 +453,64 @@ mod tests {
         assert_eq!(d[9].1, 99.0);
         let all = downsample(&s, 1000);
         assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn histogram_buckets_are_a_partition() {
+        // Every µs value lands in exactly one bucket whose bounds contain it.
+        for us in (0u64..4096).chain([1 << 20, (1 << 40) + 12345, u64::MAX / 2]) {
+            let idx = hist_bucket_index(us);
+            assert!(us <= hist_bucket_upper_us(idx), "us={us} idx={idx}");
+            if idx > 0 {
+                assert!(
+                    hist_bucket_upper_us(idx - 1) < us,
+                    "us={us} fits the previous bucket too"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_distribution() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for ms in 1..=1000u32 {
+            h.record(f64::from(ms) / 1000.0); // 1ms..1s uniform
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(0.001));
+        assert_eq!(h.max(), Some(1.0));
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p50 - 0.5).abs() < 0.5 * 0.08, "p50={p50}");
+        assert!((p99 - 0.99).abs() < 0.99 * 0.08, "p99={p99}");
+        assert!(p50 <= p99);
+        let mean = h.mean().unwrap();
+        assert!((mean - 0.5005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = Histogram::new();
+        a.record(0.010);
+        let mut b = Histogram::new();
+        b.record(0.500);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(0.010));
+        assert_eq!(a.max(), Some(2.0));
+        assert_eq!(a.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_inputs() {
+        let mut h = Histogram::new();
+        h.record(-3.0); // clamps to zero
+        h.record(f64::NAN); // ignored
+        h.record(f64::INFINITY); // ignored
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Some(0.0));
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub fn session_group(client: ClientId) -> GroupId {
     GroupId(1_000_000 + u64::from(client.0))
 }
 
+/// Whether `group` is a movie group (as opposed to the server group or a
+/// session group) — used when classifying view changes in trace analysis.
+pub fn is_movie_group(group: GroupId) -> bool {
+    group.0 >= 10 && group.0 < 1_000_000
+}
+
 /// Identifier of a VoD client (one session each).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClientId(pub u32);
@@ -204,9 +210,7 @@ impl Payload for ControlPayload {
     fn size_bytes(&self) -> usize {
         match self {
             ControlPayload::Open(_) => 32,
-            ControlPayload::Sync { records, .. } => {
-                16 + records.len() * ClientRecord::WIRE_BYTES
-            }
+            ControlPayload::Sync { records, .. } => 16 + records.len() * ClientRecord::WIRE_BYTES,
             ControlPayload::Remove { .. } => 12,
             ControlPayload::Flow { .. } => 8,
             ControlPayload::Vcr { .. } => 12,

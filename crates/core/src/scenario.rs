@@ -42,6 +42,7 @@ use crate::client::{ClientStats, VodClient, WatchRequest};
 use crate::config::VodConfig;
 use crate::protocol::{ClientId, VodWire};
 use crate::server::{Replica, ServerStats, VodServer};
+use crate::trace::{RunReport, TraceHandle, VodEvent};
 
 /// A VCR operation scheduled in a scenario script.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -92,6 +93,7 @@ pub struct ScenarioBuilder {
     heals: Vec<SimTime>,
     clients: Vec<ClientSetup>,
     script: Vec<(SimTime, Scripted)>,
+    event_capacity: Option<usize>,
 }
 
 impl ScenarioBuilder {
@@ -112,7 +114,18 @@ impl ScenarioBuilder {
             heals: Vec::new(),
             clients: Vec::new(),
             script: Vec::new(),
+            event_capacity: None,
         }
+    }
+
+    /// Opts the built simulation into event recording: every layer's
+    /// [`VodEvent`]s are captured in a ring buffer of `capacity` events,
+    /// exposed through [`VodSim::trace`], [`VodSim::events_jsonl`] and
+    /// [`VodSim::report`]. Recording is passive — the simulated outcomes
+    /// are bit-identical with and without it.
+    pub fn record_events(&mut self, capacity: usize) -> &mut Self {
+        self.event_capacity = Some(capacity);
+        self
     }
 
     /// Sets the link profile for every link (default: LAN).
@@ -221,6 +234,14 @@ impl ScenarioBuilder {
     pub fn build(&self) -> VodSim {
         let mut sim: Simulation<VodWire> = Simulation::new(self.seed);
         sim.set_default_profile(self.profile.clone());
+        let trace = match self.event_capacity {
+            Some(capacity) => TraceHandle::recording(capacity),
+            None => TraceHandle::disabled(),
+        };
+        if trace.is_enabled() {
+            let handle = trace.clone();
+            sim.set_tracer(move |event| handle.emit(|| VodEvent::from_net(event)));
+        }
         let universe: Vec<NodeId> = self.server_universe.iter().copied().collect();
         let replicas_for = |node: NodeId| -> Vec<Replica> {
             self.movies
@@ -235,14 +256,16 @@ impl ScenarioBuilder {
         for &node in &self.initial_servers {
             sim.add_node(
                 node,
-                VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node)),
+                VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
+                    .with_trace(trace.clone()),
             );
         }
         for &(at, node) in &self.late_servers {
             sim.start_node_at(
                 at,
                 node,
-                VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node)),
+                VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
+                    .with_trace(trace.clone()),
             );
         }
         for &(at, node) in &self.crashes {
@@ -274,7 +297,8 @@ impl ScenarioBuilder {
                     setup.node,
                     universe.clone(),
                     request,
-                ),
+                )
+                .with_trace(trace.clone()),
             );
             client_nodes.insert(setup.id, setup.node);
         }
@@ -289,6 +313,7 @@ impl ScenarioBuilder {
             server_nodes: universe,
             script,
             next_script: 0,
+            trace,
         }
     }
 }
@@ -300,6 +325,7 @@ pub struct VodSim {
     server_nodes: Vec<NodeId>,
     script: Vec<(SimTime, Scripted)>,
     next_script: usize,
+    trace: TraceHandle,
 }
 
 impl std::fmt::Debug for VodSim {
@@ -389,6 +415,23 @@ impl VodSim {
     /// Whether the server on `node` is alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.sim.is_alive(node)
+    }
+
+    /// The trace handle of this run (disabled unless the builder opted in
+    /// via [`ScenarioBuilder::record_events`]).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// The recorded events as JSON Lines; `None` without event recording.
+    pub fn events_jsonl(&self) -> Option<String> {
+        self.trace.to_jsonl()
+    }
+
+    /// Derives a [`RunReport`] from the recorded events; `None` without
+    /// event recording.
+    pub fn report(&self) -> Option<RunReport> {
+        self.trace.report()
     }
 
     /// Escape hatch for tests: the underlying simulation.

@@ -23,14 +23,15 @@ use std::time::Duration;
 use gcs::{GcsEvent, GcsNode, GroupId, View};
 use media::{Movie, MovieId, QualityFilter};
 use rand::Rng;
-use simnet::{Context, Endpoint, NodeId, Process, TimerId, Timer};
+use simnet::{Context, Endpoint, NodeId, Process, Timer, TimerId};
 
 use crate::config::{ResumePolicy, TakeoverPolicy, VodConfig};
 use crate::metrics::Cumulative;
 use crate::protocol::{
-    movie_group, ClientId, ClientRecord, ControlPayload, FlowRequest,
-    OpenRequest, VcrCmd, VideoPacket, VodWire, GCS_PORT, SERVER_GROUP, VIDEO_PORT,
+    movie_group, ClientId, ClientRecord, ControlPayload, FlowRequest, OpenRequest, VcrCmd,
+    VideoPacket, VodWire, GCS_PORT, SERVER_GROUP, VIDEO_PORT,
 };
+use crate::trace::{TraceHandle, VodEvent};
 
 /// Sentinel owner for clients admitted to no server (admission control):
 /// deterministic across replicas, never a real node id.
@@ -103,8 +104,9 @@ struct MovieState {
     failures_seen: u32,
 }
 
-/// Counters recorded by a server.
-#[derive(Clone, Debug, Default)]
+/// Counters recorded by a server. `PartialEq` backs the determinism
+/// contract: tests compare full stats between traced and untraced runs.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerStats {
     /// Number of clients owned over time, sampled at every sync tick
     /// (drives the load-balancing visualizations).
@@ -132,6 +134,7 @@ pub struct VodServer {
     movies: BTreeMap<MovieId, MovieState>,
     sessions: BTreeMap<ClientId, Session>,
     stats: ServerStats,
+    trace: TraceHandle,
     sync_round: u64,
 }
 
@@ -150,7 +153,13 @@ impl VodServer {
     /// universe of nodes that may ever run a VoD server (the GCS bootstrap
     /// set).
     pub fn new(cfg: VodConfig, node: NodeId, servers: Vec<NodeId>, replicas: Vec<Replica>) -> Self {
-        let gcs = GcsNode::new(cfg.gcs.clone(), node, GCS_PORT, tag::GCS_TICK, servers.clone());
+        let gcs = GcsNode::new(
+            cfg.gcs.clone(),
+            node,
+            GCS_PORT,
+            tag::GCS_TICK,
+            servers.clone(),
+        );
         let movies = replicas
             .into_iter()
             .map(|r| {
@@ -176,8 +185,23 @@ impl VodServer {
             movies,
             sessions: BTreeMap::new(),
             stats: ServerStats::default(),
+            trace: TraceHandle::disabled(),
             sync_round: 0,
         }
+    }
+
+    /// Installs a trace handle: server-side events (session adoption and
+    /// takeover, state-exchange rounds, redistribution, emergency bursts,
+    /// shutdown handoff) and this node's GCS events flow into it. Tracing
+    /// is passive and does not change the server's behaviour.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace.clone();
+        if trace.is_enabled() {
+            let node = self.node;
+            self.gcs
+                .set_tracer(move |event| trace.emit(|| VodEvent::from_gcs(node, event)));
+        }
+        self
     }
 
     /// This server's node id.
@@ -199,6 +223,8 @@ impl VodServer {
     /// change redistributes its clients onto the survivors, and the
     /// process exits once the handoff is under way.
     pub fn shutdown(&mut self, ctx: &mut Context<'_, VodWire>) {
+        let (at, server) = (ctx.now(), self.node);
+        self.trace.emit(|| VodEvent::ShutdownStarted { at, server });
         // Publish the freshest offsets first so the successors resume with
         // minimal duplicate re-transmission.
         let movie_ids: Vec<MovieId> = self.movies.keys().copied().collect();
@@ -239,7 +265,11 @@ impl VodServer {
     // GCS event handling
     // ------------------------------------------------------------------
 
-    fn handle_events(&mut self, ctx: &mut Context<'_, VodWire>, events: Vec<GcsEvent<ControlPayload>>) {
+    fn handle_events(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        events: Vec<GcsEvent<ControlPayload>>,
+    ) {
         for event in events {
             match event {
                 GcsEvent::View { group, view } => self.on_view(ctx, group, view),
@@ -297,6 +327,15 @@ impl VodServer {
                 epoch: view.id.epoch,
                 reported: BTreeSet::new(),
             });
+            let (at, epoch, members) = (ctx.now(), view.id.epoch, view.len());
+            self.trace.emit(|| VodEvent::StateExchangeStarted {
+                at,
+                server: node,
+                movie: movie_id,
+                epoch,
+                members,
+            });
+            let state = self.movies.get_mut(&movie_id).expect("movie checked above");
             let payload = ControlPayload::Sync {
                 server: node,
                 movie: movie_id,
@@ -506,6 +545,19 @@ impl VodServer {
             }
         }
         self.reconcile_sessions(ctx, movie_id);
+        let (at, server) = (ctx.now(), self.node);
+        let owned = self
+            .sessions
+            .values()
+            .filter(|s| s.record.movie == movie_id)
+            .count();
+        self.trace.emit(|| VodEvent::Redistributed {
+            at,
+            server,
+            movie: movie_id,
+            epoch,
+            owned,
+        });
         // Publish our newly owned records promptly so the other replicas
         // see fresh state (and the old server, if alive, stops quickly).
         self.sync_movie(ctx, movie_id, false);
@@ -529,10 +581,7 @@ impl VodServer {
             .iter()
             .filter(|(client, s)| {
                 s.record.movie == movie_id
-                    && state
-                        .records
-                        .get(client)
-                        .is_some_and(|r| r.owner != node)
+                    && state.records.get(client).is_some_and(|r| r.owner != node)
             })
             .map(|(&c, _)| c)
             .collect();
@@ -561,7 +610,9 @@ impl VodServer {
         // A thinned stream must not be pumped at the full-rate cadence:
         // cap the transmission rate at the filter's effective output.
         let effective_cap = filter.effective_fps(state.movie.fps()).ceil() as u32;
-        record.rate_fps = record.rate_fps.min(effective_cap.max(self.cfg.min_rate_fps));
+        record.rate_fps = record
+            .rate_fps
+            .min(effective_cap.max(self.cfg.min_rate_fps));
         let send_timer = if record.paused {
             None
         } else {
@@ -573,6 +624,17 @@ impl VodServer {
         self.gcs
             .join(ctx, record.session_group, &[record.client_node]);
         self.stats.takeovers.add(ctx.now(), 1);
+        let at = ctx.now();
+        let (server, client, client_node) = (self.node, record.client, record.client_node);
+        let (movie, resume_frame) = (record.movie, record.next_frame);
+        self.trace.emit(|| VodEvent::SessionStarted {
+            at,
+            server,
+            client,
+            client_node,
+            movie,
+            resume_frame,
+        });
         self.sessions.insert(
             record.client,
             Session {
@@ -591,6 +653,9 @@ impl VodServer {
             if let Some(timer) = session.send_timer {
                 ctx.cancel_timer(timer);
             }
+            let (at, server) = (ctx.now(), self.node);
+            self.trace
+                .emit(|| VodEvent::SessionStopped { at, server, client });
             self.gcs.leave(ctx, session.record.session_group);
         }
     }
@@ -604,6 +669,9 @@ impl VodServer {
         if let Some(timer) = session.send_timer {
             ctx.cancel_timer(timer);
         }
+        let (at, server) = (ctx.now(), self.node);
+        self.trace
+            .emit(|| VodEvent::SessionEnded { at, server, client });
         let movie_id = session.record.movie;
         if let Some(state) = self.movies.get_mut(&movie_id) {
             if state.records.remove(&client).is_some() {
@@ -622,10 +690,8 @@ impl VodServer {
 
     fn on_flow(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId, req: FlowRequest) {
         let (min_rate, max_rate) = (self.cfg.min_rate_fps, self.cfg.max_rate_fps);
-        let (base_severe, base_mild) = (
-            self.cfg.emergency_base_severe,
-            self.cfg.emergency_base_mild,
-        );
+        let (base_severe, base_mild) =
+            (self.cfg.emergency_base_severe, self.cfg.emergency_base_mild);
         let Some(session) = self.sessions.get_mut(&client) else {
             return;
         };
@@ -645,6 +711,13 @@ impl VodServer {
                 let base = if severe { base_severe } else { base_mild };
                 if session.emergency.trigger(base) {
                     self.stats.emergencies_granted.add(ctx.now(), 1);
+                    let (at, server) = (ctx.now(), self.node);
+                    self.trace.emit(|| VodEvent::EmergencyGranted {
+                        at,
+                        server,
+                        client,
+                        base,
+                    });
                     if !session.decay_armed {
                         session.decay_armed = true;
                         ctx.set_timer_after(Duration::from_secs(1), tag::decay(client.0));
@@ -680,9 +753,9 @@ impl VodServer {
             }
             VcrCmd::SetQuality(max_fps) => {
                 let filter = self.sessions.get(&client).and_then(|s| {
-                    self.movies.get(&s.record.movie).map(|m| {
-                        QualityFilter::new(m.movie.gop(), m.movie.fps(), max_fps)
-                    })
+                    self.movies
+                        .get(&s.record.movie)
+                        .map(|m| QualityFilter::new(m.movie.gop(), m.movie.fps(), max_fps))
                 });
                 if let (Some(session), Some(filter)) = (self.sessions.get_mut(&client), filter) {
                     session.record.max_fps = max_fps;
@@ -781,6 +854,9 @@ impl VodServer {
             ctx.set_timer_after(Duration::from_secs(1), tag::decay(client.0));
         } else {
             session.decay_armed = false;
+            let (at, server) = (ctx.now(), self.node);
+            self.trace
+                .emit(|| VodEvent::EmergencyEnded { at, server, client });
         }
     }
 
@@ -864,7 +940,12 @@ impl VodServer {
     // Helpers
     // ------------------------------------------------------------------
 
-    fn multicast(&mut self, ctx: &mut Context<'_, VodWire>, group: GroupId, payload: ControlPayload) {
+    fn multicast(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        group: GroupId,
+        payload: ControlPayload,
+    ) {
         // A NotMember error means we are not (yet) in the group: drop the
         // report; the periodic sync recovers.
         if let Ok(events) = self.gcs.multicast(ctx, group, payload) {
@@ -951,7 +1032,6 @@ impl Process<VodWire> for VodServer {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

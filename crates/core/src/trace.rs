@@ -1,0 +1,1481 @@
+//! Unified cross-layer observability: structured events, a bounded
+//! recorder, JSON-Lines export and derived run reports.
+//!
+//! Every layer of the stack emits [`VodEvent`]s — the network
+//! ([`simnet::TraceEvent`]), the group communication service
+//! ([`gcs::GcsTrace`]), the servers and the clients — into one shared
+//! [`TraceRecorder`] reached through cheap clonable [`TraceHandle`]s.
+//!
+//! # Zero-cost guarantee
+//!
+//! A disabled handle ([`TraceHandle::disabled`]) is a `None`: emitting
+//! through it is a single branch and the event is never even constructed
+//! ([`TraceHandle::emit`] takes a closure). Scenarios that do not opt in
+//! via [`ScenarioBuilder::record_events`](crate::scenario::ScenarioBuilder::record_events)
+//! pay nothing.
+//!
+//! # Determinism contract
+//!
+//! Tracing is strictly passive. Recording an event touches no RNG, no
+//! timers and no messages, so a run with a recorder installed is
+//! bit-identical to the same run without one — and two runs with the same
+//! seed produce byte-identical JSONL streams. Timestamps are serialized as
+//! integer microseconds to keep the export free of float formatting
+//! ambiguity.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use gcs::{GcsTrace, GroupId};
+use media::{FrameNo, FrameType, MovieId};
+use simnet::{DropReason, Endpoint, NodeId, SimTime, TraceEvent};
+
+use crate::metrics::Histogram;
+use crate::protocol::{ClientId, VcrCmd};
+
+/// Default ring-buffer capacity of a recorder: comfortably holds every
+/// event of a 90-second, few-client scenario while bounding memory for
+/// larger ones.
+pub const DEFAULT_EVENT_CAPACITY: usize = 262_144;
+
+/// Why a received frame was discarded by the client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiscardKind {
+    /// Arrived at or behind the display position (stragglers and network
+    /// duplicates).
+    Late,
+    /// Evicted because the software buffer was full.
+    Overflow,
+}
+
+impl DiscardKind {
+    /// Stable lower-snake-case name, used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiscardKind::Late => "late",
+            DiscardKind::Overflow => "overflow",
+        }
+    }
+}
+
+/// One structured observability event, spanning every layer of the stack.
+///
+/// Timestamps (`at`) are simulated time. Identity fields use the same
+/// types the layers themselves use; the JSONL export renders them
+/// compactly (nodes and groups as numbers, endpoints as `"n1:2"` strings).
+#[derive(Clone, Debug)]
+pub enum VodEvent {
+    // ---------------- network (from `simnet::TraceEvent`) ----------------
+    /// A datagram was submitted to the network.
+    NetSent {
+        /// When it was sent.
+        at: SimTime,
+        /// Source endpoint.
+        from: Endpoint,
+        /// Destination endpoint.
+        to: Endpoint,
+        /// Traffic class.
+        class: &'static str,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A datagram reached a live destination process.
+    NetDelivered {
+        /// When it arrived.
+        at: SimTime,
+        /// When it was sent (so `at - sent_at` is the latency).
+        sent_at: SimTime,
+        /// Source endpoint.
+        from: Endpoint,
+        /// Destination endpoint.
+        to: Endpoint,
+        /// Traffic class.
+        class: &'static str,
+    },
+    /// A datagram was dropped.
+    NetDropped {
+        /// When the drop was decided.
+        at: SimTime,
+        /// Source endpoint.
+        from: Endpoint,
+        /// Destination endpoint.
+        to: Endpoint,
+        /// Traffic class.
+        class: &'static str,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A node booted.
+    NodeStarted {
+        /// When it booted.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
+    /// A node crashed.
+    NodeCrashed {
+        /// When it crashed.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
+    /// A network partition came up.
+    Partitioned {
+        /// When it took effect.
+        at: SimTime,
+        /// One side of the cut.
+        a: Vec<NodeId>,
+        /// The other side.
+        b: Vec<NodeId>,
+    },
+    /// A partition was healed (empty sides: all partitions at once).
+    Healed {
+        /// When it took effect.
+        at: SimTime,
+        /// One side of the former cut.
+        a: Vec<NodeId>,
+        /// The other side.
+        b: Vec<NodeId>,
+    },
+    // ---------------- GCS (from `gcs::GcsTrace`) ----------------
+    /// A node's failure detector started suspecting a peer.
+    Suspected {
+        /// When suspicion was raised.
+        at: SimTime,
+        /// The suspecting node.
+        node: NodeId,
+        /// The suspected peer.
+        peer: NodeId,
+    },
+    /// A node installed a new group view.
+    ViewInstalled {
+        /// When the view was installed.
+        at: SimTime,
+        /// The installing node.
+        node: NodeId,
+        /// The group.
+        group: GroupId,
+        /// The view's epoch.
+        epoch: u64,
+        /// The view's coordinator.
+        coordinator: NodeId,
+        /// The members of the new view.
+        members: Vec<NodeId>,
+    },
+    /// A node asked to join a group.
+    JoinRequested {
+        /// When the join was requested.
+        at: SimTime,
+        /// The joining node.
+        node: NodeId,
+        /// The group.
+        group: GroupId,
+    },
+    /// A node asked to leave a group.
+    LeaveRequested {
+        /// When the leave was requested.
+        at: SimTime,
+        /// The leaving node.
+        node: NodeId,
+        /// The group.
+        group: GroupId,
+    },
+    /// Agreed-delivery requests stalled waiting on the sequencer.
+    AgreedStalled {
+        /// When the stall was observed.
+        at: SimTime,
+        /// The observing node.
+        node: NodeId,
+        /// The group.
+        group: GroupId,
+        /// Requests still waiting for a sequence number.
+        pending: usize,
+    },
+    // ---------------- server ----------------
+    /// A server began (or resumed) transmitting to a client: fresh
+    /// adoption, crash takeover or load-balance migration.
+    SessionStarted {
+        /// When transmission was set up.
+        at: SimTime,
+        /// The serving node.
+        server: NodeId,
+        /// The client.
+        client: ClientId,
+        /// The node the client runs on (where video frames go).
+        client_node: NodeId,
+        /// The movie.
+        movie: MovieId,
+        /// The frame transmission (re)starts from.
+        resume_frame: FrameNo,
+    },
+    /// A server stopped transmitting to a client because ownership moved
+    /// elsewhere (the session itself lives on).
+    SessionStopped {
+        /// When transmission stopped.
+        at: SimTime,
+        /// The releasing server.
+        server: NodeId,
+        /// The client.
+        client: ClientId,
+    },
+    /// A session ended for good (stop command or end of movie).
+    SessionEnded {
+        /// When it ended.
+        at: SimTime,
+        /// The serving node.
+        server: NodeId,
+        /// The client.
+        client: ClientId,
+    },
+    /// A movie-group view change started a state-exchange round.
+    StateExchangeStarted {
+        /// When the round started.
+        at: SimTime,
+        /// The server starting its round.
+        server: NodeId,
+        /// The movie group's movie.
+        movie: MovieId,
+        /// The new view's epoch.
+        epoch: u64,
+        /// Number of replicas in the new view.
+        members: usize,
+    },
+    /// A state-exchange round gathered all expected reports (or timed out)
+    /// and client ownership was redistributed.
+    Redistributed {
+        /// When redistribution ran.
+        at: SimTime,
+        /// The server that recomputed the assignment.
+        server: NodeId,
+        /// The movie concerned.
+        movie: MovieId,
+        /// The epoch the assignment was computed in.
+        epoch: u64,
+        /// Sessions this server owns after the redistribution.
+        owned: usize,
+    },
+    /// A server granted an emergency burst to a client (paper §4.1).
+    EmergencyGranted {
+        /// When the burst started.
+        at: SimTime,
+        /// The granting server.
+        server: NodeId,
+        /// The client.
+        client: ClientId,
+        /// Base quantity (extra frames in the first second).
+        base: u32,
+    },
+    /// An emergency burst decayed to zero; normal flow control resumes.
+    EmergencyEnded {
+        /// When the burst ended.
+        at: SimTime,
+        /// The server.
+        server: NodeId,
+        /// The client.
+        client: ClientId,
+    },
+    /// A server began a graceful shutdown, handing its clients over.
+    ShutdownStarted {
+        /// When the shutdown began.
+        at: SimTime,
+        /// The server.
+        server: NodeId,
+    },
+    // ---------------- client ----------------
+    /// A client asked the (abstract) server group to open a session.
+    OpenRequested {
+        /// When the request was sent.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// The requested movie.
+        movie: MovieId,
+        /// The requested start position.
+        start_at: FrameNo,
+    },
+    /// The first frame of a session reached the client.
+    FirstFrame {
+        /// When it arrived.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// The frame number.
+        frame: FrameNo,
+    },
+    /// Frames started arriving again after a service interruption (a gap
+    /// longer than the glitch threshold while playing).
+    StreamResumed {
+        /// When the stream resumed.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// Length of the preceding gap, in seconds.
+        gap_s: f64,
+    },
+    /// The client's combined buffer occupancy crossed into a different
+    /// Figure-2 band (water-mark / critical-threshold crossing).
+    BandChanged {
+        /// When the crossing happened.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// Band before ([`Band::name`](crate::client::Band::name)).
+        from: &'static str,
+        /// Band after.
+        to: &'static str,
+        /// Occupancy (frames, software buffer + decoder) after the change.
+        occupancy: usize,
+    },
+    /// The client issued an emergency flow-control request.
+    EmergencyRequested {
+        /// When the request was sent.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// Whether the severe tier (occupancy under 15%) fired.
+        severe: bool,
+    },
+    /// The client discarded a received frame.
+    FrameDiscarded {
+        /// When it was discarded.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// The frame number.
+        frame: FrameNo,
+        /// The frame type (I/P/B).
+        ftype: FrameType,
+        /// Why it was discarded.
+        kind: DiscardKind,
+    },
+    /// The client issued a VCR command.
+    VcrIssued {
+        /// When the command was sent.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// The command.
+        cmd: VcrCmd,
+    },
+    /// The movie played to its end.
+    MovieEnded {
+        /// When the end-of-movie notice arrived.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+    },
+}
+
+fn write_nodes(out: &mut String, nodes: &[NodeId]) {
+    out.push('[');
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", n.0);
+    }
+    out.push(']');
+}
+
+fn frame_type_name(ftype: FrameType) -> &'static str {
+    match ftype {
+        FrameType::I => "I",
+        FrameType::P => "P",
+        FrameType::B => "B",
+    }
+}
+
+impl VodEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            VodEvent::NetSent { at, .. }
+            | VodEvent::NetDelivered { at, .. }
+            | VodEvent::NetDropped { at, .. }
+            | VodEvent::NodeStarted { at, .. }
+            | VodEvent::NodeCrashed { at, .. }
+            | VodEvent::Partitioned { at, .. }
+            | VodEvent::Healed { at, .. }
+            | VodEvent::Suspected { at, .. }
+            | VodEvent::ViewInstalled { at, .. }
+            | VodEvent::JoinRequested { at, .. }
+            | VodEvent::LeaveRequested { at, .. }
+            | VodEvent::AgreedStalled { at, .. }
+            | VodEvent::SessionStarted { at, .. }
+            | VodEvent::SessionStopped { at, .. }
+            | VodEvent::SessionEnded { at, .. }
+            | VodEvent::StateExchangeStarted { at, .. }
+            | VodEvent::Redistributed { at, .. }
+            | VodEvent::EmergencyGranted { at, .. }
+            | VodEvent::EmergencyEnded { at, .. }
+            | VodEvent::ShutdownStarted { at, .. }
+            | VodEvent::OpenRequested { at, .. }
+            | VodEvent::FirstFrame { at, .. }
+            | VodEvent::StreamResumed { at, .. }
+            | VodEvent::BandChanged { at, .. }
+            | VodEvent::EmergencyRequested { at, .. }
+            | VodEvent::FrameDiscarded { at, .. }
+            | VodEvent::VcrIssued { at, .. }
+            | VodEvent::MovieEnded { at, .. } => at,
+        }
+    }
+
+    /// Translates a network-layer trace event.
+    pub fn from_net(event: &TraceEvent) -> Self {
+        match event {
+            TraceEvent::Sent {
+                at,
+                from,
+                to,
+                class,
+                bytes,
+            } => VodEvent::NetSent {
+                at: *at,
+                from: *from,
+                to: *to,
+                class,
+                bytes: *bytes,
+            },
+            TraceEvent::Delivered {
+                at,
+                sent_at,
+                from,
+                to,
+                class,
+            } => VodEvent::NetDelivered {
+                at: *at,
+                sent_at: *sent_at,
+                from: *from,
+                to: *to,
+                class,
+            },
+            TraceEvent::Dropped {
+                at,
+                from,
+                to,
+                class,
+                reason,
+            } => VodEvent::NetDropped {
+                at: *at,
+                from: *from,
+                to: *to,
+                class,
+                reason: *reason,
+            },
+            TraceEvent::NodeStarted { at, node } => VodEvent::NodeStarted {
+                at: *at,
+                node: *node,
+            },
+            TraceEvent::NodeCrashed { at, node } => VodEvent::NodeCrashed {
+                at: *at,
+                node: *node,
+            },
+            TraceEvent::Partitioned { at, a, b } => VodEvent::Partitioned {
+                at: *at,
+                a: a.clone(),
+                b: b.clone(),
+            },
+            TraceEvent::Healed { at, a, b } => VodEvent::Healed {
+                at: *at,
+                a: a.clone(),
+                b: b.clone(),
+            },
+        }
+    }
+
+    /// Translates a GCS-layer trace event observed on `node`.
+    pub fn from_gcs(node: NodeId, event: &GcsTrace) -> Self {
+        match event {
+            GcsTrace::Suspected { at, peer } => VodEvent::Suspected {
+                at: *at,
+                node,
+                peer: *peer,
+            },
+            GcsTrace::ViewInstalled { at, group, view } => VodEvent::ViewInstalled {
+                at: *at,
+                node,
+                group: *group,
+                epoch: view.id.epoch,
+                coordinator: view.id.coordinator,
+                members: view.members.clone(),
+            },
+            GcsTrace::JoinRequested { at, group } => VodEvent::JoinRequested {
+                at: *at,
+                node,
+                group: *group,
+            },
+            GcsTrace::LeaveRequested { at, group } => VodEvent::LeaveRequested {
+                at: *at,
+                node,
+                group: *group,
+            },
+            GcsTrace::AgreedStalled { at, group, pending } => VodEvent::AgreedStalled {
+                at: *at,
+                node,
+                group: *group,
+                pending: *pending,
+            },
+        }
+    }
+
+    /// Appends this event to `out` as one JSON object (no trailing
+    /// newline). Every value is produced from integer or static-string
+    /// data, so equal event streams render byte-identically.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"t_us\":{}", self.at().as_micros());
+        match self {
+            VodEvent::NetSent {
+                from,
+                to,
+                class,
+                bytes,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"net_sent\",\"from\":\"{from}\",\"to\":\"{to}\",\"class\":\"{class}\",\"bytes\":{bytes}"
+                );
+            }
+            VodEvent::NetDelivered {
+                at,
+                sent_at,
+                from,
+                to,
+                class,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"net_delivered\",\"from\":\"{from}\",\"to\":\"{to}\",\"class\":\"{class}\",\"latency_us\":{}",
+                    at.saturating_since(*sent_at).as_micros()
+                );
+            }
+            VodEvent::NetDropped {
+                from,
+                to,
+                class,
+                reason,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"net_dropped\",\"from\":\"{from}\",\"to\":\"{to}\",\"class\":\"{class}\",\"reason\":\"{}\"",
+                    reason.name()
+                );
+            }
+            VodEvent::NodeStarted { node, .. } => {
+                let _ = write!(out, ",\"ev\":\"node_started\",\"node\":{}", node.0);
+            }
+            VodEvent::NodeCrashed { node, .. } => {
+                let _ = write!(out, ",\"ev\":\"node_crashed\",\"node\":{}", node.0);
+            }
+            VodEvent::Partitioned { a, b, .. } => {
+                out.push_str(",\"ev\":\"partitioned\",\"a\":");
+                write_nodes(out, a);
+                out.push_str(",\"b\":");
+                write_nodes(out, b);
+            }
+            VodEvent::Healed { a, b, .. } => {
+                out.push_str(",\"ev\":\"healed\",\"a\":");
+                write_nodes(out, a);
+                out.push_str(",\"b\":");
+                write_nodes(out, b);
+            }
+            VodEvent::Suspected { node, peer, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"suspected\",\"node\":{},\"peer\":{}",
+                    node.0, peer.0
+                );
+            }
+            VodEvent::ViewInstalled {
+                node,
+                group,
+                epoch,
+                coordinator,
+                members,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"view_installed\",\"node\":{},\"group\":{},\"epoch\":{epoch},\"coordinator\":{},\"members\":",
+                    node.0, group.0, coordinator.0
+                );
+                write_nodes(out, members);
+            }
+            VodEvent::JoinRequested { node, group, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"join_requested\",\"node\":{},\"group\":{}",
+                    node.0, group.0
+                );
+            }
+            VodEvent::LeaveRequested { node, group, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"leave_requested\",\"node\":{},\"group\":{}",
+                    node.0, group.0
+                );
+            }
+            VodEvent::AgreedStalled {
+                node,
+                group,
+                pending,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"agreed_stalled\",\"node\":{},\"group\":{},\"pending\":{pending}",
+                    node.0, group.0
+                );
+            }
+            VodEvent::SessionStarted {
+                server,
+                client,
+                client_node,
+                movie,
+                resume_frame,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"session_started\",\"server\":{},\"client\":{},\"client_node\":{},\"movie\":{},\"resume_frame\":{}",
+                    server.0, client.0, client_node.0, movie.0, resume_frame.0
+                );
+            }
+            VodEvent::SessionStopped { server, client, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"session_stopped\",\"server\":{},\"client\":{}",
+                    server.0, client.0
+                );
+            }
+            VodEvent::SessionEnded { server, client, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"session_ended\",\"server\":{},\"client\":{}",
+                    server.0, client.0
+                );
+            }
+            VodEvent::StateExchangeStarted {
+                server,
+                movie,
+                epoch,
+                members,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"state_exchange_started\",\"server\":{},\"movie\":{},\"epoch\":{epoch},\"members\":{members}",
+                    server.0, movie.0
+                );
+            }
+            VodEvent::Redistributed {
+                server,
+                movie,
+                epoch,
+                owned,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"redistributed\",\"server\":{},\"movie\":{},\"epoch\":{epoch},\"owned\":{owned}",
+                    server.0, movie.0
+                );
+            }
+            VodEvent::EmergencyGranted {
+                server,
+                client,
+                base,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"emergency_granted\",\"server\":{},\"client\":{},\"base\":{base}",
+                    server.0, client.0
+                );
+            }
+            VodEvent::EmergencyEnded { server, client, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"emergency_ended\",\"server\":{},\"client\":{}",
+                    server.0, client.0
+                );
+            }
+            VodEvent::ShutdownStarted { server, .. } => {
+                let _ = write!(out, ",\"ev\":\"shutdown_started\",\"server\":{}", server.0);
+            }
+            VodEvent::OpenRequested {
+                client,
+                movie,
+                start_at,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"open_requested\",\"client\":{},\"movie\":{},\"start_at\":{}",
+                    client.0, movie.0, start_at.0
+                );
+            }
+            VodEvent::FirstFrame { client, frame, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"first_frame\",\"client\":{},\"frame\":{}",
+                    client.0, frame.0
+                );
+            }
+            VodEvent::StreamResumed { client, gap_s, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"stream_resumed\",\"client\":{},\"gap_us\":{}",
+                    client.0,
+                    (gap_s * 1e6).round() as u64
+                );
+            }
+            VodEvent::BandChanged {
+                client,
+                from,
+                to,
+                occupancy,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"band_changed\",\"client\":{},\"from\":\"{from}\",\"to\":\"{to}\",\"occupancy\":{occupancy}",
+                    client.0
+                );
+            }
+            VodEvent::EmergencyRequested { client, severe, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"emergency_requested\",\"client\":{},\"severe\":{severe}",
+                    client.0
+                );
+            }
+            VodEvent::FrameDiscarded {
+                client,
+                frame,
+                ftype,
+                kind,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"frame_discarded\",\"client\":{},\"frame\":{},\"ftype\":\"{}\",\"kind\":\"{}\"",
+                    client.0,
+                    frame.0,
+                    frame_type_name(*ftype),
+                    kind.name()
+                );
+            }
+            VodEvent::VcrIssued { client, cmd, .. } => {
+                let _ = write!(out, ",\"ev\":\"vcr\",\"client\":{},\"cmd\":\"", client.0);
+                match cmd {
+                    VcrCmd::Pause => out.push_str("pause\""),
+                    VcrCmd::Resume => out.push_str("resume\""),
+                    VcrCmd::Seek(frame) => {
+                        let _ = write!(out, "seek\",\"frame\":{}", frame.0);
+                    }
+                    VcrCmd::SetQuality(fps) => {
+                        let _ = write!(out, "set_quality\",\"max_fps\":{fps}");
+                    }
+                    VcrCmd::SetSpeed(pct) => {
+                        let _ = write!(out, "set_speed\",\"percent\":{pct}");
+                    }
+                    VcrCmd::Stop => out.push_str("stop\""),
+                }
+            }
+            VodEvent::MovieEnded { client, .. } => {
+                let _ = write!(out, ",\"ev\":\"movie_ended\",\"client\":{}", client.0);
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// A bounded ring buffer of [`VodEvent`]s. When full, the oldest events
+/// are evicted and counted in [`TraceRecorder::dropped`].
+#[derive(Debug)]
+pub struct TraceRecorder {
+    events: VecDeque<VodEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, event: VodEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &VodEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events as JSON Lines, one object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for event in &self.events {
+            event.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A cheap, clonable handle through which components emit [`VodEvent`]s.
+///
+/// A disabled handle (the default) drops events without constructing them;
+/// an enabled one appends to a shared [`TraceRecorder`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceHandle {
+    inner: Option<Rc<RefCell<TraceRecorder>>>,
+}
+
+impl TraceHandle {
+    /// A handle that discards everything at the cost of one branch.
+    pub fn disabled() -> Self {
+        TraceHandle::default()
+    }
+
+    /// A handle recording into a fresh ring buffer of `capacity` events.
+    pub fn recording(capacity: usize) -> Self {
+        TraceHandle {
+            inner: Some(Rc::new(RefCell::new(TraceRecorder::new(capacity)))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event produced by `make` — which is only invoked when
+    /// the handle is enabled, keeping the disabled path free of event
+    /// construction.
+    pub fn emit(&self, make: impl FnOnce() -> VodEvent) {
+        if let Some(recorder) = &self.inner {
+            recorder.borrow_mut().push(make());
+        }
+    }
+
+    /// Runs `f` against the recorder, if one is attached.
+    pub fn with_recorder<R>(&self, f: impl FnOnce(&TraceRecorder) -> R) -> Option<R> {
+        self.inner.as_ref().map(|rc| f(&rc.borrow()))
+    }
+
+    /// Renders the recorded events as JSON Lines.
+    pub fn to_jsonl(&self) -> Option<String> {
+        self.with_recorder(TraceRecorder::to_jsonl)
+    }
+
+    /// Derives a [`RunReport`] from the recorded events.
+    pub fn report(&self) -> Option<RunReport> {
+        self.with_recorder(RunReport::from_recorder)
+    }
+}
+
+/// One takeover (or migration), broken down the way the paper reports it:
+/// how long until the surviving replicas agreed on a new view, and how
+/// long from there until video flowed to the client again.
+#[derive(Clone, Debug)]
+pub struct TakeoverBreakdown {
+    /// The affected client.
+    pub client: ClientId,
+    /// The server that previously transmitted to the client.
+    pub from_server: Option<NodeId>,
+    /// The server that took over.
+    pub to_server: NodeId,
+    /// What moved the session: `"crash"`, `"shutdown"` or `"rebalance"`.
+    pub trigger: &'static str,
+    /// When the trigger happened (seconds; for `"rebalance"`, when the new
+    /// session started).
+    pub triggered_s: f64,
+    /// Trigger → new movie-group view installed at the adopting server.
+    pub view_change_s: f64,
+    /// View installed → first video frame delivered to the client.
+    pub resume_s: f64,
+    /// Trigger → first video frame delivered (view_change + resume).
+    pub total_s: f64,
+    /// The frame transmission resumed from.
+    pub resume_frame: FrameNo,
+}
+
+/// A service interruption observed at a client: a gap between consecutive
+/// frames long enough to be user-visible.
+#[derive(Clone, Copy, Debug)]
+pub struct GlitchWindow {
+    /// The client.
+    pub client: ClientId,
+    /// When frames started arriving again (seconds).
+    pub resumed_s: f64,
+    /// Length of the gap (seconds).
+    pub gap_s: f64,
+}
+
+/// A completed emergency burst window at a server.
+#[derive(Clone, Copy, Debug)]
+pub struct EmergencyWindow {
+    /// The client the burst served.
+    pub client: ClientId,
+    /// The granting server.
+    pub server: NodeId,
+    /// When the burst started (seconds).
+    pub started_s: f64,
+    /// Grant → decay-to-zero (seconds).
+    pub duration_s: f64,
+    /// Base quantity of the burst.
+    pub base: u32,
+}
+
+/// The paper's headline numbers, derived by post-processing an event
+/// stream: per-takeover latency breakdowns, latency histograms, glitch
+/// windows, duplicate-frame counts and emergency durations.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Failure-driven session moves, with their latency breakdown.
+    pub takeovers: Vec<TakeoverBreakdown>,
+    /// Session moves with no preceding failure (load balancing).
+    pub migrations: u64,
+    /// End-to-end latency of delivered video frames (seconds).
+    pub delivery_latency: Histogram,
+    /// Trigger-to-resume totals of the takeovers above (seconds).
+    pub takeover_latency: Histogram,
+    /// Time from falling below the low water mark back to the normal band
+    /// (seconds) — the paper's buffer-refill time.
+    pub refill_time: Histogram,
+    /// Service interruptions observed at clients.
+    pub glitches: Vec<GlitchWindow>,
+    /// Frames discarded on arrival as late (stragglers and duplicates).
+    pub late_frames: u64,
+    /// Frames evicted because the software buffer overflowed.
+    pub overflow_frames: u64,
+    /// Emergency requests issued by clients.
+    pub emergencies_requested: u64,
+    /// Emergency bursts granted by servers.
+    pub emergencies_granted: u64,
+    /// Completed emergency burst windows.
+    pub emergency_windows: Vec<EmergencyWindow>,
+    /// Suspicions raised by failure detectors.
+    pub suspicions: u64,
+    /// Views installed across all nodes and groups.
+    pub views_installed: u64,
+    /// Events the report was derived from (recorded + evicted).
+    pub events_seen: u64,
+    /// Events evicted from the ring buffer before the report ran.
+    pub events_dropped: u64,
+}
+
+impl RunReport {
+    /// Derives the report from a recorder's event stream.
+    pub fn from_recorder(recorder: &TraceRecorder) -> Self {
+        let mut report = RunReport {
+            events_seen: recorder.len() as u64 + recorder.dropped(),
+            events_dropped: recorder.dropped(),
+            ..RunReport::default()
+        };
+
+        // One linear pass collecting the per-kind indices the correlation
+        // steps below need.
+        let mut failures: Vec<(f64, NodeId, &'static str)> = Vec::new();
+        let mut movie_views: Vec<(f64, NodeId)> = Vec::new();
+        let mut starts: BTreeMap<ClientId, Vec<(f64, NodeId, NodeId, FrameNo)>> = BTreeMap::new();
+        let mut video_deliveries: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
+        let mut open_grants: BTreeMap<ClientId, (f64, NodeId, u32)> = BTreeMap::new();
+        let mut refill_start: BTreeMap<ClientId, f64> = BTreeMap::new();
+
+        for event in recorder.events() {
+            match event {
+                VodEvent::NetDelivered {
+                    at,
+                    sent_at,
+                    to,
+                    class,
+                    ..
+                } if *class == "video" => {
+                    let secs = at.as_secs_f64();
+                    report
+                        .delivery_latency
+                        .record(at.saturating_since(*sent_at).as_secs_f64());
+                    video_deliveries.entry(to.node).or_default().push(secs);
+                }
+                VodEvent::NodeCrashed { at, node } => {
+                    failures.push((at.as_secs_f64(), *node, "crash"));
+                }
+                VodEvent::ShutdownStarted { at, server } => {
+                    failures.push((at.as_secs_f64(), *server, "shutdown"));
+                }
+                VodEvent::Suspected { .. } => report.suspicions += 1,
+                VodEvent::ViewInstalled {
+                    at, node, group, ..
+                } => {
+                    report.views_installed += 1;
+                    if crate::protocol::is_movie_group(*group) {
+                        movie_views.push((at.as_secs_f64(), *node));
+                    }
+                }
+                VodEvent::SessionStarted {
+                    at,
+                    server,
+                    client,
+                    client_node,
+                    resume_frame,
+                    ..
+                } => {
+                    starts.entry(*client).or_default().push((
+                        at.as_secs_f64(),
+                        *server,
+                        *client_node,
+                        *resume_frame,
+                    ));
+                }
+                VodEvent::EmergencyGranted {
+                    at,
+                    server,
+                    client,
+                    base,
+                } => {
+                    report.emergencies_granted += 1;
+                    open_grants.insert(*client, (at.as_secs_f64(), *server, *base));
+                }
+                VodEvent::EmergencyEnded { at, client, .. } => {
+                    if let Some((started_s, server, base)) = open_grants.remove(client) {
+                        report.emergency_windows.push(EmergencyWindow {
+                            client: *client,
+                            server,
+                            started_s,
+                            duration_s: at.as_secs_f64() - started_s,
+                            base,
+                        });
+                    }
+                }
+                VodEvent::EmergencyRequested { .. } => report.emergencies_requested += 1,
+                VodEvent::StreamResumed { at, client, gap_s } => {
+                    report.glitches.push(GlitchWindow {
+                        client: *client,
+                        resumed_s: at.as_secs_f64(),
+                        gap_s: *gap_s,
+                    });
+                }
+                VodEvent::FrameDiscarded { kind, .. } => match kind {
+                    DiscardKind::Late => report.late_frames += 1,
+                    DiscardKind::Overflow => report.overflow_frames += 1,
+                },
+                VodEvent::BandChanged { at, client, to, .. } => {
+                    let healthy = *to == "normal" || *to == "above_high";
+                    if healthy {
+                        if let Some(started) = refill_start.remove(client) {
+                            report.refill_time.record(at.as_secs_f64() - started);
+                        }
+                    } else {
+                        refill_start.entry(*client).or_insert(at.as_secs_f64());
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Correlate each session move after the first with its trigger:
+        // the latest crash/shutdown of the previous owner, if any — then
+        // split the trigger→resume interval at the adopting server's next
+        // movie-group view install.
+        for (client, history) in &starts {
+            for pair in history.windows(2) {
+                let (_, prev_server, _, _) = pair[0];
+                let (started_s, server, client_node, resume_frame) = pair[1];
+                let trigger = failures
+                    .iter()
+                    .rfind(|&&(t, node, _)| node == prev_server && t <= started_s);
+                let Some(&(triggered_s, _, kind)) = trigger else {
+                    report.migrations += 1;
+                    continue;
+                };
+                let view_s = movie_views
+                    .iter()
+                    .find(|&&(t, node)| node == server && t > triggered_s && t <= started_s)
+                    .map_or(started_s, |&(t, _)| t);
+                let resumed_s = video_deliveries
+                    .get(&client_node)
+                    .and_then(|times| times.iter().find(|&&t| t >= started_s))
+                    .copied();
+                let Some(resumed_s) = resumed_s else {
+                    // The stream never restarted inside the recorded
+                    // window; report the takeover as unresolved by
+                    // skipping it (the migration/takeover counters would
+                    // otherwise claim a resume that never happened).
+                    report.migrations += 1;
+                    continue;
+                };
+                let breakdown = TakeoverBreakdown {
+                    client: *client,
+                    from_server: Some(prev_server),
+                    to_server: server,
+                    trigger: kind,
+                    triggered_s,
+                    view_change_s: view_s - triggered_s,
+                    resume_s: resumed_s - view_s,
+                    total_s: resumed_s - triggered_s,
+                    resume_frame,
+                };
+                report.takeover_latency.record(breakdown.total_s);
+                report.takeovers.push(breakdown);
+            }
+        }
+        report
+    }
+
+    /// Total seconds of user-visible service interruption.
+    pub fn glitch_seconds(&self) -> f64 {
+        self.glitches.iter().map(|g| g.gap_s).sum()
+    }
+
+    /// One-line summary for the end of a CLI run.
+    pub fn summary_line(&self) -> String {
+        let p99d = self
+            .delivery_latency
+            .quantile(0.99)
+            .map_or_else(|| "-".to_owned(), |v| format!("{:.1}ms", v * 1e3));
+        let p99t = self
+            .takeover_latency
+            .quantile(0.99)
+            .map_or_else(|| "-".to_owned(), |v| format!("{v:.2}s"));
+        format!(
+            "report: takeovers={} migrations={} p99_delivery={} p99_takeover={} glitch={:.2}s late_frames={} emergencies={}",
+            self.takeovers.len(),
+            self.migrations,
+            p99d,
+            p99t,
+            self.glitch_seconds(),
+            self.late_frames,
+            self.emergencies_granted,
+        )
+    }
+}
+
+fn write_histogram_line(
+    f: &mut fmt::Formatter<'_>,
+    label: &str,
+    unit_ms: bool,
+    hist: &Histogram,
+) -> fmt::Result {
+    write!(f, "  {label}: ")?;
+    if hist.is_empty() {
+        return writeln!(f, "no samples");
+    }
+    let scale = if unit_ms { 1e3 } else { 1.0 };
+    let unit = if unit_ms { "ms" } else { "s" };
+    for (name, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        let v = hist.quantile(q).expect("non-empty") * scale;
+        write!(f, "{name}={v:.2}{unit} ")?;
+    }
+    writeln!(
+        f,
+        "max={:.2}{unit} (n={})",
+        hist.max().expect("non-empty") * scale,
+        hist.count()
+    )
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run report ({} events, {} evicted)",
+            self.events_seen, self.events_dropped
+        )?;
+        writeln!(
+            f,
+            "  session moves: {} takeover(s), {} migration(s)",
+            self.takeovers.len(),
+            self.migrations
+        )?;
+        for t in &self.takeovers {
+            let from = t
+                .from_server
+                .map_or_else(|| "?".to_owned(), |n| n.to_string());
+            writeln!(
+                f,
+                "    {} {} of {} at {:.3}s -> {}: view change {:.3}s + resume {:.3}s = {:.3}s (frame {})",
+                t.client,
+                t.trigger,
+                from,
+                t.triggered_s,
+                t.to_server,
+                t.view_change_s,
+                t.resume_s,
+                t.total_s,
+                t.resume_frame.0
+            )?;
+        }
+        write_histogram_line(f, "delivery latency", true, &self.delivery_latency)?;
+        write_histogram_line(f, "takeover latency", false, &self.takeover_latency)?;
+        write_histogram_line(f, "refill time", false, &self.refill_time)?;
+        writeln!(
+            f,
+            "  glitches: {} window(s), {:.2}s total",
+            self.glitches.len(),
+            self.glitch_seconds()
+        )?;
+        writeln!(
+            f,
+            "  frames discarded: {} late, {} overflow",
+            self.late_frames, self.overflow_frames
+        )?;
+        writeln!(
+            f,
+            "  emergencies: {} requested, {} granted, {} completed window(s)",
+            self.emergencies_requested,
+            self.emergencies_granted,
+            self.emergency_windows.len()
+        )?;
+        writeln!(
+            f,
+            "  gcs: {} suspicion(s), {} view(s) installed",
+            self.suspicions, self.views_installed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_handle_never_builds_events() {
+        let handle = TraceHandle::disabled();
+        let mut built = false;
+        handle.emit(|| {
+            built = true;
+            VodEvent::NodeCrashed {
+                at: t(0),
+                node: NodeId(1),
+            }
+        });
+        assert!(!built, "closure must not run on a disabled handle");
+        assert!(handle.to_jsonl().is_none());
+        assert!(handle.report().is_none());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let handle = TraceHandle::recording(2);
+        for i in 0..5u32 {
+            handle.emit(|| VodEvent::NodeStarted {
+                at: t(u64::from(i)),
+                node: NodeId(i),
+            });
+        }
+        handle
+            .with_recorder(|rec| {
+                assert_eq!(rec.len(), 2);
+                assert_eq!(rec.dropped(), 3);
+                let first = rec.events().next().unwrap().at();
+                assert_eq!(first, t(3), "oldest retained event");
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let handle = TraceHandle::recording(16);
+        handle.emit(|| VodEvent::NetDelivered {
+            at: t(2500),
+            sent_at: t(2000),
+            from: Endpoint::new(NodeId(1), simnet::Port(2)),
+            to: Endpoint::new(NodeId(100), simnet::Port(2)),
+            class: "video",
+        });
+        handle.emit(|| VodEvent::VcrIssued {
+            at: t(3000),
+            client: ClientId(1),
+            cmd: VcrCmd::Seek(FrameNo(42)),
+        });
+        let jsonl = handle.to_jsonl().unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t_us\":2500,\"ev\":\"net_delivered\",\"from\":\"n1:2\",\"to\":\"n100:2\",\"class\":\"video\",\"latency_us\":500}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t_us\":3000,\"ev\":\"vcr\",\"client\":1,\"cmd\":\"seek\",\"frame\":42}"
+        );
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "balanced braces: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_correlates_a_crash_takeover() {
+        let handle = TraceHandle::recording(64);
+        let client_node = NodeId(100);
+        let video = |at_us: u64, sent_us: u64| VodEvent::NetDelivered {
+            at: t(at_us),
+            sent_at: t(sent_us),
+            from: Endpoint::new(NodeId(2), simnet::Port(2)),
+            to: Endpoint::new(client_node, simnet::Port(2)),
+            class: "video",
+        };
+        let start = |at_us: u64, server: u32, frame: u64| VodEvent::SessionStarted {
+            at: t(at_us),
+            server: NodeId(server),
+            client: ClientId(1),
+            client_node,
+            movie: MovieId(1),
+            resume_frame: FrameNo(frame),
+        };
+        handle.emit(|| start(1_000_000, 2, 0));
+        handle.emit(|| video(1_100_000, 1_099_000));
+        handle.emit(|| VodEvent::NodeCrashed {
+            at: t(40_000_000),
+            node: NodeId(2),
+        });
+        handle.emit(|| VodEvent::ViewInstalled {
+            at: t(40_400_000),
+            node: NodeId(1),
+            group: crate::protocol::movie_group(MovieId(1)),
+            epoch: 3,
+            coordinator: NodeId(1),
+            members: vec![NodeId(1)],
+        });
+        handle.emit(|| start(40_600_000, 1, 1170));
+        handle.emit(|| video(40_650_000, 40_648_000));
+        let report = handle.report().unwrap();
+        assert_eq!(report.takeovers.len(), 1);
+        assert_eq!(report.migrations, 0);
+        let takeover = &report.takeovers[0];
+        assert_eq!(takeover.trigger, "crash");
+        assert_eq!(takeover.from_server, Some(NodeId(2)));
+        assert_eq!(takeover.to_server, NodeId(1));
+        assert!((takeover.view_change_s - 0.4).abs() < 1e-9);
+        assert!((takeover.resume_s - 0.25).abs() < 1e-9);
+        assert!((takeover.total_s - 0.65).abs() < 1e-9);
+        assert_eq!(takeover.resume_frame, FrameNo(1170));
+        assert_eq!(report.takeover_latency.count(), 1);
+        assert_eq!(report.delivery_latency.count(), 2);
+        let line = report.summary_line();
+        assert!(line.contains("takeovers=1"), "{line}");
+        let pretty = report.to_string();
+        assert!(pretty.contains("crash of n2"), "{pretty}");
+    }
+
+    #[test]
+    fn report_counts_rebalance_as_migration() {
+        let handle = TraceHandle::recording(64);
+        let start = |at_us: u64, server: u32| VodEvent::SessionStarted {
+            at: t(at_us),
+            server: NodeId(server),
+            client: ClientId(1),
+            client_node: NodeId(100),
+            movie: MovieId(1),
+            resume_frame: FrameNo(0),
+        };
+        handle.emit(|| start(1_000_000, 1));
+        handle.emit(|| start(64_000_000, 3));
+        handle.emit(|| VodEvent::NetDelivered {
+            at: t(64_100_000),
+            sent_at: t(64_099_000),
+            from: Endpoint::new(NodeId(3), simnet::Port(2)),
+            to: Endpoint::new(NodeId(100), simnet::Port(2)),
+            class: "video",
+        });
+        let report = handle.report().unwrap();
+        assert!(report.takeovers.is_empty());
+        assert_eq!(report.migrations, 1);
+    }
+
+    #[test]
+    fn report_tracks_refill_and_emergency_windows() {
+        let handle = TraceHandle::recording(64);
+        handle.emit(|| VodEvent::BandChanged {
+            at: t(10_000_000),
+            client: ClientId(1),
+            from: "normal",
+            to: "critical_severe",
+            occupancy: 2,
+        });
+        handle.emit(|| VodEvent::EmergencyRequested {
+            at: t(10_100_000),
+            client: ClientId(1),
+            severe: true,
+        });
+        handle.emit(|| VodEvent::EmergencyGranted {
+            at: t(10_200_000),
+            server: NodeId(1),
+            client: ClientId(1),
+            base: 12,
+        });
+        handle.emit(|| VodEvent::BandChanged {
+            at: t(12_000_000),
+            client: ClientId(1),
+            from: "critical_severe",
+            to: "below_low",
+            occupancy: 15,
+        });
+        handle.emit(|| VodEvent::BandChanged {
+            at: t(13_000_000),
+            client: ClientId(1),
+            from: "below_low",
+            to: "normal",
+            occupancy: 28,
+        });
+        handle.emit(|| VodEvent::EmergencyEnded {
+            at: t(18_200_000),
+            server: NodeId(1),
+            client: ClientId(1),
+        });
+        let report = handle.report().unwrap();
+        assert_eq!(report.refill_time.count(), 1);
+        assert!((report.refill_time.max().unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(report.emergencies_requested, 1);
+        assert_eq!(report.emergencies_granted, 1);
+        assert_eq!(report.emergency_windows.len(), 1);
+        assert!((report.emergency_windows[0].duration_s - 8.0).abs() < 1e-9);
+    }
+}

@@ -34,7 +34,12 @@ fn sixteen_clients_two_movies_three_servers() {
     let clients: Vec<ClientId> = (1..=16).map(ClientId).collect();
     for &c in &clients {
         let which = if c.0 % 2 == 0 { MovieId(2) } else { MovieId(1) };
-        builder.client(c, NodeId(100 + c.0), which, SimTime::from_secs(2 + u64::from(c.0) / 4));
+        builder.client(
+            c,
+            NodeId(100 + c.0),
+            which,
+            SimTime::from_secs(2 + u64::from(c.0) / 4),
+        );
     }
     let mut sim = builder.build();
     sim.run_until(SimTime::from_secs(60));
@@ -45,7 +50,11 @@ fn sixteen_clients_two_movies_three_servers() {
         *load.entry(owner).or_default() += 1;
         let stats = sim.client_stats(c).unwrap();
         assert_eq!(stats.stalls.total(), 0, "{c} stalled");
-        assert!(stats.frames_received > 1300, "{c} starved: {}", stats.frames_received);
+        assert!(
+            stats.frames_received > 1300,
+            "{c} starved: {}",
+            stats.frames_received
+        );
     }
     // The load is spread: no server hogs everything.
     let max = load.values().copied().max().unwrap();
@@ -71,7 +80,11 @@ fn crash_under_load_migrates_a_whole_cohort() {
     for &c in &clients {
         assert_eq!(sim.owner_of(c), Some(NodeId(1)), "{c} not adopted");
         let stats = sim.client_stats(c).unwrap();
-        assert_eq!(stats.stalls.total(), 0, "{c} froze during the mass takeover");
+        assert_eq!(
+            stats.stalls.total(),
+            0,
+            "{c} froze during the mass takeover"
+        );
     }
     // The survivor's counters reflect the cohort takeover.
     let takeovers = sim
@@ -92,7 +105,12 @@ fn owned_over_time_series_tracks_load_balance() {
         .server(NodeId(2))
         .server_at(SimTime::from_secs(30), NodeId(3));
     for c in 1..=6u32 {
-        builder.client(ClientId(c), NodeId(100 + c), MovieId(1), SimTime::from_secs(2));
+        builder.client(
+            ClientId(c),
+            NodeId(100 + c),
+            MovieId(1),
+            SimTime::from_secs(2),
+        );
     }
     let mut sim = builder.build();
     sim.run_until(SimTime::from_secs(60));
@@ -127,14 +145,23 @@ fn deterministic_at_scale() {
             .server(NodeId(3))
             .crash_at(SimTime::from_secs(20), NodeId(3));
         for c in 1..=6u32 {
-            builder.client(ClientId(c), NodeId(100 + c), MovieId(1), SimTime::from_secs(2));
+            builder.client(
+                ClientId(c),
+                NodeId(100 + c),
+                MovieId(1),
+                SimTime::from_secs(2),
+            );
         }
         let mut sim = builder.build();
         sim.run_until(SimTime::from_secs(45));
         (1..=6u32)
             .map(|c| {
                 let stats = sim.client_stats(ClientId(c)).unwrap();
-                (stats.frames_received, stats.skipped.total(), stats.late.total())
+                (
+                    stats.frames_received,
+                    stats.skipped.total(),
+                    stats.late.total(),
+                )
             })
             .collect::<Vec<_>>()
     };

@@ -40,7 +40,11 @@ fn fault_free_run_is_smooth() {
     let mut sim = plain_scenario(1);
     sim.run_until(SimTime::from_secs(60));
     let stats = sim.client_stats(C1).expect("client exists");
-    assert!(stats.frames_received > 1600, "got {}", stats.frames_received);
+    assert!(
+        stats.frames_received > 1600,
+        "got {}",
+        stats.frames_received
+    );
     assert_eq!(stats.stalls.total(), 0, "no visible jitter without faults");
     assert!(
         stats.skipped.total() <= 15,
@@ -113,7 +117,11 @@ fn new_server_attracts_the_client_for_load_balancing() {
     let (builder, _, balance_at) = presets::fig4_lan(5);
     let mut sim = builder.build();
     sim.run_until(balance_at + Duration::from_secs(8));
-    assert_eq!(sim.owner_of(C1), Some(S3), "client migrated to the new server");
+    assert_eq!(
+        sim.owner_of(C1),
+        Some(S3),
+        "client migrated to the new server"
+    );
     let stats = sim.client_stats(C1).unwrap();
     assert_eq!(stats.stalls.total(), 0, "load balancing must be seamless");
 }
@@ -129,7 +137,11 @@ fn full_fig4_run_matches_paper_shapes() {
     // 4(a): skipped frames step only around emergencies, a handful each.
     let quiet_window = stats.skipped.in_window(20.0, crash_s - 1.0);
     assert_eq!(quiet_window, 0, "no skips between startup and the crash");
-    assert!(stats.skipped.total() <= 30, "total skipped {}", stats.skipped.total());
+    assert!(
+        stats.skipped.total() <= 30,
+        "total skipped {}",
+        stats.skipped.total()
+    );
     // No I frame is ever sacrificed (paper: "none of the skipped frames
     // was an I frame").
     assert_eq!(stats.i_frames_evicted, 0);
@@ -142,7 +154,10 @@ fn full_fig4_run_matches_paper_shapes() {
         .sw_occupancy
         .min_in_window(crash_s, crash_s + 3.0)
         .unwrap();
-    assert!(dip <= 8.0, "crash should drain the software buffer, min {dip}");
+    assert!(
+        dip <= 8.0,
+        "crash should drain the software buffer, min {dip}"
+    );
     let recovered = stats
         .sw_occupancy
         .mean_in_window(crash_s + 8.0, balance_s - 1.0)
@@ -174,7 +189,11 @@ fn three_failures_survived_with_four_replicas() {
     sim.run_until(SimTime::from_secs(90));
     assert_eq!(sim.owner_of(C1), Some(S1), "last replica standing serves");
     let stats = sim.client_stats(C1).unwrap();
-    assert_eq!(stats.stalls.total(), 0, "three consecutive failures survived");
+    assert_eq!(
+        stats.stalls.total(),
+        0,
+        "three consecutive failures survived"
+    );
     assert!(stats.frames_received > 2400);
 }
 
@@ -295,7 +314,10 @@ fn stop_removes_the_session_everywhere() {
     let received_at_stop = sim.client_stats(C1).unwrap().frames_received;
     sim.run_until(SimTime::from_secs(35));
     let received_later = sim.client_stats(C1).unwrap().frames_received;
-    assert!(received_later - received_at_stop < 10, "transmission ceased");
+    assert!(
+        received_later - received_at_stop < 10,
+        "transmission ceased"
+    );
 }
 
 #[test]
@@ -558,7 +580,11 @@ fn client_recovers_after_losing_every_replica() {
     let during_outage = sim.client_stats(C1).unwrap().frames_received;
     assert_eq!(sim.owner_of(C1), None, "everything is down");
     sim.run_until(SimTime::from_secs(60));
-    assert_eq!(sim.owner_of(C1), Some(S3), "fresh replica adopted the client");
+    assert_eq!(
+        sim.owner_of(C1),
+        Some(S3),
+        "fresh replica adopted the client"
+    );
     let stats = sim.client_stats(C1).unwrap();
     assert!(
         stats.frames_received > during_outage + 400,
@@ -650,7 +676,10 @@ fn admission_control_caps_sessions_and_admits_when_freed() {
     );
     sim.run_until(SimTime::from_secs(70));
     let stats = sim.client_stats(ClientId(3)).unwrap();
-    assert!(stats.frames_received > 600, "admitted viewer streams normally");
+    assert!(
+        stats.frames_received > 600,
+        "admitted viewer streams normally"
+    );
 }
 
 #[test]
@@ -666,7 +695,12 @@ fn crash_with_admission_control_sheds_rather_than_overloads() {
         .server(S1)
         .server(S2);
     for c in 1..=4u32 {
-        builder.client(ClientId(c), NodeId(100 + c), MovieId(1), SimTime::from_secs(2));
+        builder.client(
+            ClientId(c),
+            NodeId(100 + c),
+            MovieId(1),
+            SimTime::from_secs(2),
+        );
     }
     builder.crash_at(SimTime::from_secs(20), S2);
     let mut sim = builder.build();
@@ -675,7 +709,11 @@ fn crash_with_admission_control_sheds_rather_than_overloads() {
         .map(ClientId)
         .filter(|&c| sim.owner_of(c).is_some())
         .collect();
-    assert_eq!(served.len(), 2, "survivor respects its capacity: {served:?}");
+    assert_eq!(
+        served.len(),
+        2,
+        "survivor respects its capacity: {served:?}"
+    );
     for &c in &served {
         let stats = sim.client_stats(c).unwrap();
         // The survivors' viewers stay smooth after the takeover window.

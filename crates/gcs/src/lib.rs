@@ -115,6 +115,6 @@ mod node;
 mod packet;
 mod types;
 
-pub use node::{GcsNode, GroupStatus, NotMemberError};
+pub use node::{GcsNode, GcsTrace, GroupStatus, NotMemberError};
 pub use packet::{Carried, GcsPacket, HEADER_BYTES};
 pub use types::{GcsConfig, GcsEvent, GroupId, View, ViewId};

@@ -59,6 +59,60 @@ impl fmt::Display for NotMemberError {
 
 impl Error for NotMemberError {}
 
+/// A structured, passive observability event from the GCS layer, delivered
+/// to the tracer installed with [`GcsNode::set_tracer`].
+///
+/// Tracing cannot perturb the protocol: events are only constructed when a
+/// tracer is installed, and the tracer receives shared references — it has
+/// no channel back into the endpoint.
+#[derive(Clone, Debug)]
+pub enum GcsTrace {
+    /// The local failure detector started suspecting `peer`.
+    Suspected {
+        /// Simulated time the suspicion was raised.
+        at: SimTime,
+        /// The peer that went quiet.
+        peer: NodeId,
+    },
+    /// A new view was installed locally (joins, leaves, crashes and merges
+    /// all end in one of these).
+    ViewInstalled {
+        /// Simulated time of the install.
+        at: SimTime,
+        /// The group the view belongs to.
+        group: GroupId,
+        /// The freshly installed view.
+        view: View,
+    },
+    /// The local node asked to join `group`.
+    JoinRequested {
+        /// Simulated time of the request.
+        at: SimTime,
+        /// The group being joined.
+        group: GroupId,
+    },
+    /// The local node asked to leave `group`.
+    LeaveRequested {
+        /// Simulated time of the request.
+        at: SimTime,
+        /// The group being left.
+        group: GroupId,
+    },
+    /// Agreed-delivery (total-order) requests stalled waiting on the
+    /// sequencer and were re-sent — a persistent stream of these indicates
+    /// a wedged or partitioned sequencer.
+    AgreedStalled {
+        /// Simulated time of the re-send sweep.
+        at: SimTime,
+        /// The group whose total-order requests are stalled.
+        group: GroupId,
+        /// How many requests are still waiting for sequencing.
+        pending: usize,
+    },
+}
+
+type GcsTracer = Box<dyn FnMut(&GcsTrace)>;
+
 /// Membership status of this node with respect to one group.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum GroupStatus {
@@ -197,7 +251,10 @@ impl<P> GroupState<P> {
 
     /// Snapshot of the causal delivery counts.
     fn causal_snapshot(&self) -> Vec<(NodeId, u64)> {
-        self.causal_delivered.iter().map(|(&n, &c)| (n, c)).collect()
+        self.causal_delivered
+            .iter()
+            .map(|(&n, &c)| (n, c))
+            .collect()
     }
 
     /// Highest contiguously delivered sequence per sender (self included).
@@ -256,6 +313,11 @@ pub struct GcsNode<P: Payload> {
     /// Events produced in contexts that cannot return them directly
     /// (e.g. flush abandonment inside a tick); drained into the next batch.
     deferred_events: Vec<GcsEvent<P>>,
+    tracer: Option<GcsTracer>,
+    /// Last simulated time observed through a [`Context`]; lets entry
+    /// points without a context (e.g. [`GcsNode::create_group`]) stamp
+    /// trace events.
+    trace_now: SimTime,
 }
 
 impl<P: Payload> fmt::Debug for GcsNode<P> {
@@ -298,6 +360,29 @@ impl<P: Payload> GcsNode<P> {
             forced_gaps: 0,
             views_installed: 0,
             deferred_events: Vec::new(),
+            tracer: None,
+            trace_now: SimTime::ZERO,
+        }
+    }
+
+    /// Installs a tracer receiving a [`GcsTrace`] for every suspicion, view
+    /// install, join/leave request and agreed-delivery stall. Tracing is
+    /// passive: events are constructed only while a tracer is installed and
+    /// the tracer cannot influence the protocol.
+    pub fn set_tracer(&mut self, tracer: impl FnMut(&GcsTrace) + 'static) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Removes the installed tracer.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Runs `make` and hands the event to the tracer — only when one is
+    /// installed, so the disabled path costs a single branch.
+    fn trace(&mut self, make: impl FnOnce() -> GcsTrace) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer(&make());
         }
     }
 
@@ -357,6 +442,7 @@ impl<P: Payload> GcsNode<P> {
     {
         if !self.started {
             self.started = true;
+            self.trace_now = ctx.now();
             ctx.set_timer_after(self.config.tick, self.tick_tag);
         }
     }
@@ -379,10 +465,14 @@ impl<P: Payload> GcsNode<P> {
         state.had_view = true;
         state.status = GroupStatus::Member;
         self.views_installed += 1;
-        vec![GcsEvent::View {
+        let view = self.groups[&group].view.clone();
+        let at = self.trace_now;
+        self.trace(|| GcsTrace::ViewInstalled {
+            at,
             group,
-            view: self.groups[&group].view.clone(),
-        }]
+            view: view.clone(),
+        });
+        vec![GcsEvent::View { group, view }]
     }
 
     /// Starts joining `group`. Join requests go to the bootstrap set plus
@@ -403,9 +493,19 @@ impl<P: Payload> GcsNode<P> {
         state.join_contacts = contacts.to_vec();
         state.join_start_tick = ticks;
         state.last_join_send_tick = ticks;
+        let at = ctx.now();
+        self.trace_now = at;
+        self.trace(|| GcsTrace::JoinRequested { at, group });
         let targets = self.join_targets(group);
         for target in targets {
-            self.emit(ctx, target, GcsPacket::JoinReq { group, joiner: node });
+            self.emit(
+                ctx,
+                target,
+                GcsPacket::JoinReq {
+                    group,
+                    joiner: node,
+                },
+            );
         }
     }
 
@@ -432,9 +532,20 @@ impl<P: Payload> GcsNode<P> {
         state.leaving = true;
         state.leave_tick = ticks;
         state.pending_leavers.insert(node);
+        let at = ctx.now();
+        self.trace_now = at;
+        self.trace(|| GcsTrace::LeaveRequested { at, group });
+        let state = self.groups.get_mut(&group).expect("group checked above");
         if let Some(coord) = state.view.coordinator_candidate() {
             if coord != node {
-                self.emit(ctx, coord, GcsPacket::LeaveReq { group, leaver: node });
+                self.emit(
+                    ctx,
+                    coord,
+                    GcsPacket::LeaveReq {
+                        group,
+                        leaver: node,
+                    },
+                );
             }
         }
     }
@@ -684,6 +795,7 @@ impl<P: Payload> GcsNode<P> {
         M: Payload + From<GcsPacket<P>>,
     {
         let peer = from.node;
+        self.trace_now = ctx.now();
         self.last_heard.insert(peer, ctx.now());
         self.suspected.remove(&peer);
         match pkt {
@@ -769,6 +881,7 @@ impl<P: Payload> GcsNode<P> {
         M: Payload + From<GcsPacket<P>>,
     {
         debug_assert_eq!(timer.tag, self.tick_tag, "timer routed to wrong component");
+        self.trace_now = ctx.now();
         ctx.set_timer_after(self.config.tick, self.tick_tag);
         self.ticks += 1;
         let mut events = Vec::new();
@@ -1439,6 +1552,12 @@ impl<P: Payload> GcsNode<P> {
                 *entry = (*entry).max(count);
             }
         }
+        let install_at = ctx.now();
+        self.trace(|| GcsTrace::ViewInstalled {
+            at: install_at,
+            group,
+            view: view.clone(),
+        });
         events.extend(self.drain_causal_waiting(group));
         let leftovers: Vec<CausalPending<P>> = {
             let state = self.group_mut(group);
@@ -1496,7 +1615,7 @@ impl<P: Payload> GcsNode<P> {
                 if state.view.contains(from) || members.contains(&node) && vid == state.view.id {
                     return;
                 }
-                        state.foreign.insert(
+                state.foreign.insert(
                     from,
                     ForeignInfo {
                         vid,
@@ -1560,7 +1679,9 @@ impl<P: Payload> GcsNode<P> {
             let heard = self.last_heard.get(&peer).copied();
             match heard {
                 Some(at) if now.saturating_since(at) > timeout => {
-                    self.suspected.insert(peer);
+                    if self.suspected.insert(peer) {
+                        self.trace(|| GcsTrace::Suspected { at: now, peer });
+                    }
                 }
                 Some(_) => {
                     // Recently heard: clear any stale suspicion (e.g. one
@@ -1767,10 +1888,12 @@ impl<P: Payload> GcsNode<P> {
         let node = self.node;
         let mut resend: Vec<(GroupId, NodeId, u64, P)> = Vec::new();
         let mut local: Vec<(GroupId, u64, P)> = Vec::new();
+        let mut stalled: Vec<(GroupId, usize)> = Vec::new();
         for (&group, state) in &self.groups {
             if state.status != GroupStatus::Member || state.pending_order.is_empty() {
                 continue;
             }
+            stalled.push((group, state.pending_order.len()));
             match state.view.coordinator_candidate() {
                 Some(seq_node) if seq_node == node => {
                     for (&origin_seq, payload) in &state.pending_order {
@@ -1801,6 +1924,10 @@ impl<P: Payload> GcsNode<P> {
             let events = self.on_order_req(ctx, group, node, origin_seq, payload);
             self.deferred_events.extend(events);
         }
+        let at = self.trace_now;
+        for (group, pending) in stalled {
+            self.trace(|| GcsTrace::AgreedStalled { at, group, pending });
+        }
     }
 
     fn tick_joins<M>(&mut self, ctx: &mut Context<'_, M>) -> Vec<GcsEvent<P>>
@@ -1821,8 +1948,7 @@ impl<P: Payload> GcsNode<P> {
         for group in joining {
             let (resend, form_singleton) = {
                 let state = self.group_mut(group);
-                let resend =
-                    ticks.saturating_sub(state.last_join_send_tick) >= join_retry_ticks;
+                let resend = ticks.saturating_sub(state.last_join_send_tick) >= join_retry_ticks;
                 let form = ticks.saturating_sub(state.join_start_tick) >= singleton_form_ticks
                     && state.promised.is_none();
                 (resend, form)
@@ -1844,7 +1970,14 @@ impl<P: Payload> GcsNode<P> {
                 self.group_mut(group).last_join_send_tick = ticks;
                 let targets = self.join_targets(group);
                 for target in targets {
-                    self.emit(ctx, target, GcsPacket::JoinReq { group, joiner: node });
+                    self.emit(
+                        ctx,
+                        target,
+                        GcsPacket::JoinReq {
+                            group,
+                            joiner: node,
+                        },
+                    );
                 }
             }
         }
@@ -1868,14 +2001,22 @@ impl<P: Payload> GcsNode<P> {
             })
             .collect();
         for (group, coord) in leave_retries {
-            self.emit(ctx, coord, GcsPacket::LeaveReq { group, leaver: node });
+            self.emit(
+                ctx,
+                coord,
+                GcsPacket::LeaveReq {
+                    group,
+                    leaver: node,
+                },
+            );
         }
         // Forced leave for nodes whose LeaveReq went unanswered.
         let stale_leavers: Vec<GroupId> = self
             .groups
             .iter()
             .filter(|(_, s)| {
-                s.leaving && ticks.saturating_sub(s.leave_tick) > 2 * self.config.flush_timeout_ticks
+                s.leaving
+                    && ticks.saturating_sub(s.leave_tick) > 2 * self.config.flush_timeout_ticks
             })
             .map(|(&g, _)| g)
             .collect();
@@ -1923,8 +2064,10 @@ impl<P: Payload> GcsNode<P> {
                 let state = self.group_mut(group);
                 if let Some(vc) = state.vc.take() {
                     for candidate in &vc.candidates {
-                        if !vc.acked.contains(candidate) {
-                            self.suspected.insert(*candidate);
+                        if !vc.acked.contains(candidate) && self.suspected.insert(*candidate) {
+                            let peer = *candidate;
+                            let at = self.trace_now;
+                            self.trace(|| GcsTrace::Suspected { at, peer });
                         }
                     }
                 }
@@ -2172,7 +2315,10 @@ mod tests {
         delivered.insert(NodeId(2), 1u64);
         assert!(causally_ready(&delivered, &[]));
         assert!(causally_ready(&delivered, &[(NodeId(1), 3)]));
-        assert!(causally_ready(&delivered, &[(NodeId(1), 2), (NodeId(2), 1)]));
+        assert!(causally_ready(
+            &delivered,
+            &[(NodeId(1), 2), (NodeId(2), 1)]
+        ));
         assert!(!causally_ready(&delivered, &[(NodeId(1), 4)]));
         assert!(
             !causally_ready(&delivered, &[(NodeId(3), 1)]),
@@ -2182,9 +2328,7 @@ mod tests {
 
     #[test]
     fn not_member_error_is_a_real_error() {
-        let err = NotMemberError {
-            group: GroupId(9),
-        };
+        let err = NotMemberError { group: GroupId(9) };
         assert_eq!(err.to_string(), "not a member of group g9");
         let boxed: Box<dyn std::error::Error> = Box::new(err);
         assert!(boxed.source().is_none());

@@ -33,16 +33,24 @@ fn reply_never_overtakes_its_cause() {
     let (mut sim, _) = formed(1, 3, LinkProfile::lan());
     let (a, b, c) = (NodeId(1), NodeId(2), NodeId(3));
     // Make A→C pathologically slow.
-    sim.set_link_profile(a, c, LinkProfile::lan().with_base_delay(Duration::from_millis(200)));
+    sim.set_link_profile(
+        a,
+        c,
+        LinkProfile::lan().with_base_delay(Duration::from_millis(200)),
+    );
     say_causal(&mut sim, a, G, 1); // the cause
-    // B delivers m1 quickly (A→B is fast) and "replies".
+                                   // B delivers m1 quickly (A→B is fast) and "replies".
     sim.run_for(Duration::from_millis(50));
     assert_eq!(causal_log(&sim, b, G), vec![(a, 1)], "B saw the cause");
     say_causal(&mut sim, b, G, 2); // the reply
     sim.run_for(Duration::from_millis(60));
     // At this point C has B's reply in hand but not A's cause: nothing may
     // be delivered yet.
-    assert_eq!(causal_log(&sim, c, G), vec![], "reply must wait for its cause");
+    assert_eq!(
+        causal_log(&sim, c, G),
+        vec![],
+        "reply must wait for its cause"
+    );
     sim.run_for(Duration::from_millis(300));
     assert_eq!(
         causal_log(&sim, c, G),
@@ -67,10 +75,17 @@ fn concurrent_messages_are_unconstrained_but_all_delivered() {
         assert_eq!(log.len(), 80, "all causal messages delivered at {id}");
         // Per-sender FIFO still holds inside the causal stream.
         for &sender in &ids {
-            let from: Vec<u64> = log.iter().filter(|&&(s, _)| s == sender).map(|&(_, v)| v).collect();
+            let from: Vec<u64> = log
+                .iter()
+                .filter(|&&(s, _)| s == sender)
+                .map(|&(_, v)| v)
+                .collect();
             let mut sorted = from.clone();
             sorted.sort_unstable();
-            assert_eq!(from, sorted, "per-sender order broken at {id} from {sender}");
+            assert_eq!(
+                from, sorted,
+                "per-sender order broken at {id} from {sender}"
+            );
         }
     }
 }
@@ -78,7 +93,11 @@ fn concurrent_messages_are_unconstrained_but_all_delivered() {
 /// Causality chains across three hops: A→B→C→D replies.
 #[test]
 fn chained_causality_holds_everywhere() {
-    let (mut sim, ids) = formed(3, 4, LinkProfile::lan().with_jitter(Duration::from_millis(15)));
+    let (mut sim, ids) = formed(
+        3,
+        4,
+        LinkProfile::lan().with_jitter(Duration::from_millis(15)),
+    );
     let chain = [(ids[0], 10), (ids[1], 20), (ids[2], 30), (ids[3], 40)];
     for &(node, value) in &chain {
         // Each node replies only after having delivered everything so far.
@@ -149,7 +168,11 @@ fn causal_survives_a_crash() {
 #[test]
 fn causal_is_deterministic() {
     let run = |seed: u64| {
-        let (mut sim, ids) = formed(seed, 3, LinkProfile::lan().with_jitter(Duration::from_millis(10)));
+        let (mut sim, ids) = formed(
+            seed,
+            3,
+            LinkProfile::lan().with_jitter(Duration::from_millis(10)),
+        );
         for v in 0..15 {
             for &id in &ids {
                 say_causal(&mut sim, id, G, v);

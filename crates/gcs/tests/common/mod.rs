@@ -92,7 +92,13 @@ impl Process<Wire> for App {
         self.gcs.start(ctx);
     }
 
-    fn on_datagram(&mut self, ctx: &mut Context<'_, Wire>, from: Endpoint, _to: Endpoint, msg: Wire) {
+    fn on_datagram(
+        &mut self,
+        ctx: &mut Context<'_, Wire>,
+        from: Endpoint,
+        _to: Endpoint,
+        msg: Wire,
+    ) {
         let events = self.gcs.on_packet(ctx, from, msg);
         self.record(events);
     }

@@ -41,7 +41,10 @@ fn group_forms_with_all_members() {
         .iter()
         .map(|&id| view_at(&sim, id, G).unwrap().id)
         .collect();
-    assert!(vids.windows(2).all(|w| w[0] == w[1]), "view ids differ: {vids:?}");
+    assert!(
+        vids.windows(2).all(|w| w[0] == w[1]),
+        "view ids differ: {vids:?}"
+    );
 }
 
 #[test]
@@ -81,7 +84,11 @@ fn coordinator_crash_is_survivable() {
     for &id in &[NodeId(2), NodeId(3)] {
         let view = view_at(&sim, id, G).unwrap();
         assert_eq!(view.members, vec![NodeId(2), NodeId(3)]);
-        assert_eq!(view.id.coordinator, NodeId(2), "new coordinator is the min survivor");
+        assert_eq!(
+            view.id.coordinator,
+            NodeId(2),
+            "new coordinator is the min survivor"
+        );
     }
     let _ = ids;
 }
@@ -131,10 +138,22 @@ fn partition_splits_and_merge_reunites() {
     sim.partition_at(sim.now(), &side_a, &side_b);
     sim.run_for(Duration::from_secs(3));
     // Each side installs its own component view.
-    assert_eq!(view_at(&sim, NodeId(1), G).unwrap().members, side_a.to_vec());
-    assert_eq!(view_at(&sim, NodeId(2), G).unwrap().members, side_a.to_vec());
-    assert_eq!(view_at(&sim, NodeId(3), G).unwrap().members, side_b.to_vec());
-    assert_eq!(view_at(&sim, NodeId(4), G).unwrap().members, side_b.to_vec());
+    assert_eq!(
+        view_at(&sim, NodeId(1), G).unwrap().members,
+        side_a.to_vec()
+    );
+    assert_eq!(
+        view_at(&sim, NodeId(2), G).unwrap().members,
+        side_a.to_vec()
+    );
+    assert_eq!(
+        view_at(&sim, NodeId(3), G).unwrap().members,
+        side_b.to_vec()
+    );
+    assert_eq!(
+        view_at(&sim, NodeId(4), G).unwrap().members,
+        side_b.to_vec()
+    );
     // Heal: announces drive a merge back to the full membership.
     sim.heal_all_at(sim.now());
     sim.run_for(Duration::from_secs(5));

@@ -55,7 +55,11 @@ fn self_delivery_is_immediate_and_ordered() {
     let own = sim
         .with_process(NodeId(1), |app: &App| app.delivered_from(G, NodeId(1)))
         .unwrap();
-    assert_eq!(own, vec![0, 1, 2, 3, 4], "loopback must not wait for the net");
+    assert_eq!(
+        own,
+        vec![0, 1, 2, 3, 4],
+        "loopback must not wait for the net"
+    );
 }
 
 #[test]

@@ -36,7 +36,10 @@ fn eight_member_group_forms_and_agrees() {
         .iter()
         .map(|&id| view_at(&sim, id, G).expect("view").id)
         .collect();
-    assert!(vids.windows(2).all(|w| w[0] == w[1]), "ids differ: {vids:?}");
+    assert!(
+        vids.windows(2).all(|w| w[0] == w[1]),
+        "ids differ: {vids:?}"
+    );
     for &id in &ids {
         assert_eq!(view_at(&sim, id, G).unwrap().members, ids);
     }
@@ -56,8 +59,7 @@ fn cascading_coordinator_failures() {
             let view = view_at(&sim, s, G).unwrap();
             assert_eq!(view.members, survivors, "after killing {victim}");
             assert_eq!(
-                view.id.coordinator,
-                survivors[0],
+                view.id.coordinator, survivors[0],
                 "leadership must pass to the min survivor"
             );
         }
@@ -152,11 +154,18 @@ fn double_partition_and_heal() {
     form(&mut sim, &ids);
     sim.partition_at(sim.now(), &[NodeId(1)], &[NodeId(2), NodeId(3), NodeId(4)]);
     sim.run_for(Duration::from_secs(3));
-    assert_eq!(view_at(&sim, NodeId(1), G).unwrap().members, vec![NodeId(1)]);
+    assert_eq!(
+        view_at(&sim, NodeId(1), G).unwrap().members,
+        vec![NodeId(1)]
+    );
     sim.heal_all_at(sim.now());
     sim.run_for(Duration::from_secs(4));
     for &id in &ids {
-        assert_eq!(view_at(&sim, id, G).unwrap().members, ids, "first heal at {id}");
+        assert_eq!(
+            view_at(&sim, id, G).unwrap().members,
+            ids,
+            "first heal at {id}"
+        );
     }
     sim.partition_at(sim.now(), &[NodeId(1), NodeId(4)], &[NodeId(2), NodeId(3)]);
     sim.run_for(Duration::from_secs(3));
@@ -171,7 +180,11 @@ fn double_partition_and_heal() {
     sim.heal_all_at(sim.now());
     sim.run_for(Duration::from_secs(5));
     for &id in &ids {
-        assert_eq!(view_at(&sim, id, G).unwrap().members, ids, "second heal at {id}");
+        assert_eq!(
+            view_at(&sim, id, G).unwrap().members,
+            ids,
+            "second heal at {id}"
+        );
     }
 }
 

@@ -326,7 +326,10 @@ mod tests {
         assert!(catalog.is_empty());
         let spec = MovieSpec::paper_default().with_duration(Duration::from_secs(1));
         catalog.add(Movie::generate(MovieId(1), &spec));
-        catalog.add(Movie::generate(MovieId(7), &spec.clone().with_title("other")));
+        catalog.add(Movie::generate(
+            MovieId(7),
+            &spec.clone().with_title("other"),
+        ));
         assert_eq!(catalog.len(), 2);
         assert_eq!(catalog.ids(), vec![MovieId(1), MovieId(7)]);
         assert_eq!(catalog.get(MovieId(7)).unwrap().title(), "other");

@@ -49,8 +49,8 @@ impl QualityFilter {
             })
             .collect();
         // Frames to keep per GOP to hit the target rate.
-        let want = ((gop.len() as f64) * f64::from(target_fps) / f64::from(movie_fps)).round()
-            as usize;
+        let want =
+            ((gop.len() as f64) * f64::from(target_fps) / f64::from(movie_fps)).round() as usize;
         let extra = want.saturating_sub(gop.intra_per_gop());
         let extra = extra.min(non_intra.len());
         // Evenly spaced selection among the incremental frames.

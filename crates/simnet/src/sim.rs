@@ -29,6 +29,17 @@ pub enum DropReason {
     DeadNode,
 }
 
+impl DropReason {
+    /// Stable lower-snake-case name, used by CSV and JSONL exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Partition => "partition",
+            DropReason::DeadNode => "dead_node",
+        }
+    }
+}
+
 /// A structured observability event, delivered to the tracer installed
 /// with [`Simulation::set_tracer`]. Tracing is entirely passive: it cannot
 /// affect the run.
@@ -51,6 +62,10 @@ pub enum TraceEvent {
     Delivered {
         /// Simulated time of the delivery.
         at: SimTime,
+        /// Simulated time at which the datagram was submitted to the
+        /// network (so `at - sent_at` is the end-to-end latency, including
+        /// serialization, propagation and reordering).
+        sent_at: SimTime,
         /// Source endpoint.
         from: Endpoint,
         /// Destination endpoint.
@@ -85,6 +100,25 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A partition came up between two sets of nodes.
+    Partitioned {
+        /// Simulated time the partition took effect.
+        at: SimTime,
+        /// One side of the cut.
+        a: Vec<NodeId>,
+        /// The other side of the cut.
+        b: Vec<NodeId>,
+    },
+    /// A partition was healed. Empty node lists mean *all* partitions were
+    /// removed at once ([`Simulation::heal_all_at`]).
+    Healed {
+        /// Simulated time the heal took effect.
+        at: SimTime,
+        /// One side of the former cut.
+        a: Vec<NodeId>,
+        /// The other side of the former cut.
+        b: Vec<NodeId>,
+    },
 }
 
 type Tracer = Box<dyn FnMut(&TraceEvent)>;
@@ -95,6 +129,7 @@ enum EventKind<M: Payload> {
         to: Endpoint,
         msg: M,
         class: &'static str,
+        sent_at: SimTime,
     },
     Timer {
         node: NodeId,
@@ -468,6 +503,7 @@ impl<M: Payload> Simulation<M> {
                 to,
                 msg,
                 class,
+                sent_at,
             } => {
                 let alive = self.nodes.get(&to.node).is_some_and(|s| s.alive);
                 if !alive {
@@ -484,6 +520,7 @@ impl<M: Payload> Simulation<M> {
                 self.stats.class_mut(class).delivered_msgs += 1;
                 self.trace(TraceEvent::Delivered {
                     at,
+                    sent_at,
                     from,
                     to,
                     class,
@@ -526,6 +563,9 @@ impl<M: Payload> Simulation<M> {
                         self.blocked.insert((y, x));
                     }
                 }
+                if self.tracer.is_some() {
+                    self.trace(TraceEvent::Partitioned { at, a, b });
+                }
             }
             EventKind::Heal { a, b } => {
                 for &x in &a {
@@ -534,8 +574,20 @@ impl<M: Payload> Simulation<M> {
                         self.blocked.remove(&(y, x));
                     }
                 }
+                if self.tracer.is_some() {
+                    self.trace(TraceEvent::Healed { at, a, b });
+                }
             }
-            EventKind::HealAll => self.blocked.clear(),
+            EventKind::HealAll => {
+                self.blocked.clear();
+                if self.tracer.is_some() {
+                    self.trace(TraceEvent::Healed {
+                        at,
+                        a: Vec::new(),
+                        b: Vec::new(),
+                    });
+                }
+            }
         }
     }
 
@@ -650,6 +702,7 @@ impl<M: Payload> Simulation<M> {
                     to,
                     msg: copy,
                     class,
+                    sent_at: at,
                 },
             );
         }
@@ -661,6 +714,7 @@ impl<M: Payload> Simulation<M> {
                 to,
                 msg,
                 class,
+                sent_at: at,
             },
         );
     }

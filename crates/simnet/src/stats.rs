@@ -62,6 +62,31 @@ impl NetStats {
     pub fn total_sent_msgs(&self) -> u64 {
         self.classes.values().map(|c| c.sent_msgs).sum()
     }
+
+    /// Renders all counters as CSV, one row per class, with the drop count
+    /// broken down per [`DropReason`](crate::DropReason) (`dropped_loss`,
+    /// `dropped_partition`, `dropped_dead`) so experiment output can
+    /// distinguish random loss from partitions from dead destinations.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "class,sent_msgs,sent_bytes,delivered_msgs,\
+             dropped_loss,dropped_partition,dropped_dead,duplicated\n",
+        );
+        for (class, c) in self.iter() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                class,
+                c.sent_msgs,
+                c.sent_bytes,
+                c.delivered_msgs,
+                c.dropped_loss,
+                c.dropped_partition,
+                c.dropped_dead,
+                c.duplicated
+            ));
+        }
+        out
+    }
 }
 
 impl fmt::Display for NetStats {
@@ -108,6 +133,24 @@ mod tests {
         assert_eq!(stats.class("video").sent_msgs, 2);
         assert_eq!(stats.total_sent_bytes(), 105);
         assert_eq!(stats.total_sent_msgs(), 2);
+    }
+
+    #[test]
+    fn csv_breaks_down_drop_reasons() {
+        let mut stats = NetStats::new();
+        let video = stats.class_mut("video");
+        video.sent_msgs = 10;
+        video.sent_bytes = 1000;
+        video.delivered_msgs = 6;
+        video.dropped_loss = 1;
+        video.dropped_partition = 2;
+        video.dropped_dead = 1;
+        video.duplicated = 3;
+        let csv = stats.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("dropped_loss,dropped_partition,dropped_dead"));
+        assert_eq!(lines.next().unwrap(), "video,10,1000,6,1,2,1,3");
     }
 
     #[test]

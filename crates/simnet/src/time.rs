@@ -48,7 +48,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid simulation time {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid simulation time {secs}"
+        );
         SimTime((secs * 1e6).round() as u64)
     }
 

@@ -59,7 +59,11 @@ impl Process<Tagged> for Sink {
     fn on_timer(&mut self, _: &mut Context<'_, Tagged>, _: Timer) {}
 }
 
-fn run(profile: LinkProfile, seed: u64, schedule: Vec<(u16, u64)>) -> (Vec<u64>, simnet::ClassStats) {
+fn run(
+    profile: LinkProfile,
+    seed: u64,
+    schedule: Vec<(u16, u64)>,
+) -> (Vec<u64>, simnet::ClassStats) {
     let n = schedule.len();
     let mut sim = Simulation::new(seed);
     sim.set_default_profile(profile);

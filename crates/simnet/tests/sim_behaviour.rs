@@ -142,9 +142,16 @@ fn wan_link_reorders_some_datagrams() {
         .with_process(NodeId(2), |s: &Sink| s.heard.clone())
         .unwrap();
     // No loss, but the WAN profile may duplicate a handful of datagrams.
-    assert!(heard.len() >= 2000, "no loss configured, got {}", heard.len());
+    assert!(
+        heard.len() >= 2000,
+        "no loss configured, got {}",
+        heard.len()
+    );
     let inversions = heard.windows(2).filter(|w| w[0].1 > w[1].1).count();
-    assert!(inversions > 0, "expected at least one reordering on the WAN");
+    assert!(
+        inversions > 0,
+        "expected at least one reordering on the WAN"
+    );
 }
 
 #[test]
@@ -337,7 +344,11 @@ fn invoke_drives_a_process_with_context() {
     sim.run_until(SimTime::from_millis(1));
     // Drive node 1 to send a message "by hand".
     sim.invoke(NodeId(1), |_: &mut Sink, ctx| {
-        ctx.send(PORT, Endpoint::new(NodeId(2), PORT), Blob { id: 7, size: 10 });
+        ctx.send(
+            PORT,
+            Endpoint::new(NodeId(2), PORT),
+            Blob { id: 7, size: 10 },
+        );
     })
     .expect("invoke should find the Sink");
     sim.run_until(SimTime::from_secs(1));
@@ -378,9 +389,9 @@ fn per_link_override_beats_default() {
 
 #[test]
 fn tracer_observes_the_whole_lifecycle() {
+    use simnet::{DropReason, TraceEvent};
     use std::cell::RefCell;
     use std::rc::Rc;
-    use simnet::{DropReason, TraceEvent};
 
     let log: Rc<RefCell<Vec<String>>> = Rc::default();
     let sink = Rc::clone(&log);
@@ -396,6 +407,8 @@ fn tracer_observes_the_whole_lifecycle() {
             TraceEvent::Dropped { .. } => "dropped",
             TraceEvent::NodeStarted { .. } => "started",
             TraceEvent::NodeCrashed { .. } => "crashed",
+            TraceEvent::Partitioned { .. } => "partitioned",
+            TraceEvent::Healed { .. } => "healed",
         };
         sink.borrow_mut().push(tag.to_owned());
     });

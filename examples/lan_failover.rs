@@ -17,9 +17,7 @@ use ftvod::vod::metrics::sparkline;
 fn main() {
     let (builder, crash_at, balance_at) = presets::fig4_lan(7);
     let mut sim = builder.build();
-    println!(
-        "LAN scenario: crash at {crash_at}, load-balance migration at {balance_at}\n"
-    );
+    println!("LAN scenario: crash at {crash_at}, load-balance migration at {balance_at}\n");
 
     let mut last_late = 0;
     let mut last_skipped = 0;

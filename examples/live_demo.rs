@@ -66,7 +66,11 @@ fn main() {
                 )
             })
             .expect("client exists");
-        let marker = if second == 5 { "  << n2 KILLED (for real)" } else { "" };
+        let marker = if second == 5 {
+            "  << n2 KILLED (for real)"
+        } else {
+            ""
+        };
         println!(
             "t={second:>2}s  received {received:>4}  displayed {displayed:>4}  \
              sw {sw:>2}f  hw {:>3}KB  freezes {stalls}{marker}",

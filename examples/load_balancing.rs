@@ -30,7 +30,12 @@ fn main() {
         .server(s2)
         .server_at(SimTime::from_secs(30), s3);
     for (i, &c) in clients.iter().enumerate() {
-        builder.client(c, NodeId(100 + c.0), MovieId(1), SimTime::from_secs(2 + i as u64));
+        builder.client(
+            c,
+            NodeId(100 + c.0),
+            MovieId(1),
+            SimTime::from_secs(2 + i as u64),
+        );
     }
     let mut sim = builder.build();
 

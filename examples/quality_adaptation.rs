@@ -31,7 +31,10 @@ fn main() {
     sim.run_until(SimTime::from_secs(62));
 
     println!("sixty seconds of the same movie, two capability classes:\n");
-    for (label, c) in [("full quality (30 fps)", full), ("capped at 10 fps", capped)] {
+    for (label, c) in [
+        ("full quality (30 fps)", full),
+        ("capped at 10 fps", capped),
+    ] {
         let stats = sim.client_stats(c).unwrap();
         let rate = stats.frames_received as f64 / 60.0;
         println!(

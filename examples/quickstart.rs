@@ -54,6 +54,8 @@ fn main() {
         stats.stalls.total()
     );
     for (at, dur) in &stats.interruptions {
-        println!("stream interruption at t={at:.2}s lasting {dur:.2}s (failure detection + takeover)");
+        println!(
+            "stream interruption at t={at:.2}s lasting {dur:.2}s (failure detection + takeover)"
+        );
     }
 }

@@ -16,7 +16,9 @@
 use std::time::Duration;
 
 use ftvod::group::{Carried, GcsConfig, GcsEvent, GcsNode, GcsPacket, GroupId};
-use ftvod::sim::{Context, Endpoint, LinkProfile, NodeId, Payload, Port, Process, SimTime, Simulation, Timer};
+use ftvod::sim::{
+    Context, Endpoint, LinkProfile, NodeId, Payload, Port, Process, SimTime, Simulation, Timer,
+};
 
 const PORT: Port = Port(1);
 const TICK: u64 = 1;
@@ -128,7 +130,10 @@ fn main() {
         .iter()
         .map(|&id| sim.with_process(id, |r: &Replica| r.value).unwrap())
         .collect();
-    assert!(values.windows(2).all(|w| w[0] == w[1]), "replicas diverged!");
+    assert!(
+        values.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverged!"
+    );
     println!("\nall replicas agree despite concurrent Resets — total order at work.");
 
     // Crash one replica; the survivors keep accepting operations.

@@ -41,12 +41,7 @@ fn main() {
         let stats = sim.client_stats(ClientId(1)).unwrap();
         let fleet: Vec<String> = [s1, s2, s3]
             .iter()
-            .map(|&s| {
-                format!(
-                    "{s}:{}",
-                    if sim.is_alive(s) { "up" } else { "down" }
-                )
-            })
+            .map(|&s| format!("{s}:{}", if sim.is_alive(s) { "up" } else { "down" }))
             .collect();
         println!(
             "t={checkpoint:>3}s  fleet [{}]  serving={:?}  received={:>5}  freezes={}",

@@ -1,0 +1,53 @@
+//! The observability subsystem on the paper's LAN crash scenario: record
+//! the cross-layer event stream, then derive the takeover-latency
+//! breakdown the paper reports in §6.1 — how long the survivors needed to
+//! agree on a new membership view, and how long from there until video
+//! flowed to the client again.
+//!
+//! ```text
+//! cargo run --example takeover_report
+//! ```
+
+use ftvod::prelude::*;
+
+fn main() {
+    let (mut builder, crash_at, balance_at) = presets::fig4_lan(7);
+    builder.record_events(DEFAULT_EVENT_CAPACITY);
+    let mut sim = builder.build();
+    println!(
+        "LAN scenario with event recording: crash at {crash_at}, load balance at {balance_at}\n"
+    );
+    sim.run_until(SimTime::from_secs(92));
+
+    let report = sim.report().expect("recording was enabled");
+    print!("{report}");
+
+    // The same stream, sliced by hand: every takeover's split between the
+    // membership protocol and the video resume.
+    for takeover in &report.takeovers {
+        println!(
+            "\n{} lost its server at t={:.2}s:",
+            takeover.client, takeover.triggered_s
+        );
+        println!(
+            "  view change (failure detection + flush + install): {:.3}s",
+            takeover.view_change_s
+        );
+        println!(
+            "  resume (state exchange + redistribution + first frame): {:.3}s",
+            takeover.resume_s
+        );
+        println!(
+            "  total service interruption: {:.3}s, resumed at frame {}",
+            takeover.total_s, takeover.resume_frame
+        );
+    }
+
+    // A few raw JSONL lines, to show what `ftvod-cli trace lan` exports.
+    let jsonl = sim.events_jsonl().expect("recording was enabled");
+    println!("\nfirst event lines of the JSONL export:");
+    for line in jsonl.lines().take(5) {
+        println!("  {line}");
+    }
+    println!("  ... ({} lines total)", jsonl.lines().count());
+}

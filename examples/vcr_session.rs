@@ -25,7 +25,11 @@ fn main() {
         // Watch, pause for ten seconds, resume, then jump to minute two.
         .vcr_at(SimTime::from_secs(20), ClientId(1), VcrOp::Pause)
         .vcr_at(SimTime::from_secs(30), ClientId(1), VcrOp::Resume)
-        .vcr_at(SimTime::from_secs(45), ClientId(1), VcrOp::Seek(FrameNo(3600)));
+        .vcr_at(
+            SimTime::from_secs(45),
+            ClientId(1),
+            VcrOp::Seek(FrameNo(3600)),
+        );
     let mut sim = builder.build();
 
     let mut last_received = 0;

@@ -16,9 +16,7 @@ use ftvod::prelude::*;
 fn main() {
     let (builder, balance_at, crash_at) = presets::fig5_wan(11);
     let mut sim = builder.build();
-    println!(
-        "WAN scenario: load balance at {balance_at}, crash at {crash_at}\n"
-    );
+    println!("WAN scenario: load balance at {balance_at}, crash at {crash_at}\n");
 
     for checkpoint in (5..=90).step_by(5) {
         sim.run_until(SimTime::from_secs(checkpoint));

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Workspace gate: formatting, lints (warnings are errors), tests.
+# Run from the repository root:  sh scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "all checks passed"

@@ -3,6 +3,15 @@
 //! ```text
 //! ftvod-cli lan [--seed N]                  the paper's Figure 4 scenario
 //! ftvod-cli wan [--seed N]                  the paper's Figure 5 scenario
+//! ftvod-cli trace <lan|wan> [--seed N] [--out FILE]
+//!                                           run a preset and export the
+//!                                           cross-layer event stream as
+//!                                           JSON Lines (stdout by default)
+//! ftvod-cli report <lan|wan> [--seed N]     run a preset and print the
+//!                                           derived run report: takeover
+//!                                           latency breakdown (view-change
+//!                                           + resume), delivery latency
+//!                                           percentiles, glitch windows
 //! ftvod-cli custom [options]                build your own deployment
 //!   --servers N        replicas at start            (default 2)
 //!   --clients M        viewers                      (default 1)
@@ -51,15 +60,37 @@ fn parse_custom(args: &[String]) -> Result<CustomOptions, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--servers" => opts.servers = value("--servers")?.parse().map_err(|e| format!("--servers: {e}"))?,
-            "--clients" => opts.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?,
-            "--seconds" => opts.seconds = value("--seconds")?.parse().map_err(|e| format!("--seconds: {e}"))?,
+            "--servers" => {
+                opts.servers = value("--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?
+            }
+            "--clients" => {
+                opts.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--seconds" => {
+                opts.seconds = value("--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?
+            }
             "--profile" => opts.profile = value("--profile")?.clone(),
-            "--crash" => opts.crashes.push(value("--crash")?.parse().map_err(|e| format!("--crash: {e}"))?),
-            "--shutdown" => opts
-                .shutdowns
-                .push(value("--shutdown")?.parse().map_err(|e| format!("--shutdown: {e}"))?),
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--crash" => opts.crashes.push(
+                value("--crash")?
+                    .parse()
+                    .map_err(|e| format!("--crash: {e}"))?,
+            ),
+            "--shutdown" => opts.shutdowns.push(
+                value("--shutdown")?
+                    .parse()
+                    .map_err(|e| format!("--shutdown: {e}"))?,
+            ),
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -77,15 +108,34 @@ fn profile_by_name(name: &str) -> Result<LinkProfile, String> {
         "lan" => Ok(LinkProfile::lan()),
         "wan" => Ok(LinkProfile::wan()),
         "wan-reserved" => Ok(LinkProfile::wan_reserved()),
-        other => Err(format!("unknown profile {other} (lan | wan | wan-reserved)")),
+        other => Err(format!(
+            "unknown profile {other} (lan | wan | wan-reserved)"
+        )),
     }
 }
 
-fn seed_flag(args: &[String]) -> u64 {
-    args.windows(2)
-        .find(|w| w[0] == "--seed")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(42)
+fn seed_flag(args: &[String]) -> Result<u64, String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--seed" {
+            let value = it.next().ok_or("--seed needs a value")?;
+            return value.parse().map_err(|e| format!("--seed: {e}"));
+        }
+    }
+    Ok(42)
+}
+
+fn out_flag(args: &[String]) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            return match it.next() {
+                Some(path) => Ok(Some(path.clone())),
+                None => Err("--out needs a value".to_owned()),
+            };
+        }
+    }
+    Ok(None)
 }
 
 fn summarize(sim: &VodSim, clients: &[ClientId]) {
@@ -116,10 +166,11 @@ fn summarize(sim: &VodSim, clients: &[ClientId]) {
 }
 
 fn run_preset(which: &str, seed: u64) {
-    let (builder, a, b) = match which {
+    let (mut builder, a, b) = match which {
         "lan" => presets::fig4_lan(seed),
         _ => presets::fig5_wan(seed),
     };
+    builder.record_events(DEFAULT_EVENT_CAPACITY);
     let (first, second) = if which == "lan" {
         (("crash", a), ("load balance", b))
     } else {
@@ -130,6 +181,41 @@ fn run_preset(which: &str, seed: u64) {
     let mut sim = builder.build();
     sim.run_until(SimTime::from_secs(92));
     summarize(&sim, &[presets::CLIENT_ID]);
+    if let Some(report) = sim.report() {
+        println!("\n{}", report.summary_line());
+    }
+}
+
+/// Runs a preset with event recording and hands the finished sim back.
+fn traced_preset(which: &str, seed: u64) -> VodSim {
+    let (mut builder, _, _) = match which {
+        "lan" => presets::fig4_lan(seed),
+        _ => presets::fig5_wan(seed),
+    };
+    builder.record_events(DEFAULT_EVENT_CAPACITY);
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(92));
+    sim
+}
+
+fn run_trace(which: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
+    let sim = traced_preset(which, seed);
+    let jsonl = sim.events_jsonl().expect("recording was enabled");
+    match out {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {} events to {path}", jsonl.lines().count());
+        }
+        None => print!("{jsonl}"),
+    }
+    Ok(())
+}
+
+fn run_report(which: &str, seed: u64) {
+    let sim = traced_preset(which, seed);
+    let report = sim.report().expect("recording was enabled");
+    println!("{which} scenario, seed {seed}:\n");
+    print!("{report}");
 }
 
 fn run_custom(opts: &CustomOptions) -> Result<(), String> {
@@ -146,7 +232,12 @@ fn run_custom(opts: &CustomOptions) -> Result<(), String> {
         builder.server(s);
     }
     for (i, &c) in clients.iter().enumerate() {
-        builder.client(c, NodeId(100 + c.0), MovieId(1), SimTime::from_secs(2 + i as u64 / 4));
+        builder.client(
+            c,
+            NodeId(100 + c.0),
+            MovieId(1),
+            SimTime::from_secs(2 + i as u64 / 4),
+        );
     }
     // Crashes/shutdowns target the highest-id replicas (the serving order).
     let mut victims = servers.clone();
@@ -162,38 +253,55 @@ fn run_custom(opts: &CustomOptions) -> Result<(), String> {
             builder.shutdown_at(SimTime::from_secs(t), victim);
         }
     }
+    builder.record_events(DEFAULT_EVENT_CAPACITY);
     let mut sim = builder.build();
     sim.run_until(SimTime::from_secs(opts.seconds));
     summarize(&sim, &clients);
+    if let Some(report) = sim.report() {
+        println!("\n{}", report.summary_line());
+    }
     Ok(())
+}
+
+fn preset_name(args: &[String]) -> Result<&'static str, String> {
+    match args.first().map(String::as_str) {
+        Some("lan") => Ok("lan"),
+        Some("wan") => Ok("wan"),
+        Some(other) => Err(format!(
+            "expected a preset scenario (lan | wan), got \"{other}\""
+        )),
+        None => Err("expected a preset scenario (lan | wan)".to_owned()),
+    }
+}
+
+fn exit_from(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lan") => {
-            run_preset("lan", seed_flag(&args));
-            ExitCode::SUCCESS
+        Some(which @ ("lan" | "wan")) => {
+            exit_from(seed_flag(&args).map(|seed| run_preset(which, seed)))
         }
-        Some("wan") => {
-            run_preset("wan", seed_flag(&args));
-            ExitCode::SUCCESS
-        }
-        Some("custom") => match parse_custom(&args[1..]) {
-            Ok(opts) => match run_custom(&opts) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(err) => {
-                    eprintln!("error: {err}");
-                    ExitCode::FAILURE
-                }
-            },
-            Err(err) => {
-                eprintln!("error: {err}");
-                ExitCode::FAILURE
-            }
-        },
+        Some("trace") => exit_from(preset_name(&args[1..]).and_then(|which| {
+            let seed = seed_flag(&args)?;
+            let out = out_flag(&args)?;
+            run_trace(which, seed, out.as_deref())
+        })),
+        Some("report") => exit_from(preset_name(&args[1..]).and_then(|which| {
+            run_report(which, seed_flag(&args)?);
+            Ok(())
+        })),
+        Some("custom") => exit_from(parse_custom(&args[1..]).and_then(|opts| run_custom(&opts))),
         _ => {
-            eprintln!("usage: ftvod-cli <lan | wan | custom> [options]   (see --help in the source header)");
+            eprintln!("usage: ftvod-cli <lan | wan | trace | report | custom> [options]   (see --help in the source header)");
             ExitCode::FAILURE
         }
     }
@@ -216,8 +324,22 @@ mod tests {
     #[test]
     fn full_flag_set_parses() {
         let opts = parse_custom(&strings(&[
-            "--servers", "4", "--clients", "3", "--seconds", "90", "--profile", "wan",
-            "--crash", "20", "--crash", "40", "--shutdown", "60", "--seed", "7",
+            "--servers",
+            "4",
+            "--clients",
+            "3",
+            "--seconds",
+            "90",
+            "--profile",
+            "wan",
+            "--crash",
+            "20",
+            "--crash",
+            "40",
+            "--shutdown",
+            "60",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(opts.servers, 4);
@@ -238,9 +360,34 @@ mod tests {
 
     #[test]
     fn rejects_removing_every_replica() {
-        let err = parse_custom(&strings(&["--servers", "2", "--crash", "10", "--crash", "20"]))
-            .unwrap_err();
+        let err = parse_custom(&strings(&[
+            "--servers",
+            "2",
+            "--crash",
+            "10",
+            "--crash",
+            "20",
+        ]))
+        .unwrap_err();
         assert!(err.contains("every replica"));
+    }
+
+    #[test]
+    fn trace_and_report_args_parse() {
+        assert_eq!(preset_name(&strings(&["lan"])), Ok("lan"));
+        assert_eq!(preset_name(&strings(&["wan", "--seed", "7"])), Ok("wan"));
+        assert!(preset_name(&strings(&["atm"])).is_err());
+        assert!(preset_name(&[]).is_err());
+        assert_eq!(
+            out_flag(&strings(&["trace", "lan", "--out", "e.jsonl"])),
+            Ok(Some("e.jsonl".to_owned()))
+        );
+        assert_eq!(out_flag(&strings(&["trace", "lan"])), Ok(None));
+        assert!(out_flag(&strings(&["trace", "lan", "--out"])).is_err());
+        assert_eq!(seed_flag(&strings(&["lan"])), Ok(42));
+        assert_eq!(seed_flag(&strings(&["lan", "--seed", "7"])), Ok(7));
+        assert!(seed_flag(&strings(&["lan", "--seed", "banana"])).is_err());
+        assert!(seed_flag(&strings(&["lan", "--seed"])).is_err());
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod prelude {
     pub use ftvod_core::protocol::{ClientId, VodWire};
     pub use ftvod_core::scenario::{presets, ScenarioBuilder, VcrOp, VodSim};
     pub use ftvod_core::server::{Replica, VodServer};
+    pub use ftvod_core::trace::{RunReport, TraceHandle, VodEvent, DEFAULT_EVENT_CAPACITY};
     pub use media::{FrameNo, Movie, MovieId, MovieSpec};
     pub use simnet::{LinkProfile, NodeId, SimTime};
 }

@@ -49,8 +49,14 @@ fn two_movies_with_disjoint_replica_sets() {
     sim.run_until(SimTime::from_secs(30));
     let o1 = sim.owner_of(ClientId(1)).expect("movie 1 served");
     let o2 = sim.owner_of(ClientId(2)).expect("movie 2 served");
-    assert!(o1 == NodeId(1) || o1 == NodeId(2), "movie 1 replica serves it");
-    assert!(o2 == NodeId(2) || o2 == NodeId(3), "movie 2 replica serves it");
+    assert!(
+        o1 == NodeId(1) || o1 == NodeId(2),
+        "movie 1 replica serves it"
+    );
+    assert!(
+        o2 == NodeId(2) || o2 == NodeId(3),
+        "movie 2 replica serves it"
+    );
     for c in [ClientId(1), ClientId(2)] {
         let stats = sim.client_stats(c).unwrap();
         assert_eq!(stats.stalls.total(), 0, "client {c:?}");
@@ -93,14 +99,29 @@ fn mixed_capability_clients_share_a_server() {
         .server(NodeId(1))
         .server(NodeId(2))
         .client(ClientId(1), NodeId(100), MovieId(1), SimTime::from_secs(2))
-        .client_with_cap(ClientId(2), NodeId(101), MovieId(1), SimTime::from_secs(2), 15)
-        .client_with_cap(ClientId(3), NodeId(102), MovieId(1), SimTime::from_secs(3), 5);
+        .client_with_cap(
+            ClientId(2),
+            NodeId(101),
+            MovieId(1),
+            SimTime::from_secs(2),
+            15,
+        )
+        .client_with_cap(
+            ClientId(3),
+            NodeId(102),
+            MovieId(1),
+            SimTime::from_secs(3),
+            5,
+        );
     let mut sim = builder.build();
     sim.run_until(SimTime::from_secs(62));
     let full = sim.client_stats(ClientId(1)).unwrap().frames_received;
     let half = sim.client_stats(ClientId(2)).unwrap().frames_received;
     let low = sim.client_stats(ClientId(3)).unwrap().frames_received;
-    assert!(full > half && half > low, "rates must order: {full} > {half} > {low}");
+    assert!(
+        full > half && half > low,
+        "rates must order: {full} > {half} > {low}"
+    );
     for c in [ClientId(1), ClientId(2), ClientId(3)] {
         assert_eq!(sim.client_stats(c).unwrap().stalls.total(), 0);
     }
@@ -114,7 +135,13 @@ fn wan_with_quality_cap_and_failover() {
         .movie(movie(1, 90, 1), &[NodeId(1), NodeId(2)])
         .server(NodeId(1))
         .server(NodeId(2))
-        .client_with_cap(ClientId(1), NodeId(100), MovieId(1), SimTime::from_secs(2), 15)
+        .client_with_cap(
+            ClientId(1),
+            NodeId(100),
+            MovieId(1),
+            SimTime::from_secs(2),
+            15,
+        )
         .crash_at(SimTime::from_secs(25), NodeId(2));
     let mut sim = builder.build();
     sim.run_until(SimTime::from_secs(55));
