@@ -1,0 +1,95 @@
+//! Extension benchmark: static vs dynamic replica management under a
+//! skewed fleet workload.
+//!
+//! Runs the same Zipf(1.2) population twice — once with the single-copy
+//! initial placement frozen (static), once with the demand-driven replica
+//! manager enabled (dynamic) — and prints the service-quality comparison
+//! (p99 time-to-first-frame, unserved client time, sessions never served)
+//! alongside the wall-time cost of each simulation. The workload is
+//! deterministic, so the quality numbers are identical on every run; see
+//! EXPERIMENTS.md for the recipe.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftvod_core::config::ReplicationConfig;
+use ftvod_core::workload::{fleet_builder, FleetProfile, FleetReport};
+
+const SEED: u64 = 7;
+
+fn fleet_profile() -> FleetProfile {
+    let mut profile = FleetProfile::small_fleet();
+    profile.servers = 6;
+    profile.clients = 180;
+    profile.catalog_size = 6;
+    profile.zipf_exponent = 1.2;
+    // Fleet-wide capacity is ample (6 * 45 = 270 slots for 180 sessions),
+    // but a single-copy hot movie bottlenecks on its lone holder.
+    profile.sessions_per_server = Some(45);
+    profile
+}
+
+fn run_fleet(replication: Option<ReplicationConfig>) -> FleetReport {
+    let profile = fleet_profile();
+    let (builder, plan) = fleet_builder(&profile, SEED, replication);
+    let mut sim = builder.build();
+    let end = profile.run_until();
+    sim.run_until(end);
+    FleetReport::from_sim(&plan, &sim, end)
+}
+
+fn print_quality(label: &str, report: &FleetReport) {
+    println!(
+        "    {label}: {} served, {} never served, unserved time {:.1}s, p99 ttff {}",
+        report.served,
+        report.never_served,
+        report.unserved_seconds,
+        report
+            .p99_ttff()
+            .map_or_else(|| "-".to_owned(), |v| format!("{v:.3}s")),
+    );
+}
+
+fn bench_static(c: &mut Criterion) {
+    print_quality("static ", &run_fleet(None));
+    c.bench_function("fleet: 180 sessions / 6 servers, static placement", |b| {
+        b.iter_batched(|| (), |()| run_fleet(None), BatchSize::PerIteration);
+    });
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let dynamic = run_fleet(Some(ReplicationConfig::paper_default()));
+    let fixed = run_fleet(None);
+    print_quality("dynamic", &dynamic);
+    assert!(
+        dynamic.unserved_seconds < fixed.unserved_seconds,
+        "dynamic replication must reduce unserved client time \
+         (dynamic {:.1}s vs static {:.1}s)",
+        dynamic.unserved_seconds,
+        fixed.unserved_seconds,
+    );
+    c.bench_function(
+        "fleet: 180 sessions / 6 servers, dynamic replication",
+        |b| {
+            b.iter_batched(
+                || (),
+                |()| run_fleet(Some(ReplicationConfig::paper_default())),
+                BatchSize::PerIteration,
+            );
+        },
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_static, bench_dynamic
+}
+criterion_main!(benches);

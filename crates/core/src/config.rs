@@ -45,6 +45,57 @@ pub enum ResumePolicy {
     SkipAhead,
 }
 
+/// Policy of the demand-driven replica manager (DESIGN.md §5d).
+///
+/// Servers share per-movie demand over the server group at every sync
+/// tick; when a movie's sessions-per-replica stays above the hot
+/// threshold for `hysteresis_ticks` consecutive ticks, the least-loaded
+/// non-holder joins the movie group (bring-up); when the demand would fit
+/// comfortably on one fewer replica for just as long, the
+/// lightest-loaded holder leaves it gracefully (retire). `cooldown_ticks`
+/// suppresses further changes to a movie right after its replica set
+/// moved, letting the redistribution settle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Bring up a replica when sessions (plus waiting clients) per
+    /// replica exceed this.
+    pub hot_sessions_per_replica: u32,
+    /// Retire a replica when the demand fits under this per remaining
+    /// replica (and nobody is waiting).
+    pub cold_sessions_per_replica: u32,
+    /// Consecutive sync ticks a hot/cold signal must persist.
+    pub hysteresis_ticks: u32,
+    /// Floor on replicas per movie.
+    pub min_replicas: u32,
+    /// Cap on replicas per movie.
+    pub max_replicas: u32,
+    /// Sync ticks to wait after a movie's replica set changed before
+    /// acting on that movie again.
+    pub cooldown_ticks: u32,
+}
+
+impl ReplicationConfig {
+    /// Conservative defaults: act after 2 consecutive ticks (1 s of the
+    /// paper's half-second sync), cool down for 4, keep at least one and
+    /// at most eight copies.
+    pub fn paper_default() -> Self {
+        ReplicationConfig {
+            hot_sessions_per_replica: 8,
+            cold_sessions_per_replica: 2,
+            hysteresis_ticks: 2,
+            min_replicas: 1,
+            max_replicas: 8,
+            cooldown_ticks: 4,
+        }
+    }
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig::paper_default()
+    }
+}
+
 /// Tunable parameters of the VoD service.
 #[derive(Clone, Debug, PartialEq)]
 pub struct VodConfig {
@@ -109,6 +160,9 @@ pub struct VodConfig {
     /// do not fit wait (re-opening periodically) instead of degrading
     /// everyone's stream.
     pub max_sessions_per_server: Option<u32>,
+    /// Demand-driven dynamic replica management (`None` = static
+    /// placement, the paper's deployments).
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl VodConfig {
@@ -139,6 +193,7 @@ impl VodConfig {
             overflow_prefers_incremental: true,
             exchange_timeout: Duration::from_millis(200),
             max_sessions_per_server: None,
+            replication: None,
         }
     }
 
@@ -219,6 +274,12 @@ impl VodConfig {
         self.max_sessions_per_server = Some(cap);
         self
     }
+
+    /// Returns a copy with demand-driven replica management enabled.
+    pub fn with_dynamic_replication(mut self, policy: ReplicationConfig) -> Self {
+        self.replication = Some(policy);
+        self
+    }
 }
 
 impl Default for VodConfig {
@@ -276,5 +337,16 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(VodConfig::default(), VodConfig::paper_default());
+    }
+
+    #[test]
+    fn dynamic_replication_is_opt_in() {
+        let cfg = VodConfig::paper_default();
+        assert_eq!(cfg.replication, None);
+        let cfg = cfg.with_dynamic_replication(ReplicationConfig::paper_default());
+        let policy = cfg.replication.expect("enabled");
+        assert_eq!(policy, ReplicationConfig::default());
+        assert!(policy.hot_sessions_per_replica > policy.cold_sessions_per_replica);
+        assert!(policy.min_replicas >= 1);
     }
 }

@@ -13,7 +13,9 @@
 //! * [`config`] — the paper's §6 operating point and ablation knobs;
 //! * [`metrics`] — time series/counters behind every reproduced figure;
 //! * [`trace`] — the cross-layer event stream, JSONL export and derived
-//!   run reports (takeover-latency breakdowns, latency percentiles).
+//!   run reports (takeover-latency breakdowns, latency percentiles);
+//! * [`workload`] — the fleet workload engine: Zipf popularity, Poisson
+//!   arrivals, VCR mixes and churn, all from one seed.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,11 +27,13 @@ pub mod protocol;
 pub mod scenario;
 pub mod server;
 pub mod trace;
+pub mod workload;
 
 pub use client::{ClientStats, VodClient, WatchRequest};
-pub use config::{ResumePolicy, TakeoverPolicy, VodConfig};
+pub use config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
 pub use metrics::Histogram;
-pub use protocol::{ClientId, ControlPayload, VideoPacket, VodWire};
+pub use protocol::{ClientId, ControlPayload, DemandEntry, VideoPacket, VodWire};
 pub use scenario::{ScenarioBuilder, VcrOp, VodSim};
 pub use server::{Replica, ServerStats, VodServer};
 pub use trace::{RunReport, TakeoverBreakdown, TraceHandle, TraceRecorder, VodEvent};
+pub use workload::{fleet_builder, FleetPlan, FleetProfile, FleetReport, ZipfSampler};

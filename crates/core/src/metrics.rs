@@ -149,7 +149,7 @@ const HIST_SUB: usize = 1 << HIST_SUB_BITS;
 /// microsecond-to-hours durations expressed in seconds).
 ///
 /// Samples are bucketed at microsecond granularity: exact below 16 µs, then
-/// [`HIST_SUB`] linear sub-buckets per power-of-two octave, so quantiles
+/// `HIST_SUB` linear sub-buckets per power-of-two octave, so quantiles
 /// carry at most ~6% relative error while the whole structure stays under
 /// a thousand `u64` counters regardless of sample count. Unlike
 /// [`percentile`], recording is O(1) and querying never sorts.

@@ -204,6 +204,36 @@ pub enum ControlPayload {
         /// The client whose movie ended.
         client: ClientId,
     },
+    /// Server → server group: per-movie demand observed at the sender,
+    /// shared at the sync cadence. Input of the dynamic replica manager
+    /// (DESIGN.md §5d): every server aggregates the latest report of each
+    /// peer into a fleet-wide demand picture and deterministically elects
+    /// who brings up or retires a replica.
+    Demand {
+        /// The reporting server.
+        server: NodeId,
+        /// One entry per movie the sender holds (empty when it holds
+        /// none; the report still advertises the sender's zero load).
+        entries: Vec<DemandEntry>,
+    },
+}
+
+/// One movie's demand as observed by a single server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DemandEntry {
+    /// The movie.
+    pub movie: MovieId,
+    /// Sessions of this movie the reporting server currently owns.
+    pub sessions: u32,
+    /// Clients of this movie waiting unserved (admission control); the
+    /// record set converges on every replica, so aggregators take the
+    /// maximum across reporters rather than the sum.
+    pub waiting: u32,
+}
+
+impl DemandEntry {
+    /// Nominal wire size of one entry.
+    pub const WIRE_BYTES: usize = 12;
 }
 
 impl Payload for ControlPayload {
@@ -215,6 +245,7 @@ impl Payload for ControlPayload {
             ControlPayload::Flow { .. } => 8,
             ControlPayload::Vcr { .. } => 12,
             ControlPayload::EndOfMovie { .. } => 8,
+            ControlPayload::Demand { entries, .. } => 12 + entries.len() * DemandEntry::WIRE_BYTES,
         }
     }
 
@@ -226,6 +257,7 @@ impl Payload for ControlPayload {
             ControlPayload::Flow { .. } => "vod-flow",
             ControlPayload::Vcr { .. } => "vod-flow",
             ControlPayload::EndOfMovie { .. } => "vod-ctl",
+            ControlPayload::Demand { .. } => "vod-sync",
         }
     }
 }
@@ -326,6 +358,32 @@ mod tests {
         };
         assert_eq!(payload.size_bytes(), 16 + 44);
         assert_eq!(payload.class(), "vod-sync");
+    }
+
+    #[test]
+    fn demand_payload_sizes_per_entry() {
+        let payload = ControlPayload::Demand {
+            server: NodeId(1),
+            entries: vec![
+                DemandEntry {
+                    movie: MovieId(1),
+                    sessions: 9,
+                    waiting: 2,
+                },
+                DemandEntry {
+                    movie: MovieId(2),
+                    sessions: 0,
+                    waiting: 0,
+                },
+            ],
+        };
+        assert_eq!(payload.size_bytes(), 12 + 2 * DemandEntry::WIRE_BYTES);
+        assert_eq!(payload.class(), "vod-sync");
+        let empty = ControlPayload::Demand {
+            server: NodeId(2),
+            entries: Vec::new(),
+        };
+        assert_eq!(empty.size_bytes(), 12);
     }
 
     #[test]

@@ -253,10 +253,19 @@ impl ScenarioBuilder {
                 })
                 .collect()
         };
+        // Every server gets the full catalog (the paper's shared disk
+        // farm): dynamic replication may ask any of them to bring up any
+        // movie, not just the ones they were seeded with.
+        let catalog: Vec<Arc<media::Movie>> = self
+            .movies
+            .values()
+            .map(|(movie, _)| Arc::clone(movie))
+            .collect();
         for &node in &self.initial_servers {
             sim.add_node(
                 node,
                 VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
+                    .with_catalog(catalog.iter().cloned())
                     .with_trace(trace.clone()),
             );
         }
@@ -265,6 +274,7 @@ impl ScenarioBuilder {
                 at,
                 node,
                 VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
+                    .with_catalog(catalog.iter().cloned())
                     .with_trace(trace.clone()),
             );
         }

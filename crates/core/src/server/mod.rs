@@ -22,14 +22,13 @@ use std::time::Duration;
 
 use gcs::{GcsEvent, GcsNode, GroupId, View};
 use media::{Movie, MovieId, QualityFilter};
-use rand::Rng;
 use simnet::{Context, Endpoint, NodeId, Process, Timer, TimerId};
 
 use crate::config::{ResumePolicy, TakeoverPolicy, VodConfig};
-use crate::metrics::Cumulative;
+use crate::metrics::{Cumulative, TimeSeries};
 use crate::protocol::{
-    movie_group, ClientId, ClientRecord, ControlPayload, FlowRequest, OpenRequest, VcrCmd,
-    VideoPacket, VodWire, GCS_PORT, SERVER_GROUP, VIDEO_PORT,
+    movie_group, ClientId, ClientRecord, ControlPayload, DemandEntry, FlowRequest, OpenRequest,
+    VcrCmd, VideoPacket, VodWire, GCS_PORT, SERVER_GROUP, VIDEO_PORT,
 };
 use crate::trace::{TraceHandle, VodEvent};
 
@@ -123,6 +122,16 @@ pub struct ServerStats {
     pub syncs_sent: u64,
     /// Redistribution rounds executed.
     pub redistributions: u64,
+    /// Clients parked as [`UNSERVED`] over time, sampled at every sync
+    /// tick (this server's view of the admission backlog).
+    pub unserved_over_time: TimeSeries,
+    /// Open requests this server (as coordinator) could not place on any
+    /// replica — the client was parked as [`UNSERVED`].
+    pub admission_rejections: Cumulative,
+    /// Replicas this server brought up for hot movies.
+    pub replica_bringups: Cumulative,
+    /// Replicas this server retired from cold movies.
+    pub replica_retires: Cumulative,
 }
 
 /// The VoD server process.
@@ -132,10 +141,21 @@ pub struct VodServer {
     servers: Vec<NodeId>,
     gcs: GcsNode<ControlPayload>,
     movies: BTreeMap<MovieId, MovieState>,
+    /// Movies this server *can* bring up on demand (the paper's servers
+    /// sit on a shared disk farm, so any server can serve any movie).
+    catalog: BTreeMap<MovieId, Arc<Movie>>,
     sessions: BTreeMap<ClientId, Session>,
     stats: ServerStats,
     trace: TraceHandle,
     sync_round: u64,
+    /// Latest SERVER_GROUP view, for demand aggregation and elections.
+    server_view: View,
+    /// Latest demand report per live server: movie -> (sessions, waiting).
+    demand: BTreeMap<NodeId, BTreeMap<MovieId, (u32, u32)>>,
+    hot_streak: BTreeMap<MovieId, u32>,
+    cold_streak: BTreeMap<MovieId, u32>,
+    cooldown: BTreeMap<MovieId, u32>,
+    last_replicas: BTreeMap<MovieId, u32>,
 }
 
 impl std::fmt::Debug for VodServer {
@@ -160,9 +180,11 @@ impl VodServer {
             tag::GCS_TICK,
             servers.clone(),
         );
+        let mut catalog = BTreeMap::new();
         let movies = replicas
             .into_iter()
             .map(|r| {
+                catalog.insert(r.movie.id(), Arc::clone(&r.movie));
                 (
                     r.movie.id(),
                     MovieState {
@@ -183,11 +205,28 @@ impl VodServer {
             servers,
             gcs,
             movies,
+            catalog,
             sessions: BTreeMap::new(),
             stats: ServerStats::default(),
             trace: TraceHandle::disabled(),
             sync_round: 0,
+            server_view: View::default(),
+            demand: BTreeMap::new(),
+            hot_streak: BTreeMap::new(),
+            cold_streak: BTreeMap::new(),
+            cooldown: BTreeMap::new(),
+            last_replicas: BTreeMap::new(),
         }
+    }
+
+    /// Extends the catalog of movies this server can bring up on demand.
+    /// Without this, dynamic replication can only clone movies the server
+    /// was seeded with.
+    pub fn with_catalog(mut self, movies: impl IntoIterator<Item = Arc<Movie>>) -> Self {
+        for movie in movies {
+            self.catalog.entry(movie.id()).or_insert(movie);
+        }
+        self
     }
 
     /// Installs a trace handle: server-side events (session adoption and
@@ -290,6 +329,10 @@ impl VodServer {
 
     fn on_view(&mut self, ctx: &mut Context<'_, VodWire>, group: GroupId, view: View) {
         if group == SERVER_GROUP {
+            // Track the server universe for demand aggregation; drop the
+            // reports of departed servers so they cannot skew decisions.
+            self.demand.retain(|server, _| view.contains(*server));
+            self.server_view = view;
             return;
         }
         if let Some(movie_id) = self.movie_of_group(group) {
@@ -388,6 +431,15 @@ impl VodServer {
             ControlPayload::Flow { client, req } => self.on_flow(ctx, client, req),
             ControlPayload::Vcr { client, cmd } => self.on_vcr(ctx, client, cmd),
             ControlPayload::EndOfMovie { .. } => {}
+            ControlPayload::Demand { server, entries } => {
+                self.demand.insert(
+                    server,
+                    entries
+                        .into_iter()
+                        .map(|e| (e.movie, (e.sessions, e.waiting)))
+                        .collect(),
+                );
+            }
         }
     }
 
@@ -438,8 +490,14 @@ impl VodServer {
             .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
             .map(|(&server, _)| server)
             .unwrap_or(UNSERVED);
-        if owner == UNSERVED && waiting {
-            return; // still no room; the client keeps retrying
+        if owner == UNSERVED {
+            if waiting {
+                return; // still no room; the client keeps retrying
+            }
+            // First refusal: the record below parks the client as UNSERVED
+            // on every replica; count the rejection (coordinator only, so
+            // each refusal is counted once).
+            self.stats.admission_rejections.add(ctx.now(), 1);
         }
         let record = ClientRecord {
             client: open.client,
@@ -839,7 +897,7 @@ impl VodServer {
                     (session.record.rate_fps + session.emergency.current()).clamp(1, 240);
                 let mut interval = Duration::from_secs_f64(1.0 / f64::from(effective));
                 if !jitter.is_zero() {
-                    interval += jitter.mul_f64(ctx.rng().gen::<f64>());
+                    interval += jitter.mul_f64(ctx.rng().gen_f64());
                 }
                 session.send_timer = Some(ctx.set_timer_after(interval, tag::send(client.0)));
             }
@@ -867,6 +925,13 @@ impl VodServer {
         self.stats
             .owned_over_time
             .push(now, self.sessions.len() as f64);
+        let unserved = self
+            .movies
+            .values()
+            .flat_map(|s| s.records.values())
+            .filter(|r| r.owner == UNSERVED)
+            .count();
+        self.stats.unserved_over_time.push(now, unserved as f64);
         for state in self.movies.values_mut() {
             state
                 .tombstones
@@ -875,6 +940,10 @@ impl VodServer {
         let movie_ids: Vec<MovieId> = self.movies.keys().copied().collect();
         for movie_id in movie_ids {
             self.sync_movie(ctx, movie_id, true);
+        }
+        if self.cfg.replication.is_some() {
+            self.report_demand(ctx);
+            self.replica_manager(ctx);
         }
         ctx.set_timer_after(self.cfg.sync_interval, tag::SYNC);
     }
@@ -934,6 +1003,228 @@ impl VodServer {
             // Deadline passed: redistribute with whatever reports arrived.
             self.redistribute(ctx, movie_id);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic replica management (opt-in via VodConfig::replication)
+    // ------------------------------------------------------------------
+
+    /// Multicasts this server's per-movie demand observations to the
+    /// server group: sessions it owns plus clients parked as [`UNSERVED`].
+    /// Rides the sync tick, so demand data is at most one interval stale.
+    fn report_demand(&mut self, ctx: &mut Context<'_, VodWire>) {
+        let node = self.node;
+        let entries: Vec<DemandEntry> = self
+            .movies
+            .iter()
+            .map(|(&movie, state)| DemandEntry {
+                movie,
+                sessions: state.records.values().filter(|r| r.owner == node).count() as u32,
+                waiting: state
+                    .records
+                    .values()
+                    .filter(|r| r.owner == UNSERVED)
+                    .count() as u32,
+            })
+            .collect();
+        // The multicast self-delivers, which files our own entries into
+        // `demand` through the regular control path.
+        let payload = ControlPayload::Demand {
+            server: node,
+            entries,
+        };
+        self.multicast(ctx, SERVER_GROUP, payload);
+    }
+
+    /// Demand-driven replica management: aggregate the latest per-server
+    /// demand reports, apply the hot/cold policy with hysteresis, and —
+    /// when this server is the deterministically elected candidate — bring
+    /// up or retire its *own* replica. Every server runs the same election
+    /// over (eventually) the same reports, so at most one acts per movie.
+    fn replica_manager(&mut self, ctx: &mut Context<'_, VodWire>) {
+        let Some(policy) = self.cfg.replication else {
+            return;
+        };
+        for ticks in self.cooldown.values_mut() {
+            *ticks = ticks.saturating_sub(1);
+        }
+        let live: BTreeSet<NodeId> = self.server_view.members.iter().copied().collect();
+        if live.len() <= 1 || !live.contains(&self.node) {
+            return; // nowhere to replicate to, or not a member yet
+        }
+        // Aggregate: sessions sum across holders; the waiting backlog is
+        // shared record state (every replica sees the same UNSERVED
+        // records), so take the max rather than double-count.
+        let mut agg: BTreeMap<MovieId, (u32, u32, BTreeSet<NodeId>)> = BTreeMap::new();
+        let mut load: BTreeMap<NodeId, u32> = live.iter().map(|&n| (n, 0)).collect();
+        for (&server, entries) in &self.demand {
+            if !live.contains(&server) {
+                continue;
+            }
+            for (&movie, &(sessions, waiting)) in entries {
+                let entry = agg.entry(movie).or_insert((0, 0, BTreeSet::new()));
+                entry.0 += sessions;
+                entry.1 = entry.1.max(waiting);
+                entry.2.insert(server);
+                *load.entry(server).or_insert(0) += sessions;
+            }
+        }
+        for (&movie, &(sessions, waiting, ref holders)) in &agg {
+            let replicas = holders.len() as u32;
+            if self.last_replicas.insert(movie, replicas) != Some(replicas) {
+                // Observed replica-count change (including the first
+                // observation): restart hysteresis and hold off further
+                // changes while the redistribution settles.
+                self.hot_streak.insert(movie, 0);
+                self.cold_streak.insert(movie, 0);
+                self.cooldown.insert(movie, policy.cooldown_ticks);
+                continue;
+            }
+            if self.cooldown.get(&movie).copied().unwrap_or(0) > 0 {
+                continue;
+            }
+            let demand = sessions + waiting;
+            let hot = demand > policy.hot_sessions_per_replica * replicas
+                && replicas < policy.max_replicas
+                && (holders.len() as u32) < live.len() as u32;
+            let cold = replicas > policy.min_replicas
+                && waiting == 0
+                && sessions <= policy.cold_sessions_per_replica * (replicas - 1);
+            let hot_run = {
+                let s = self.hot_streak.entry(movie).or_insert(0);
+                *s = if hot { *s + 1 } else { 0 };
+                *s
+            };
+            let cold_run = {
+                let s = self.cold_streak.entry(movie).or_insert(0);
+                *s = if cold { *s + 1 } else { 0 };
+                *s
+            };
+            if hot && hot_run >= policy.hysteresis_ticks {
+                // Bring-up election: the least-loaded live non-holder,
+                // ties broken by lowest node id.
+                let candidate = live
+                    .iter()
+                    .filter(|n| !holders.contains(n))
+                    .min_by_key(|&&n| (load.get(&n).copied().unwrap_or(0), n.0))
+                    .copied();
+                if candidate == Some(self.node) {
+                    let peers: Vec<NodeId> = holders.iter().copied().collect();
+                    self.bring_up(ctx, movie, demand, replicas + 1, &peers);
+                    self.hot_streak.insert(movie, 0);
+                    self.cooldown.insert(movie, policy.cooldown_ticks);
+                }
+            } else if cold && cold_run >= policy.hysteresis_ticks {
+                // Retire election: the holder with the fewest sessions for
+                // this movie, ties broken by highest node id (matching the
+                // redistribution tie-break, so the busiest replicas stay).
+                let candidate = holders
+                    .iter()
+                    .min_by_key(|&&n| {
+                        let own = self
+                            .demand
+                            .get(&n)
+                            .and_then(|e| e.get(&movie))
+                            .map_or(0, |&(s, _)| s);
+                        (own, std::cmp::Reverse(n.0))
+                    })
+                    .copied();
+                if candidate == Some(self.node) {
+                    self.retire_replica(ctx, movie, sessions, replicas - 1);
+                    self.cold_streak.insert(movie, 0);
+                    self.cooldown.insert(movie, policy.cooldown_ticks);
+                }
+            }
+        }
+    }
+
+    /// Joins `movie`'s group as a fresh replica. The resulting view change
+    /// triggers the regular state exchange, and the paper's deterministic
+    /// redistribution hands this server its share of the sessions — no
+    /// replication-specific handoff protocol is needed.
+    fn bring_up(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        movie_id: MovieId,
+        demand: u32,
+        replicas: u32,
+        holders: &[NodeId],
+    ) {
+        if self.movies.contains_key(&movie_id) {
+            return;
+        }
+        let Some(movie) = self.catalog.get(&movie_id).cloned() else {
+            return; // not on our disk farm; the election misfired
+        };
+        let mut all_holders = holders.to_vec();
+        all_holders.push(self.node);
+        self.movies.insert(
+            movie_id,
+            MovieState {
+                movie,
+                holders: all_holders,
+                records: BTreeMap::new(),
+                tombstones: BTreeMap::new(),
+                view: View::default(),
+                exchange: None,
+                failures_seen: 0,
+            },
+        );
+        self.gcs.join(ctx, movie_group(movie_id), holders);
+        self.stats.replica_bringups.add(ctx.now(), 1);
+        let (at, server) = (ctx.now(), self.node);
+        self.trace.emit(|| VodEvent::ReplicaBringUp {
+            at,
+            server,
+            movie: movie_id,
+            demand,
+            replicas,
+        });
+    }
+
+    /// Gracefully retires this server's replica of a cold movie: publish
+    /// the freshest offsets, leave the movie group (the survivors' view
+    /// change redistributes our sessions), and stop local transmission —
+    /// the single-movie version of [`VodServer::shutdown`].
+    fn retire_replica(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        movie_id: MovieId,
+        demand: u32,
+        replicas: u32,
+    ) {
+        if !self.movies.contains_key(&movie_id) {
+            return;
+        }
+        self.sync_movie(ctx, movie_id, false);
+        self.gcs.leave(ctx, movie_group(movie_id));
+        let clients: Vec<ClientId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.record.movie == movie_id)
+            .map(|(&c, _)| c)
+            .collect();
+        for client in clients {
+            self.stop_session(ctx, client);
+        }
+        self.movies.remove(&movie_id);
+        if let Some(entries) = self.demand.get_mut(&self.node) {
+            entries.remove(&movie_id);
+        }
+        self.stats.replica_retires.add(ctx.now(), 1);
+        let (at, server) = (ctx.now(), self.node);
+        self.trace.emit(|| VodEvent::ReplicaRetire {
+            at,
+            server,
+            movie: movie_id,
+            demand,
+            replicas,
+        });
+    }
+
+    /// Movies this server currently holds a replica of, in id order.
+    pub fn movies_held(&self) -> Vec<MovieId> {
+        self.movies.keys().copied().collect()
     }
 
     // ------------------------------------------------------------------

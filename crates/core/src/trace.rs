@@ -284,6 +284,37 @@ pub enum VodEvent {
         /// The server.
         server: NodeId,
     },
+    /// The replica manager decided this server should bring up a replica
+    /// of a hot movie; the server joined the movie group and the next
+    /// redistribution hands it a share of the sessions (DESIGN.md §5d).
+    ReplicaBringUp {
+        /// When the decision was made.
+        at: SimTime,
+        /// The server bringing up the replica.
+        server: NodeId,
+        /// The movie.
+        movie: MovieId,
+        /// Observed demand (sessions plus waiting clients) at decision
+        /// time.
+        demand: u32,
+        /// Replica count after the bring-up.
+        replicas: u32,
+    },
+    /// The replica manager decided this server should retire its replica
+    /// of a cold movie; the server detaches gracefully (fresh offsets
+    /// published first) and the survivors redistribute its sessions.
+    ReplicaRetire {
+        /// When the decision was made.
+        at: SimTime,
+        /// The retiring server.
+        server: NodeId,
+        /// The movie.
+        movie: MovieId,
+        /// Observed demand at decision time.
+        demand: u32,
+        /// Replica count after the retire.
+        replicas: u32,
+    },
     // ---------------- client ----------------
     /// A client asked the (abstract) server group to open a session.
     OpenRequested {
@@ -412,6 +443,8 @@ impl VodEvent {
             | VodEvent::EmergencyGranted { at, .. }
             | VodEvent::EmergencyEnded { at, .. }
             | VodEvent::ShutdownStarted { at, .. }
+            | VodEvent::ReplicaBringUp { at, .. }
+            | VodEvent::ReplicaRetire { at, .. }
             | VodEvent::OpenRequested { at, .. }
             | VodEvent::FirstFrame { at, .. }
             | VodEvent::StreamResumed { at, .. }
@@ -707,6 +740,32 @@ impl VodEvent {
             VodEvent::ShutdownStarted { server, .. } => {
                 let _ = write!(out, ",\"ev\":\"shutdown_started\",\"server\":{}", server.0);
             }
+            VodEvent::ReplicaBringUp {
+                server,
+                movie,
+                demand,
+                replicas,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"replica_bring_up\",\"server\":{},\"movie\":{},\"demand\":{demand},\"replicas\":{replicas}",
+                    server.0, movie.0
+                );
+            }
+            VodEvent::ReplicaRetire {
+                server,
+                movie,
+                demand,
+                replicas,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"replica_retire\",\"server\":{},\"movie\":{},\"demand\":{demand},\"replicas\":{replicas}",
+                    server.0, movie.0
+                );
+            }
             VodEvent::OpenRequested {
                 client,
                 movie,
@@ -992,6 +1051,10 @@ pub struct RunReport {
     pub emergencies_granted: u64,
     /// Completed emergency burst windows.
     pub emergency_windows: Vec<EmergencyWindow>,
+    /// Replica bring-ups decided by the dynamic replica manager.
+    pub replica_bringups: u64,
+    /// Replica retires decided by the dynamic replica manager.
+    pub replica_retires: u64,
     /// Suspicions raised by failure detectors.
     pub suspicions: u64,
     /// Views installed across all nodes and groups.
@@ -1086,6 +1149,8 @@ impl RunReport {
                     }
                 }
                 VodEvent::EmergencyRequested { .. } => report.emergencies_requested += 1,
+                VodEvent::ReplicaBringUp { .. } => report.replica_bringups += 1,
+                VodEvent::ReplicaRetire { .. } => report.replica_retires += 1,
                 VodEvent::StreamResumed { at, client, gap_s } => {
                     report.glitches.push(GlitchWindow {
                         client: *client,
@@ -1263,6 +1328,11 @@ impl fmt::Display for RunReport {
             self.emergencies_requested,
             self.emergencies_granted,
             self.emergency_windows.len()
+        )?;
+        writeln!(
+            f,
+            "  replication: {} bring-up(s), {} retire(s)",
+            self.replica_bringups, self.replica_retires
         )?;
         writeln!(
             f,

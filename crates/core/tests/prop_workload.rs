@@ -1,0 +1,89 @@
+//! Property-based tests for the fleet workload engine: the Zipf sampler's
+//! determinism contract and its agreement with the popularity law.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ftvod_core::workload::{FleetPlan, FleetProfile, ZipfSampler};
+use simnet::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same catalog, same exponent: the sampler must emit the
+    /// exact same rank sequence (the byte-determinism contract of the
+    /// whole workload engine rests on this).
+    #[test]
+    fn zipf_sequences_are_seed_deterministic(
+        n in 1usize..40,
+        s in 0.0f64..2.0,
+        seed in 0u64..1_000_000,
+        draws in 1usize..300,
+    ) {
+        let zipf = ZipfSampler::new(n, s);
+        let run = |seed: u64| -> Vec<usize> {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..draws).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let a = run(seed);
+        prop_assert_eq!(&a, &run(seed), "same seed must reproduce the sequence");
+        prop_assert!(a.iter().all(|&rank| rank < n), "ranks stay in the catalog");
+    }
+
+    /// Empirical frequencies follow the popularity order: over a large
+    /// sample, a rank whose model probability is clearly larger than
+    /// another's must also be drawn more often.
+    #[test]
+    fn zipf_frequencies_follow_popularity_order(
+        n in 2usize..12,
+        s in 0.8f64..1.6,
+        seed in 0u64..100_000,
+    ) {
+        let zipf = ZipfSampler::new(n, s);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let draws = 20_000usize;
+        let mut counts = vec![0u32; n];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Compare each rank against rank 0 (the clearest separation) and
+        // against the model with a generous statistical tolerance.
+        for k in 1..n {
+            prop_assert!(
+                counts[0] >= counts[k],
+                "rank 0 ({}) must out-draw rank {k} ({})",
+                counts[0],
+                counts[k]
+            );
+            let expected = zipf.probability(k) * draws as f64;
+            let observed = f64::from(counts[k]);
+            // 6-sigma binomial band, floored for tiny expectations.
+            let sigma = (expected.max(1.0)).sqrt();
+            prop_assert!(
+                (observed - expected).abs() < 6.0 * sigma + 10.0,
+                "rank {k}: observed {observed}, expected {expected:.1}"
+            );
+        }
+    }
+
+    /// The full plan generator inherits the sampler's determinism: the
+    /// per-movie demand histogram is a pure function of (profile, seed).
+    #[test]
+    fn plan_demand_is_seed_deterministic(
+        clients in 1u32..120,
+        movies in 1u32..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut profile = FleetProfile::small_fleet();
+        profile.clients = clients;
+        profile.catalog_size = movies;
+        let demand = |seed: u64| -> BTreeMap<_, _> {
+            FleetPlan::generate(&profile, seed).movie_demand()
+        };
+        let a = demand(seed);
+        prop_assert_eq!(&a, &demand(seed));
+        let total: u32 = a.values().sum();
+        prop_assert_eq!(total, clients, "every session lands on some movie");
+    }
+}

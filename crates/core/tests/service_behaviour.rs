@@ -446,7 +446,12 @@ fn runs_are_deterministic() {
         let (builder, _, _) = presets::fig5_wan(seed);
         let mut sim = builder.build();
         sim.run_until(SimTime::from_secs(60));
-        sim.client_stats(C1).unwrap().frames_received
+        let stats = sim.client_stats(C1).unwrap();
+        (
+            stats.frames_received,
+            stats.late.total(),
+            stats.sw_occupancy.points().to_vec(),
+        )
     };
     assert_ne!(wan(42), wan(43), "different seeds diverge");
 }

@@ -11,8 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simnet::SimRng;
 
 use crate::frame::{FrameMeta, FrameNo, FrameType, GopPattern};
 
@@ -125,7 +124,7 @@ impl Movie {
         assert!(spec.fps > 0, "fps must be positive");
         let frame_count = (spec.duration.as_secs_f64() * spec.fps as f64).round() as u64;
         assert!(frame_count > 0, "movie must contain at least one frame");
-        let mut rng = StdRng::seed_from_u64(spec.seed ^ (id.0 as u64) << 32);
+        let mut rng = SimRng::seed_from_u64(spec.seed ^ (id.0 as u64) << 32);
         // Calibrate: mean frame size must equal bitrate / (8 * fps).
         let mean_size = spec.bitrate_bps as f64 / 8.0 / spec.fps as f64;
         let gop_len = spec.gop.len() as u64;
@@ -137,7 +136,7 @@ impl Movie {
             .map(|i| {
                 let no = FrameNo(i);
                 let ftype = spec.gop.type_at(no);
-                let jitter = 1.0 + spec.size_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                let jitter = 1.0 + spec.size_jitter * (rng.gen_f64() * 2.0 - 1.0);
                 let size = (unit * type_weight(ftype) * jitter).max(64.0) as u32;
                 FrameMeta { no, ftype, size }
             })

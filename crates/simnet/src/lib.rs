@@ -81,6 +81,7 @@
 
 mod net;
 mod process;
+pub mod rng;
 pub mod rt;
 mod sim;
 mod stats;
@@ -88,6 +89,7 @@ mod time;
 
 pub use net::{Endpoint, LinkProfile, NodeId, Payload, Port};
 pub use process::{Context, Process, Timer, TimerId};
+pub use rng::SimRng;
 pub use sim::{DropReason, Simulation, TraceEvent};
 pub use stats::{ClassStats, NetStats};
 pub use time::SimTime;

@@ -13,9 +13,8 @@ use std::any::Any;
 use std::fmt;
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-
 use crate::net::{Endpoint, NodeId, Payload, Port};
+use crate::rng::SimRng;
 use crate::time::SimTime;
 
 /// Handle to a pending timer, returned by [`Context::set_timer_after`] and
@@ -104,7 +103,7 @@ pub(crate) enum Effect<M> {
 pub struct Context<'a, M: Payload> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut SimRng,
     pub(crate) effects: &'a mut Vec<Effect<M>>,
     pub(crate) next_timer_id: &'a mut u64,
 }
@@ -133,7 +132,7 @@ impl<M: Payload> Context<'_, M> {
     ///
     /// Draws are consumed in event order, so a fixed simulation seed yields a
     /// fully reproducible run.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 

@@ -17,11 +17,9 @@
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::net::{Endpoint, LinkProfile, NodeId, Payload};
 use crate::process::{AnyProcess, Context, Effect, Process, Timer, TimerId};
+use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::SimTime;
 
@@ -118,7 +116,7 @@ pub struct RealTimeRunner<M: Payload> {
     nodes: BTreeMap<NodeId, RtSlot<M>>,
     default_profile: LinkProfile,
     overrides: HashMap<(NodeId, NodeId), LinkProfile>,
-    rng: StdRng,
+    rng: SimRng,
     cancelled: HashSet<u64>,
     next_timer_id: u64,
     stats: NetStats,
@@ -145,7 +143,7 @@ impl<M: Payload> RealTimeRunner<M> {
             nodes: BTreeMap::new(),
             default_profile: LinkProfile::ideal(),
             overrides: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             cancelled: HashSet::new(),
             next_timer_id: 0,
             stats: NetStats::new(),
@@ -381,15 +379,15 @@ impl<M: Payload> RealTimeRunner<M> {
             .get(&(from.node, to.node))
             .unwrap_or(&self.default_profile)
             .clone();
-        if profile.loss > 0.0 && self.rng.gen::<f64>() < profile.loss {
+        if profile.loss > 0.0 && self.rng.gen_f64() < profile.loss {
             self.stats.class_mut(class).dropped_loss += 1;
             return;
         }
         let mut delay = profile.base_delay;
         if !profile.jitter.is_zero() {
-            delay += profile.jitter.mul_f64(self.rng.gen::<f64>());
+            delay += profile.jitter.mul_f64(self.rng.gen_f64());
         }
-        if profile.reorder > 0.0 && self.rng.gen::<f64>() < profile.reorder {
+        if profile.reorder > 0.0 && self.rng.gen_f64() < profile.reorder {
             delay += profile.reorder_extra;
         }
         let at = Instant::now() + delay;

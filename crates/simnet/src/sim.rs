@@ -10,11 +10,9 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::net::{Endpoint, LinkProfile, NodeId, Payload};
 use crate::process::{AnyProcess, Context, Effect, Process, Timer, TimerId};
+use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::SimTime;
 
@@ -236,7 +234,7 @@ pub struct Simulation<M: Payload> {
     overrides: HashMap<(NodeId, NodeId), LinkProfile>,
     blocked: HashSet<(NodeId, NodeId)>,
     egress_busy: HashMap<NodeId, SimTime>,
-    rng: StdRng,
+    rng: SimRng,
     cancelled: HashSet<u64>,
     next_timer_id: u64,
     stats: NetStats,
@@ -259,7 +257,7 @@ impl<M: Payload> Simulation<M> {
             overrides: HashMap::new(),
             blocked: HashSet::new(),
             egress_busy: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             cancelled: HashSet::new(),
             next_timer_id: 0,
             stats: NetStats::new(),
@@ -671,7 +669,7 @@ impl<M: Payload> Simulation<M> {
             .get(&(from.node, to.node))
             .unwrap_or(&self.default_profile)
             .clone();
-        if profile.loss > 0.0 && self.rng.gen::<f64>() < profile.loss {
+        if profile.loss > 0.0 && self.rng.gen_f64() < profile.loss {
             self.stats.class_mut(class).dropped_loss += 1;
             self.trace(TraceEvent::Dropped {
                 at,
@@ -690,7 +688,7 @@ impl<M: Payload> Simulation<M> {
             *busy = start + serialization;
             depart = *busy;
         }
-        let duplicate = profile.duplicate > 0.0 && self.rng.gen::<f64>() < profile.duplicate;
+        let duplicate = profile.duplicate > 0.0 && self.rng.gen_f64() < profile.duplicate;
         if duplicate {
             self.stats.class_mut(class).duplicated += 1;
             let delay = self.draw_delay(&profile);
@@ -722,9 +720,9 @@ impl<M: Payload> Simulation<M> {
     fn draw_delay(&mut self, profile: &LinkProfile) -> Duration {
         let mut delay = profile.base_delay;
         if !profile.jitter.is_zero() {
-            delay += profile.jitter.mul_f64(self.rng.gen::<f64>());
+            delay += profile.jitter.mul_f64(self.rng.gen_f64());
         }
-        if profile.reorder > 0.0 && self.rng.gen::<f64>() < profile.reorder {
+        if profile.reorder > 0.0 && self.rng.gen_f64() < profile.reorder {
             delay += profile.reorder_extra;
         }
         delay

@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo doc (no deps)"
+cargo doc --workspace --no-deps --quiet
+
 echo "all checks passed"

@@ -20,7 +20,19 @@
 //!   --crash T          crash the serving replica at T seconds (repeatable)
 //!   --shutdown T       gracefully detach the serving replica at T
 //!   --seed N           determinism seed             (default 42)
+//! ftvod-cli fleet [options]                 generated fleet workload with
+//!                                           dynamic replica management
+//!   --servers N        VoD servers                  (default 4)
+//!   --clients M        generated sessions           (default 96)
+//!   --movies K         catalog size                 (default 6)
+//!   --zipf S           popularity exponent          (default 1.1)
+//!   --cap C            admission cap per server     (default 3M/2N)
+//!   --seconds S        run length override
+//!   --static           disable the dynamic replica manager
+//!   --seed N           determinism seed             (default 42)
 //! ```
+//!
+//! Every subcommand also accepts `--help`/`-h`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -101,6 +113,128 @@ fn parse_custom(args: &[String]) -> Result<CustomOptions, String> {
         return Err("cannot remove every replica".to_owned());
     }
     Ok(opts)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FleetOptions {
+    servers: u32,
+    clients: u32,
+    movies: u32,
+    zipf: f64,
+    cap: Option<u32>,
+    seconds: Option<u64>,
+    dynamic: bool,
+    seed: u64,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            servers: 4,
+            clients: 96,
+            movies: 6,
+            zipf: 1.1,
+            cap: None,
+            seconds: None,
+            dynamic: true,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_fleet(args: &[String]) -> Result<FleetOptions, String> {
+    let mut opts = FleetOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--servers" => {
+                opts.servers = value("--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?
+            }
+            "--clients" => {
+                opts.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--movies" => {
+                opts.movies = value("--movies")?
+                    .parse()
+                    .map_err(|e| format!("--movies: {e}"))?
+            }
+            "--zipf" => {
+                opts.zipf = value("--zipf")?
+                    .parse()
+                    .map_err(|e| format!("--zipf: {e}"))?
+            }
+            "--cap" => opts.cap = Some(value("--cap")?.parse().map_err(|e| format!("--cap: {e}"))?),
+            "--seconds" => {
+                opts.seconds = Some(
+                    value("--seconds")?
+                        .parse()
+                        .map_err(|e| format!("--seconds: {e}"))?,
+                )
+            }
+            "--static" => opts.dynamic = false,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.servers == 0 || opts.clients == 0 || opts.movies == 0 {
+        return Err("need at least one server, one client and one movie".to_owned());
+    }
+    if !opts.zipf.is_finite() || opts.zipf < 0.0 {
+        return Err("--zipf must be a finite non-negative exponent".to_owned());
+    }
+    Ok(opts)
+}
+
+fn run_fleet(opts: &FleetOptions) {
+    let mut profile = FleetProfile::small_fleet();
+    profile.servers = opts.servers;
+    profile.clients = opts.clients;
+    profile.catalog_size = opts.movies;
+    profile.zipf_exponent = opts.zipf;
+    // Default cap: total fleet capacity is ~1.5x the offered load, so the
+    // fleet as a whole has room, but a single-copy hot movie still
+    // bottlenecks on its lone holder — the case dynamic replication fixes.
+    let cap = opts
+        .cap
+        .unwrap_or_else(|| (opts.clients * 3 / 2).div_ceil(opts.servers).max(1));
+    profile.sessions_per_server = Some(cap);
+    let replication = opts.dynamic.then(ReplicationConfig::paper_default);
+    let (mut builder, plan) = fleet_builder(&profile, opts.seed, replication);
+    builder.record_events(DEFAULT_EVENT_CAPACITY);
+    let end = opts
+        .seconds
+        .map_or_else(|| profile.run_until(), SimTime::from_secs);
+    println!(
+        "fleet: {} servers (cap {cap}), {} sessions over {} movies, zipf {:.2}, {} replication, seed {}",
+        profile.servers,
+        profile.clients,
+        profile.catalog_size,
+        profile.zipf_exponent,
+        if opts.dynamic { "dynamic" } else { "static" },
+        opts.seed,
+    );
+    let mut sim = builder.build();
+    sim.run_until(end);
+    let report = FleetReport::from_sim(&plan, &sim, end);
+    print!("{}", report.render());
+    if let Some(run) = sim.report() {
+        println!(
+            "replication: {} bring-up(s), {} retire(s)",
+            run.replica_bringups, run.replica_retires
+        );
+        println!("\n{}", run.summary_line());
+    }
 }
 
 fn profile_by_name(name: &str) -> Result<LinkProfile, String> {
@@ -284,24 +418,110 @@ fn exit_from(result: Result<(), String>) -> ExitCode {
     }
 }
 
+/// Per-subcommand usage text; anything else gets the overview.
+fn usage_for(topic: &str) -> &'static str {
+    match topic {
+        "lan" | "wan" => {
+            "usage: ftvod-cli <lan | wan> [--seed N]\n\n\
+             Run the paper's Figure 4 (lan) or Figure 5 (wan) scenario and\n\
+             print per-client statistics plus the run-report summary.\n\n\
+             options:\n\
+             \x20 --seed N     determinism seed (default 42)"
+        }
+        "trace" => {
+            "usage: ftvod-cli trace <lan | wan> [--seed N] [--out FILE]\n\n\
+             Run a preset scenario and export the cross-layer event stream\n\
+             as JSON Lines (stdout unless --out is given).\n\n\
+             options:\n\
+             \x20 --seed N     determinism seed (default 42)\n\
+             \x20 --out FILE   write the JSONL stream to FILE"
+        }
+        "report" => {
+            "usage: ftvod-cli report <lan | wan> [--seed N]\n\n\
+             Run a preset scenario and print the derived run report:\n\
+             takeover-latency breakdowns (view change + resume), delivery\n\
+             latency percentiles, glitch windows, replication decisions.\n\n\
+             options:\n\
+             \x20 --seed N     determinism seed (default 42)"
+        }
+        "custom" => {
+            "usage: ftvod-cli custom [options]\n\n\
+             Build your own deployment: N replicas serving one movie to M\n\
+             viewers, with crash and graceful-shutdown injections.\n\n\
+             options:\n\
+             \x20 --servers N    replicas at start                  (default 2)\n\
+             \x20 --clients M    viewers                            (default 1)\n\
+             \x20 --seconds S    how long to run                    (default 60)\n\
+             \x20 --profile P    lan | wan | wan-reserved           (default lan)\n\
+             \x20 --crash T      crash the serving replica at T (repeatable)\n\
+             \x20 --shutdown T   gracefully detach the serving replica at T\n\
+             \x20 --seed N       determinism seed                   (default 42)"
+        }
+        "fleet" => {
+            "usage: ftvod-cli fleet [options]\n\n\
+             Generate a deterministic fleet workload (Zipf popularity,\n\
+             Poisson arrivals, VCR mix, churn) and run it with demand-driven\n\
+             dynamic replica management. The same seed always produces the\n\
+             same report, byte for byte.\n\n\
+             options:\n\
+             \x20 --servers N    VoD servers                        (default 4)\n\
+             \x20 --clients M    generated sessions                 (default 96)\n\
+             \x20 --movies K     catalog size                       (default 6)\n\
+             \x20 --zipf S       popularity exponent                (default 1.1)\n\
+             \x20 --cap C        admission cap per server           (default 3M/2N)\n\
+             \x20 --seconds S    run length override (default: until the plan ends)\n\
+             \x20 --static       disable the dynamic replica manager\n\
+             \x20 --seed N       determinism seed                   (default 42)"
+        }
+        _ => {
+            "usage: ftvod-cli <command> [options]\n\n\
+             commands:\n\
+             \x20 lan | wan   the paper's Figure 4 / Figure 5 scenario\n\
+             \x20 trace       run a preset, export the event stream as JSONL\n\
+             \x20 report      run a preset, print the derived run report\n\
+             \x20 custom      build your own deployment (crashes, shutdowns)\n\
+             \x20 fleet       generated fleet workload with dynamic replication\n\n\
+             Run `ftvod-cli <command> --help` for the command's options."
+        }
+    }
+}
+
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some(which @ ("lan" | "wan")) => {
-            exit_from(seed_flag(&args).map(|seed| run_preset(which, seed)))
-        }
-        Some("trace") => exit_from(preset_name(&args[1..]).and_then(|which| {
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("{}", usage_for("overview"));
+        return ExitCode::FAILURE;
+    };
+    if matches!(cmd, "help" | "--help" | "-h") {
+        println!(
+            "{}",
+            usage_for(args.get(1).map_or("overview", String::as_str))
+        );
+        return ExitCode::SUCCESS;
+    }
+    if wants_help(&args[1..]) {
+        println!("{}", usage_for(cmd));
+        return ExitCode::SUCCESS;
+    }
+    match cmd {
+        "lan" | "wan" => exit_from(seed_flag(&args).map(|seed| run_preset(cmd, seed))),
+        "trace" => exit_from(preset_name(&args[1..]).and_then(|which| {
             let seed = seed_flag(&args)?;
             let out = out_flag(&args)?;
             run_trace(which, seed, out.as_deref())
         })),
-        Some("report") => exit_from(preset_name(&args[1..]).and_then(|which| {
+        "report" => exit_from(preset_name(&args[1..]).and_then(|which| {
             run_report(which, seed_flag(&args)?);
             Ok(())
         })),
-        Some("custom") => exit_from(parse_custom(&args[1..]).and_then(|opts| run_custom(&opts))),
-        _ => {
-            eprintln!("usage: ftvod-cli <lan | wan | trace | report | custom> [options]   (see --help in the source header)");
+        "custom" => exit_from(parse_custom(&args[1..]).and_then(|opts| run_custom(&opts))),
+        "fleet" => exit_from(parse_fleet(&args[1..]).map(|opts| run_fleet(&opts))),
+        other => {
+            eprintln!("unknown command \"{other}\"\n\n{}", usage_for("overview"));
             ExitCode::FAILURE
         }
     }
@@ -396,5 +616,71 @@ mod tests {
         assert!(profile_by_name("wan").is_ok());
         assert!(profile_by_name("wan-reserved").is_ok());
         assert!(profile_by_name("atm").is_err());
+    }
+
+    #[test]
+    fn fleet_defaults_parse() {
+        let opts = parse_fleet(&[]).unwrap();
+        assert_eq!(opts, FleetOptions::default());
+        assert!(opts.dynamic);
+    }
+
+    #[test]
+    fn fleet_full_flag_set_parses() {
+        let opts = parse_fleet(&strings(&[
+            "--servers",
+            "8",
+            "--clients",
+            "500",
+            "--movies",
+            "12",
+            "--zipf",
+            "1.3",
+            "--cap",
+            "40",
+            "--seconds",
+            "120",
+            "--static",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.servers, 8);
+        assert_eq!(opts.clients, 500);
+        assert_eq!(opts.movies, 12);
+        assert!((opts.zipf - 1.3).abs() < 1e-12);
+        assert_eq!(opts.cap, Some(40));
+        assert_eq!(opts.seconds, Some(120));
+        assert!(!opts.dynamic);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn fleet_rejects_bad_inputs() {
+        assert!(parse_fleet(&strings(&["--bogus"])).is_err());
+        assert!(parse_fleet(&strings(&["--servers", "0"])).is_err());
+        assert!(parse_fleet(&strings(&["--movies", "0"])).is_err());
+        assert!(parse_fleet(&strings(&["--zipf", "-1"])).is_err());
+        assert!(parse_fleet(&strings(&["--zipf", "nan"])).is_err());
+        assert!(parse_fleet(&strings(&["--cap"])).is_err());
+    }
+
+    #[test]
+    fn every_command_has_usage_text() {
+        for cmd in [
+            "lan", "wan", "trace", "report", "custom", "fleet", "overview",
+        ] {
+            let text = usage_for(cmd);
+            assert!(text.starts_with("usage:"), "{cmd} usage malformed");
+        }
+        assert!(usage_for("fleet").contains("--zipf"));
+        assert!(usage_for("overview").contains("fleet"));
+    }
+
+    #[test]
+    fn help_flags_are_detected() {
+        assert!(wants_help(&strings(&["--servers", "4", "--help"])));
+        assert!(wants_help(&strings(&["-h"])));
+        assert!(!wants_help(&strings(&["--servers", "4"])));
     }
 }

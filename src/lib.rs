@@ -79,11 +79,14 @@ pub mod vod {
 /// The most commonly needed names in one import.
 pub mod prelude {
     pub use ftvod_core::client::{ClientStats, VodClient, WatchRequest};
-    pub use ftvod_core::config::{ResumePolicy, TakeoverPolicy, VodConfig};
+    pub use ftvod_core::config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
     pub use ftvod_core::protocol::{ClientId, VodWire};
     pub use ftvod_core::scenario::{presets, ScenarioBuilder, VcrOp, VodSim};
     pub use ftvod_core::server::{Replica, VodServer};
     pub use ftvod_core::trace::{RunReport, TraceHandle, VodEvent, DEFAULT_EVENT_CAPACITY};
+    pub use ftvod_core::workload::{
+        fleet_builder, FleetPlan, FleetProfile, FleetReport, ZipfSampler,
+    };
     pub use media::{FrameNo, Movie, MovieId, MovieSpec};
     pub use simnet::{LinkProfile, NodeId, SimTime};
 }
