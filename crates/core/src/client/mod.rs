@@ -117,6 +117,9 @@ pub struct VodClient {
     stats: ClientStats,
     trace: TraceHandle,
     last_band: Band,
+    /// Highest frame number ever received, for gap detection. Reset on
+    /// seek (a jump the client asked for is not a service gap).
+    highest_frame: Option<FrameNo>,
     display_interval: Duration,
     display_started: bool,
     paused: bool,
@@ -170,6 +173,7 @@ impl VodClient {
             stats: ClientStats::default(),
             trace: TraceHandle::disabled(),
             last_band,
+            highest_frame: None,
             display_interval: Duration::from_secs_f64(1.0 / effective_fps),
             display_started: false,
             paused: false,
@@ -240,6 +244,7 @@ impl VodClient {
         self.buffer.reset_to(position);
         self.decoder.flush();
         self.ended = false;
+        self.highest_frame = None;
         self.send_vcr(ctx, VcrCmd::Seek(position));
     }
 
@@ -366,6 +371,24 @@ impl VodClient {
                 });
             }
             InsertOutcome::Accepted { evicted } => {
+                // Only accepted frames advance the gap tracker: a frame the
+                // buffer rejects as late is a stale leftover (in flight
+                // across a seek or a takeover) and says nothing about what
+                // the stream skipped.
+                let frame_no = pkt.frame.no;
+                match self.highest_frame {
+                    Some(highest) if frame_no.0 > highest.0 + 1 => {
+                        self.trace.emit(|| VodEvent::FrameGap {
+                            at: now,
+                            client,
+                            from_frame: highest,
+                            to_frame: frame_no,
+                        });
+                        self.highest_frame = Some(frame_no);
+                    }
+                    Some(highest) => self.highest_frame = Some(highest.max(frame_no)),
+                    None => self.highest_frame = Some(frame_no),
+                }
                 if let Some(evicted) = evicted {
                     // Counted in `skipped` when the feed passes over the
                     // evicted position, so only `overflow` records it here.

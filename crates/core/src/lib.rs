@@ -15,23 +15,32 @@
 //! * [`trace`] — the cross-layer event stream, JSONL export and derived
 //!   run reports (takeover-latency breakdowns, latency percentiles);
 //! * [`workload`] — the fleet workload engine: Zipf popularity, Poisson
-//!   arrivals, VCR mixes and churn, all from one seed.
+//!   arrivals, VCR mixes and churn, all from one seed;
+//! * [`chaos`] — seeded fault campaigns: crash/restart cycles, pairwise
+//!   partitions with heals, and correlated loss bursts from one seed;
+//! * [`oracle`] — the trace-driven safety oracle checking the paper's
+//!   invariants (exclusive service, bounded frame gaps, replica coverage,
+//!   repair within a bound) against any recorded run.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod metrics;
+pub mod oracle;
 pub mod protocol;
 pub mod scenario;
 pub mod server;
 pub mod trace;
 pub mod workload;
 
+pub use chaos::{ChaosFault, ChaosPlan, ChaosProfile};
 pub use client::{ClientStats, VodClient, WatchRequest};
 pub use config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
 pub use metrics::Histogram;
+pub use oracle::{OracleConfig, OracleReport, Verdict};
 pub use protocol::{ClientId, ControlPayload, DemandEntry, VideoPacket, VodWire};
 pub use scenario::{ScenarioBuilder, VcrOp, VodSim};
 pub use server::{Replica, ServerStats, VodServer};

@@ -1,0 +1,819 @@
+//! Trace-driven safety oracle: replays a recorded event stream and checks
+//! the paper's safety invariants, independently of the code that produced
+//! the behaviour.
+//!
+//! The oracle judges four invariants:
+//!
+//! 1. **Exclusive service** — after a convergence window, at most one
+//!    server transmits to a given client at a time (§5.2: the membership
+//!    protocol hands each session to exactly one replica). Overlaps whose
+//!    two servers were partitioned from each other are excused: with the
+//!    network split, *both* components legitimately believe they own the
+//!    client until the heal.
+//! 2. **Bounded frame gaps** — the frame-number sequence a client receives
+//!    may contain duplicates but never a forward jump larger than the
+//!    server sync skew allows (§6.1.1: "the clients may receive duplicate
+//!    frames, but no frames are skipped").
+//! 3. **Replica coverage** — while a movie has active viewers, at least
+//!    one live server holds it (modulo a grace window for takeovers).
+//! 4. **Re-served after failure** — every client whose serving server
+//!    crashed receives usable video again within a bound (§6: service
+//!    continues despite failures).
+//!
+//! Verdicts are three-valued: a [`Verdict::Fail`] is a genuine safety
+//! violation; [`Verdict::Inconclusive`] means the trace does not contain
+//! enough evidence either way (e.g. the run ended mid-repair, or the
+//! event ring evicted events). Only `Fail` makes [`OracleReport::pass`]
+//! false.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Duration;
+
+use media::MovieId;
+use simnet::{NodeId, SimTime};
+
+use crate::protocol::{ClientId, VcrCmd};
+use crate::trace::{DiscardKind, TraceRecorder, VodEvent};
+
+/// Tunable bounds of the oracle's invariants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleConfig {
+    /// How long two servers may *both* transmit to one client around a
+    /// handoff before the overlap counts as a violation (covers the view
+    /// change plus in-flight frames).
+    pub convergence: Duration,
+    /// Largest tolerated forward jump in the received frame sequence,
+    /// in missed frames. The paper bounds the resume-offset error by the
+    /// 500 ms sync interval; at 30 fps that is 15 frames — 45 gives the
+    /// conservative-takeover path three sync rounds of slack.
+    pub max_gap_frames: u64,
+    /// How quickly a client whose server crashed must receive usable
+    /// video again.
+    pub reserve_bound: Duration,
+    /// How long a watched movie may be without any live holder before
+    /// invariant 3 fires (covers detection plus replica bring-up).
+    pub coverage_grace: Duration,
+}
+
+impl OracleConfig {
+    /// Bounds matched to the paper's operating point (500 ms sync, 30 fps,
+    /// crash detection within seconds).
+    pub fn paper_default() -> Self {
+        OracleConfig {
+            convergence: Duration::from_secs(2),
+            max_gap_frames: 45,
+            reserve_bound: Duration::from_secs(10),
+            coverage_grace: Duration::from_secs(15),
+        }
+    }
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig::paper_default()
+    }
+}
+
+/// Outcome of one invariant check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// The invariant held throughout the trace.
+    Pass,
+    /// The invariant was violated; the detail names the first witness.
+    Fail(String),
+    /// The trace lacks the evidence to judge (truncated run, evicted
+    /// events). Not counted as a failure.
+    Inconclusive(String),
+}
+
+impl Verdict {
+    /// Whether this verdict is a genuine violation.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Verdict::Fail(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "pass"),
+            Verdict::Fail(detail) => write!(f, "FAIL: {detail}"),
+            Verdict::Inconclusive(detail) => write!(f, "inconclusive: {detail}"),
+        }
+    }
+}
+
+/// Per-invariant verdicts of one oracle pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleReport {
+    /// Invariant 1: at most one server per client (post-convergence).
+    pub exclusive_service: Verdict,
+    /// Invariant 2: no over-large forward jump in received frames.
+    pub bounded_gaps: Verdict,
+    /// Invariant 3: live replica coverage while a movie has viewers.
+    pub replica_coverage: Verdict,
+    /// Invariant 4: faulted clients re-served within the bound.
+    pub reserved_after_fault: Verdict,
+}
+
+impl OracleReport {
+    /// Whether no invariant failed (inconclusive verdicts count as pass).
+    pub fn pass(&self) -> bool {
+        !self.verdicts().iter().any(|(_, v)| v.is_fail())
+    }
+
+    /// The verdicts with their stable display names, in report order.
+    pub fn verdicts(&self) -> [(&'static str, &Verdict); 4] {
+        [
+            ("exclusive-service", &self.exclusive_service),
+            ("bounded-gaps", &self.bounded_gaps),
+            ("replica-coverage", &self.replica_coverage),
+            ("re-served-after-fault", &self.reserved_after_fault),
+        ]
+    }
+
+    /// Replays `recorder`'s event stream and judges every invariant.
+    pub fn check(recorder: &TraceRecorder, cfg: &OracleConfig) -> Self {
+        if recorder.dropped() > 0 {
+            let detail = format!(
+                "trace ring evicted {} event(s); verdicts would be unsound",
+                recorder.dropped()
+            );
+            return OracleReport {
+                exclusive_service: Verdict::Inconclusive(detail.clone()),
+                bounded_gaps: Verdict::Inconclusive(detail.clone()),
+                replica_coverage: Verdict::Inconclusive(detail.clone()),
+                reserved_after_fault: Verdict::Inconclusive(detail),
+            };
+        }
+        let trace_end = recorder
+            .events()
+            .map(VodEvent::at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let scan = Scan::run(recorder, trace_end);
+        OracleReport {
+            exclusive_service: scan.check_exclusive_service(cfg),
+            bounded_gaps: scan.check_bounded_gaps(cfg),
+            replica_coverage: scan.check_replica_coverage(cfg),
+            reserved_after_fault: scan.check_reserved_after_fault(cfg, trace_end),
+        }
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.pass() { "PASS" } else { "FAIL" };
+        writeln!(f, "  oracle: {verdict}")?;
+        for (name, v) in self.verdicts() {
+            writeln!(f, "    {name}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One closed transmission interval: `server` transmitted to the client
+/// over `[start, end)`.
+#[derive(Clone, Copy, Debug)]
+struct ServeSpan {
+    server: NodeId,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// Everything one linear pass over the trace extracts for the checks.
+#[derive(Debug, Default)]
+struct Scan {
+    /// Per-client transmission intervals (closed against crashes, stops
+    /// and the end of the trace).
+    spans: BTreeMap<ClientId, Vec<ServeSpan>>,
+    /// Cuts between unordered server pairs: `(a, b) -> [[from, to)]`.
+    cuts: BTreeMap<(NodeId, NodeId), Vec<(SimTime, SimTime)>>,
+    /// Frame-sequence jumps observed at clients.
+    gaps: Vec<(SimTime, ClientId, u64)>,
+    /// Crash events.
+    crashes: Vec<(SimTime, NodeId)>,
+    /// Where each client's video frames land (from `SessionStarted`).
+    client_nodes: BTreeMap<ClientId, NodeId>,
+    /// Video datagram arrival times per destination node.
+    video_arrivals: BTreeMap<NodeId, Vec<SimTime>>,
+    /// Late-discard times per client.
+    late_discards: BTreeMap<ClientId, Vec<SimTime>>,
+    /// When each client's session was over for good (server-side end,
+    /// client stop, or end of movie) — excuses for invariant 4.
+    session_over: BTreeMap<ClientId, SimTime>,
+    /// Windows during which some watched movie had no live holder:
+    /// `(movie, from, to)`.
+    uncovered: Vec<(MovieId, SimTime, SimTime)>,
+}
+
+impl Scan {
+    #[allow(clippy::too_many_lines)]
+    fn run(recorder: &TraceRecorder, trace_end: SimTime) -> Self {
+        let mut scan = Scan::default();
+        // Live state threaded through the chronological sweep.
+        let mut open_spans: BTreeMap<ClientId, BTreeMap<NodeId, SimTime>> = BTreeMap::new();
+        let mut open_cuts: BTreeMap<(NodeId, NodeId), SimTime> = BTreeMap::new();
+        let mut live: BTreeSet<NodeId> = BTreeSet::new();
+        let mut holders: BTreeMap<MovieId, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut viewers: BTreeMap<MovieId, BTreeSet<ClientId>> = BTreeMap::new();
+        let mut client_movie: BTreeMap<ClientId, MovieId> = BTreeMap::new();
+        let mut uncovered_since: BTreeMap<MovieId, SimTime> = BTreeMap::new();
+        let pair = |a: NodeId, b: NodeId| (a.min(b), a.max(b));
+        for event in recorder.events() {
+            let at = event.at();
+            match event {
+                VodEvent::NodeStarted { node, .. } | VodEvent::NodeRestarted { node, .. } => {
+                    live.insert(*node);
+                }
+                VodEvent::NodeCrashed { node, .. } => {
+                    live.remove(node);
+                    // The crash terminates whatever the node was serving.
+                    for (client, open) in &mut open_spans {
+                        if let Some(start) = open.remove(node) {
+                            scan.spans.entry(*client).or_default().push(ServeSpan {
+                                server: *node,
+                                start,
+                                end: at,
+                            });
+                        }
+                    }
+                    scan.crashes.push((at, *node));
+                }
+                VodEvent::Partitioned { a, b, .. } => {
+                    for &x in a {
+                        for &y in b {
+                            open_cuts.entry(pair(x, y)).or_insert(at);
+                        }
+                    }
+                }
+                VodEvent::Healed { a, b, .. } => {
+                    let heal_all = a.is_empty() && b.is_empty();
+                    let healed: Vec<(NodeId, NodeId)> = if heal_all {
+                        open_cuts.keys().copied().collect()
+                    } else {
+                        a.iter()
+                            .flat_map(|&x| b.iter().map(move |&y| pair(x, y)))
+                            .collect()
+                    };
+                    for key in healed {
+                        if let Some(from) = open_cuts.remove(&key) {
+                            scan.cuts.entry(key).or_default().push((from, at));
+                        }
+                    }
+                }
+                VodEvent::SessionStarted {
+                    server,
+                    client,
+                    client_node,
+                    movie,
+                    ..
+                } => {
+                    open_spans
+                        .entry(*client)
+                        .or_default()
+                        .entry(*server)
+                        .or_insert(at);
+                    // Transmitting proves the server is up, even if its
+                    // boot predates the recorded window.
+                    live.insert(*server);
+                    scan.client_nodes.insert(*client, *client_node);
+                    holders.entry(*movie).or_default().insert(*server);
+                    viewers.entry(*movie).or_default().insert(*client);
+                    client_movie.insert(*client, *movie);
+                    // A session (re)start supersedes an earlier "over".
+                    scan.session_over.remove(client);
+                }
+                VodEvent::SessionStopped { server, client, .. } => {
+                    if let Some(start) = open_spans
+                        .get_mut(client)
+                        .and_then(|open| open.remove(server))
+                    {
+                        scan.spans.entry(*client).or_default().push(ServeSpan {
+                            server: *server,
+                            start,
+                            end: at,
+                        });
+                    }
+                }
+                VodEvent::SessionEnded { server, client, .. } => {
+                    if let Some(start) = open_spans
+                        .get_mut(client)
+                        .and_then(|open| open.remove(server))
+                    {
+                        scan.spans.entry(*client).or_default().push(ServeSpan {
+                            server: *server,
+                            start,
+                            end: at,
+                        });
+                    }
+                    scan.session_over.entry(*client).or_insert(at);
+                    if let Some(movie) = client_movie.get(client) {
+                        if let Some(watching) = viewers.get_mut(movie) {
+                            watching.remove(client);
+                        }
+                    }
+                }
+                VodEvent::ReplicaBringUp { server, movie, .. } => {
+                    holders.entry(*movie).or_default().insert(*server);
+                }
+                VodEvent::ReplicaRetire { server, movie, .. } => {
+                    if let Some(set) = holders.get_mut(movie) {
+                        set.remove(server);
+                    }
+                }
+                VodEvent::FrameGap {
+                    client,
+                    from_frame,
+                    to_frame,
+                    ..
+                } => {
+                    let missed = to_frame.0.saturating_sub(from_frame.0).saturating_sub(1);
+                    scan.gaps.push((at, *client, missed));
+                }
+                VodEvent::NetDelivered { to, class, .. } if *class == "video" => {
+                    scan.video_arrivals.entry(to.node).or_default().push(at);
+                }
+                VodEvent::FrameDiscarded { client, kind, .. } => {
+                    if matches!(kind, DiscardKind::Late) {
+                        scan.late_discards.entry(*client).or_default().push(at);
+                    }
+                }
+                VodEvent::VcrIssued { client, cmd, .. } => {
+                    if matches!(cmd, VcrCmd::Stop) {
+                        scan.session_over.entry(*client).or_insert(at);
+                    }
+                }
+                VodEvent::MovieEnded { client, .. } => {
+                    scan.session_over.entry(*client).or_insert(at);
+                }
+                _ => {}
+            }
+            // Coverage transitions are re-evaluated after every event.
+            for (movie, watching) in &viewers {
+                let covered = watching.is_empty()
+                    || holders
+                        .get(movie)
+                        .is_some_and(|h| h.iter().any(|s| live.contains(s)));
+                if covered {
+                    if let Some(from) = uncovered_since.remove(movie) {
+                        scan.uncovered.push((*movie, from, at));
+                    }
+                } else {
+                    uncovered_since.entry(*movie).or_insert(at);
+                }
+            }
+        }
+        for (client, open) in open_spans {
+            for (server, start) in open {
+                scan.spans.entry(client).or_default().push(ServeSpan {
+                    server,
+                    start,
+                    end: trace_end,
+                });
+            }
+        }
+        for (key, from) in open_cuts {
+            scan.cuts.entry(key).or_default().push((from, trace_end));
+        }
+        for (movie, from) in uncovered_since {
+            scan.uncovered.push((movie, from, trace_end));
+        }
+        scan
+    }
+
+    /// Whether servers `a` and `b` were partitioned from each other at any
+    /// point during `[from, to)`.
+    fn partitioned_during(&self, a: NodeId, b: NodeId, from: SimTime, to: SimTime) -> bool {
+        let key = (a.min(b), a.max(b));
+        self.cuts
+            .get(&key)
+            .is_some_and(|cuts| cuts.iter().any(|&(s, e)| s < to && from < e))
+    }
+
+    fn check_exclusive_service(&self, cfg: &OracleConfig) -> Verdict {
+        for (client, spans) in &self.spans {
+            for (i, x) in spans.iter().enumerate() {
+                for y in &spans[i + 1..] {
+                    if x.server == y.server {
+                        continue;
+                    }
+                    let from = x.start.max(y.start);
+                    let to = x.end.min(y.end);
+                    if to.saturating_since(from) <= cfg.convergence {
+                        continue;
+                    }
+                    if self.partitioned_during(x.server, y.server, from, to) {
+                        // Both partition components legitimately serve the
+                        // client until the heal reconciles them.
+                        continue;
+                    }
+                    return Verdict::Fail(format!(
+                        "{client} served by {} and {} concurrently for {}us (from {}us)",
+                        x.server,
+                        y.server,
+                        to.saturating_since(from).as_micros(),
+                        from.as_micros()
+                    ));
+                }
+            }
+        }
+        Verdict::Pass
+    }
+
+    fn check_bounded_gaps(&self, cfg: &OracleConfig) -> Verdict {
+        for &(at, client, missed) in &self.gaps {
+            if missed <= cfg.max_gap_frames {
+                continue;
+            }
+            if self.double_served_across_cut(client, at) {
+                // Two partition components each stream their own position
+                // to the client, and the interleaving can jump arbitrarily
+                // even though neither stream skips a frame. The paper's
+                // no-skip guarantee is per-stream until the heal
+                // reconciles ownership, so such jumps are excused — the
+                // same excuse exclusive service grants a split fleet.
+                continue;
+            }
+            return Verdict::Fail(format!(
+                "{client} skipped {missed} frame(s) at {}us (bound {})",
+                at.as_micros(),
+                cfg.max_gap_frames
+            ));
+        }
+        Verdict::Pass
+    }
+
+    /// Whether `client` was, at instant `at`, inside two transmission
+    /// spans from servers that were partitioned from each other during
+    /// the spans' overlap.
+    fn double_served_across_cut(&self, client: ClientId, at: SimTime) -> bool {
+        let Some(spans) = self.spans.get(&client) else {
+            return false;
+        };
+        let covering: Vec<&ServeSpan> = spans
+            .iter()
+            .filter(|s| s.start <= at && at < s.end)
+            .collect();
+        covering.iter().enumerate().any(|(i, x)| {
+            covering[i + 1..].iter().any(|y| {
+                x.server != y.server
+                    && self.partitioned_during(
+                        x.server,
+                        y.server,
+                        x.start.max(y.start),
+                        x.end.min(y.end),
+                    )
+            })
+        })
+    }
+
+    fn check_replica_coverage(&self, cfg: &OracleConfig) -> Verdict {
+        for &(movie, from, to) in &self.uncovered {
+            let span = to.saturating_since(from);
+            if span > cfg.coverage_grace {
+                return Verdict::Fail(format!(
+                    "{movie} had viewers but no live holder for {}us from {}us (grace {}us)",
+                    span.as_micros(),
+                    from.as_micros(),
+                    cfg.coverage_grace.as_micros()
+                ));
+            }
+        }
+        Verdict::Pass
+    }
+
+    /// The repair deadline for a crash at `crash_at`, re-based past every
+    /// later disruption that begins before the then-current deadline. A
+    /// compounding fault — another server crashing, or a partition cutting
+    /// the fleet mid-repair — can legitimately take out the very replica
+    /// that was about to take over, so each overlapping disruption re-arms
+    /// the bound from the moment it clears (a cut's heal, a crash itself).
+    fn rebased_deadline(&self, crash_at: SimTime, cfg: &OracleConfig) -> SimTime {
+        // (begins, clears) per disruption, swept in chronological order.
+        let mut disruptions: Vec<(SimTime, SimTime)> = Vec::new();
+        for &(at, _) in &self.crashes {
+            if at > crash_at {
+                disruptions.push((at, at));
+            }
+        }
+        for cuts in self.cuts.values() {
+            for &(begins, clears) in cuts {
+                if clears > crash_at {
+                    disruptions.push((begins.max(crash_at), clears));
+                }
+            }
+        }
+        disruptions.sort();
+        let mut deadline = crash_at + cfg.reserve_bound;
+        for (begins, clears) in disruptions {
+            if begins <= deadline {
+                deadline = deadline.max(clears + cfg.reserve_bound);
+            }
+        }
+        deadline
+    }
+
+    fn check_reserved_after_fault(&self, cfg: &OracleConfig, trace_end: SimTime) -> Verdict {
+        for &(crash_at, node) in &self.crashes {
+            let deadline = self.rebased_deadline(crash_at, cfg);
+            for (client, spans) in &self.spans {
+                let affected = spans
+                    .iter()
+                    .any(|s| s.server == node && s.start < crash_at && s.end >= crash_at);
+                if !affected {
+                    continue;
+                }
+                // A session that was over anyway needs no repair.
+                if self
+                    .session_over
+                    .get(client)
+                    .is_some_and(|&over| over <= deadline)
+                {
+                    continue;
+                }
+                let served = self.usable_frames_in(*client, crash_at, deadline) > 0;
+                if served {
+                    continue;
+                }
+                if trace_end < deadline {
+                    return Verdict::Inconclusive(format!(
+                        "trace ends {}us before {client}'s repair deadline ({} crash at {}us)",
+                        deadline.saturating_since(trace_end).as_micros(),
+                        node,
+                        crash_at.as_micros()
+                    ));
+                }
+                return Verdict::Fail(format!(
+                    "{client} not re-served by {}us after {} crashed at {}us \
+                     (bound {}us, re-based past overlapping faults)",
+                    deadline.as_micros(),
+                    node,
+                    crash_at.as_micros(),
+                    cfg.reserve_bound.as_micros()
+                ));
+            }
+        }
+        Verdict::Pass
+    }
+
+    /// Usable (non-late) video frames that reached `client` in `(from,
+    /// to]`: arrivals at its node minus its late discards in the window.
+    fn usable_frames_in(&self, client: ClientId, from: SimTime, to: SimTime) -> u64 {
+        let Some(&node) = self.client_nodes.get(&client) else {
+            return 0;
+        };
+        let arrivals = self
+            .video_arrivals
+            .get(&node)
+            .map_or(0, |ts| ts.iter().filter(|&&t| t > from && t <= to).count());
+        let late = self
+            .late_discards
+            .get(&client)
+            .map_or(0, |ts| ts.iter().filter(|&&t| t > from && t <= to).count());
+        (arrivals as u64).saturating_sub(late as u64)
+    }
+}
+
+/// Renders the four verdicts as one stable summary token, e.g.
+/// `"PASS"` or `"FAIL[exclusive-service,re-served-after-fault]"`.
+pub fn summary_token(report: &OracleReport) -> String {
+    if report.pass() {
+        "PASS".to_owned()
+    } else {
+        let failed: Vec<&str> = report
+            .verdicts()
+            .iter()
+            .filter(|(_, v)| v.is_fail())
+            .map(|(name, _)| *name)
+            .collect();
+        let mut out = String::from("FAIL[");
+        out.push_str(&failed.join(","));
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media::FrameNo;
+    use simnet::{Endpoint, Port};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn recorder(events: Vec<VodEvent>) -> TraceRecorder {
+        let mut rec = TraceRecorder::new(1 << 12);
+        for e in events {
+            rec.push(e);
+        }
+        rec
+    }
+
+    fn started(at: f64, server: u32, client: u32) -> VodEvent {
+        VodEvent::SessionStarted {
+            at: t(at),
+            server: NodeId(server),
+            client: ClientId(client),
+            client_node: NodeId(100 + client),
+            movie: MovieId(1),
+            resume_frame: FrameNo(0),
+        }
+    }
+
+    fn stopped(at: f64, server: u32, client: u32) -> VodEvent {
+        VodEvent::SessionStopped {
+            at: t(at),
+            server: NodeId(server),
+            client: ClientId(client),
+        }
+    }
+
+    #[test]
+    fn clean_handoff_passes_all_invariants() {
+        let report = OracleReport::check(
+            &recorder(vec![
+                VodEvent::NodeStarted {
+                    at: t(0.0),
+                    node: NodeId(1),
+                },
+                VodEvent::NodeStarted {
+                    at: t(0.0),
+                    node: NodeId(2),
+                },
+                started(1.0, 1, 7),
+                stopped(20.0, 1, 7),
+                started(20.5, 2, 7),
+                VodEvent::SessionEnded {
+                    at: t(40.0),
+                    server: NodeId(2),
+                    client: ClientId(7),
+                },
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert!(report.pass(), "{report}");
+        assert_eq!(report.exclusive_service, Verdict::Pass);
+    }
+
+    #[test]
+    fn long_double_service_fails_exclusivity() {
+        let report = OracleReport::check(
+            &recorder(vec![
+                started(1.0, 1, 7),
+                started(2.0, 2, 7),
+                stopped(30.0, 1, 7),
+                stopped(31.0, 2, 7),
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert!(report.exclusive_service.is_fail(), "{report}");
+        assert!(!report.pass());
+        assert_eq!(summary_token(&report), "FAIL[exclusive-service]");
+    }
+
+    #[test]
+    fn partition_excuses_double_service() {
+        let report = OracleReport::check(
+            &recorder(vec![
+                started(1.0, 1, 7),
+                VodEvent::Partitioned {
+                    at: t(1.5),
+                    a: vec![NodeId(1)],
+                    b: vec![NodeId(2), NodeId(100 + 7)],
+                },
+                started(2.0, 2, 7),
+                VodEvent::Healed {
+                    at: t(30.0),
+                    a: vec![NodeId(1)],
+                    b: vec![NodeId(2), NodeId(100 + 7)],
+                },
+                stopped(30.1, 1, 7),
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert_eq!(report.exclusive_service, Verdict::Pass, "{report}");
+    }
+
+    #[test]
+    fn oversized_frame_jump_fails_bounded_gaps() {
+        let report = OracleReport::check(
+            &recorder(vec![VodEvent::FrameGap {
+                at: t(5.0),
+                client: ClientId(3),
+                from_frame: FrameNo(100),
+                to_frame: FrameNo(400),
+            }]),
+            &OracleConfig::paper_default(),
+        );
+        assert!(report.bounded_gaps.is_fail());
+        // A within-bound jump passes.
+        let small = OracleReport::check(
+            &recorder(vec![VodEvent::FrameGap {
+                at: t(5.0),
+                client: ClientId(3),
+                from_frame: FrameNo(100),
+                to_frame: FrameNo(110),
+            }]),
+            &OracleConfig::paper_default(),
+        );
+        assert_eq!(small.bounded_gaps, Verdict::Pass);
+    }
+
+    #[test]
+    fn losing_every_holder_fails_coverage() {
+        let mut events = vec![
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(1),
+            },
+            started(1.0, 1, 7),
+            VodEvent::NodeCrashed {
+                at: t(5.0),
+                node: NodeId(1),
+            },
+        ];
+        // Pad the trace far past the grace window so the uncovered span is
+        // closed at a late trace end.
+        events.push(VodEvent::FrameGap {
+            at: t(60.0),
+            client: ClientId(7),
+            from_frame: FrameNo(0),
+            to_frame: FrameNo(1),
+        });
+        let report = OracleReport::check(&recorder(events), &OracleConfig::paper_default());
+        assert!(report.replica_coverage.is_fail(), "{report}");
+    }
+
+    #[test]
+    fn unrepaired_crash_fails_reserved_and_truncated_trace_is_inconclusive() {
+        let base = vec![
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(1),
+            },
+            started(1.0, 1, 7),
+            VodEvent::NodeCrashed {
+                at: t(5.0),
+                node: NodeId(1),
+            },
+        ];
+        // Trace ends before the deadline: inconclusive, still passes.
+        let short = OracleReport::check(&recorder(base.clone()), &OracleConfig::paper_default());
+        assert!(matches!(
+            short.reserved_after_fault,
+            Verdict::Inconclusive(_)
+        ));
+        assert!(short.pass());
+        // Trace extends past the deadline with no delivery: fail.
+        let mut long = base.clone();
+        long.push(VodEvent::FrameGap {
+            at: t(60.0),
+            client: ClientId(7),
+            from_frame: FrameNo(0),
+            to_frame: FrameNo(1),
+        });
+        let report = OracleReport::check(&recorder(long), &OracleConfig::paper_default());
+        assert!(report.reserved_after_fault.is_fail(), "{report}");
+        // A timely video delivery to the client's node repairs it.
+        let mut repaired = base;
+        repaired.push(VodEvent::NetDelivered {
+            at: t(9.0),
+            sent_at: t(8.9),
+            from: Endpoint::new(NodeId(2), Port(1)),
+            to: Endpoint::new(NodeId(107), Port(1)),
+            class: "video",
+        });
+        repaired.push(VodEvent::FrameGap {
+            at: t(60.0),
+            client: ClientId(7),
+            from_frame: FrameNo(0),
+            to_frame: FrameNo(1),
+        });
+        let report = OracleReport::check(&recorder(repaired), &OracleConfig::paper_default());
+        assert_eq!(report.reserved_after_fault, Verdict::Pass, "{report}");
+    }
+
+    #[test]
+    fn evicted_events_make_everything_inconclusive() {
+        let mut rec = TraceRecorder::new(1);
+        rec.push(started(1.0, 1, 7));
+        rec.push(started(2.0, 2, 7));
+        assert!(rec.dropped() > 0);
+        let report = OracleReport::check(&rec, &OracleConfig::paper_default());
+        assert!(report.pass());
+        assert!(matches!(report.exclusive_service, Verdict::Inconclusive(_)));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let report = OracleReport::check(&recorder(vec![]), &OracleConfig::paper_default());
+        let text = format!("{report}");
+        assert!(text.contains("oracle: PASS"));
+        assert!(text.contains("exclusive-service: pass"));
+        assert_eq!(text, format!("{report}"));
+    }
+}

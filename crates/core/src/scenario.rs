@@ -88,9 +88,12 @@ pub struct ScenarioBuilder {
     initial_servers: BTreeSet<NodeId>,
     late_servers: Vec<(SimTime, NodeId)>,
     crashes: Vec<(SimTime, NodeId)>,
+    restarts: Vec<(SimTime, NodeId)>,
     shutdowns: Vec<(SimTime, NodeId)>,
     partitions: Vec<(SimTime, Vec<NodeId>, Vec<NodeId>)>,
     heals: Vec<SimTime>,
+    pair_heals: Vec<(SimTime, Vec<NodeId>, Vec<NodeId>)>,
+    profile_changes: Vec<(SimTime, LinkProfile)>,
     clients: Vec<ClientSetup>,
     script: Vec<(SimTime, Scripted)>,
     event_capacity: Option<usize>,
@@ -109,9 +112,12 @@ impl ScenarioBuilder {
             initial_servers: BTreeSet::new(),
             late_servers: Vec::new(),
             crashes: Vec::new(),
+            restarts: Vec::new(),
             shutdowns: Vec::new(),
             partitions: Vec::new(),
             heals: Vec::new(),
+            pair_heals: Vec::new(),
+            profile_changes: Vec::new(),
             clients: Vec::new(),
             script: Vec::new(),
             event_capacity: None,
@@ -168,6 +174,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Restarts a previously crashed server at `at` with a *fresh*
+    /// process (a reboot loses all volatile memory). The replacement
+    /// rejoins the server group and its movie groups instead of creating
+    /// them, re-learns per-client state from the survivors' periodic sync
+    /// and receives clients back through the deterministic redistribution
+    /// (paper §5.2). The node must have been crashed before `at`.
+    pub fn restart_at(&mut self, at: SimTime, node: NodeId) -> &mut Self {
+        self.server_universe.insert(node);
+        self.restarts.push((at, node));
+        self
+    }
+
     /// Gracefully detaches a server at `at` (planned maintenance: the
     /// handoff happens without waiting for failure detection).
     pub fn shutdown_at(&mut self, at: SimTime, node: NodeId) -> &mut Self {
@@ -184,6 +202,21 @@ impl ScenarioBuilder {
     /// Heals all partitions at `at`.
     pub fn heal_all_at(&mut self, at: SimTime) -> &mut Self {
         self.heals.push(at);
+        self
+    }
+
+    /// Heals only the partition between `a` and `b` at `at`, leaving any
+    /// other cuts in place (needed when faults overlap).
+    pub fn heal_at(&mut self, at: SimTime, a: &[NodeId], b: &[NodeId]) -> &mut Self {
+        self.pair_heals.push((at, a.to_vec(), b.to_vec()));
+        self
+    }
+
+    /// Replaces the default link profile at `at` mid-run (scripted
+    /// degradations: loss/jitter bursts and their later restoration).
+    /// Per-link overrides are unaffected.
+    pub fn network_at(&mut self, at: SimTime, profile: LinkProfile) -> &mut Self {
+        self.profile_changes.push((at, profile));
         self
     }
 
@@ -281,11 +314,27 @@ impl ScenarioBuilder {
         for &(at, node) in &self.crashes {
             sim.crash_at(at, node);
         }
+        for &(at, node) in &self.restarts {
+            sim.restart_at(
+                at,
+                node,
+                VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
+                    .with_catalog(catalog.iter().cloned())
+                    .with_trace(trace.clone())
+                    .with_rejoin(),
+            );
+        }
         for (at, a, b) in &self.partitions {
             sim.partition_at(*at, a, b);
         }
         for &at in &self.heals {
             sim.heal_all_at(at);
+        }
+        for (at, a, b) in &self.pair_heals {
+            sim.heal_at(*at, a, b);
+        }
+        for (at, profile) in &self.profile_changes {
+            sim.set_default_profile_at(*at, profile.clone());
         }
         let mut client_nodes = BTreeMap::new();
         for setup in &self.clients {

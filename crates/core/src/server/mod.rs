@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use gcs::{GcsEvent, GcsNode, GroupId, View};
 use media::{Movie, MovieId, QualityFilter};
-use simnet::{Context, Endpoint, NodeId, Process, Timer, TimerId};
+use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer, TimerId};
 
 use crate::config::{ResumePolicy, TakeoverPolicy, VodConfig};
 use crate::metrics::{Cumulative, TimeSeries};
@@ -35,6 +35,12 @@ use crate::trace::{TraceHandle, VodEvent};
 /// Sentinel owner for clients admitted to no server (admission control):
 /// deterministic across replicas, never a real node id.
 pub const UNSERVED: NodeId = NodeId(u32::MAX);
+
+/// How long an unanswered OPEN for an un-held movie counts as live
+/// demand in the orphan-rescue election. Clients retry every two
+/// seconds, so a healthy waiting client refreshes its entry well within
+/// this window; anything older is a viewer that gave up or got served.
+const ORPHAN_OPEN_TTL: Duration = Duration::from_secs(5);
 
 /// Timer tags (low byte = kind, high bits = client/movie id).
 mod tag {
@@ -156,6 +162,15 @@ pub struct VodServer {
     cold_streak: BTreeMap<MovieId, u32>,
     cooldown: BTreeMap<MovieId, u32>,
     last_replicas: BTreeMap<MovieId, u32>,
+    /// Recent client OPENs for movies this server does not hold, keyed
+    /// by movie then client. Feeds the orphan-rescue path of the replica
+    /// manager: a movie with waiting viewers but no live holder is
+    /// re-created from the catalog instead of waiting out the crashed
+    /// holder's restart.
+    orphan_opens: BTreeMap<MovieId, BTreeMap<ClientId, SimTime>>,
+    /// True when this process replaces a crashed instance: on start it
+    /// always *joins* existing groups rather than creating them.
+    rejoin: bool,
 }
 
 impl std::fmt::Debug for VodServer {
@@ -216,7 +231,23 @@ impl VodServer {
             cold_streak: BTreeMap::new(),
             cooldown: BTreeMap::new(),
             last_replicas: BTreeMap::new(),
+            orphan_opens: BTreeMap::new(),
+            rejoin: false,
         }
+    }
+
+    /// Marks this process as a post-crash replacement (paper §5.2: a
+    /// repaired server re-merges with the operational servers). On start
+    /// it joins the server group and its movie groups instead of racing
+    /// to create them; the view-synchronous merge then delivers it the
+    /// current membership, and the next periodic state exchange plus the
+    /// deterministic client redistribution hand it back its share of the
+    /// load. Per-client state is *not* carried over — a reboot loses
+    /// volatile memory — so everything it serves is re-learned from the
+    /// surviving replicas' sync messages.
+    pub fn with_rejoin(mut self) -> Self {
+        self.rejoin = true;
+        self
     }
 
     /// Extends the catalog of movies this server can bring up on demand.
@@ -411,7 +442,15 @@ impl VodServer {
         payload: ControlPayload,
     ) {
         match payload {
-            ControlPayload::Open(open) => self.on_open(ctx, open),
+            ControlPayload::Open(open) => {
+                if self.cfg.replication.is_some() && !self.movies.contains_key(&open.movie) {
+                    self.orphan_opens
+                        .entry(open.movie)
+                        .or_default()
+                        .insert(open.client, ctx.now());
+                }
+                self.on_open(ctx, open);
+            }
             ControlPayload::Sync {
                 server,
                 movie,
@@ -1136,6 +1175,40 @@ impl VodServer {
                 }
             }
         }
+        // Orphan rescue: a movie with waiting viewers but no live holder
+        // cannot wait out the hot/cold hysteresis — nobody is left to
+        // report demand for it. Every OPEN is multicast to the whole
+        // server group, so all live servers observe the same orphans and
+        // run the same election (least-loaded, ties to lowest id); the
+        // winner re-creates the replica from the catalog immediately.
+        let now = ctx.now();
+        let rescues: Vec<(MovieId, u32)> = self
+            .orphan_opens
+            .iter()
+            .map(|(&movie, clients)| {
+                let waiting = clients
+                    .values()
+                    .filter(|&&at| now.saturating_since(at) < ORPHAN_OPEN_TTL)
+                    .count() as u32;
+                (movie, waiting)
+            })
+            .filter(|&(movie, waiting)| {
+                waiting > 0 && !agg.contains_key(&movie) && !self.movies.contains_key(&movie)
+            })
+            .collect();
+        self.orphan_opens
+            .retain(|&movie, _| rescues.iter().any(|&(m, _)| m == movie));
+        for (movie, waiting) in rescues {
+            let candidate = live
+                .iter()
+                .min_by_key(|&&n| (load.get(&n).copied().unwrap_or(0), n.0))
+                .copied();
+            if candidate == Some(self.node) {
+                self.bring_up(ctx, movie, waiting, 1, &[]);
+                self.orphan_opens.remove(&movie);
+                self.cooldown.insert(movie, policy.cooldown_ticks);
+            }
+        }
     }
 
     /// Joins `movie`'s group as a fresh replica. The resulting view change
@@ -1276,14 +1349,18 @@ impl Process<VodWire> for VodServer {
             .collect();
         for (movie_id, holders) in movie_ids {
             let group = movie_group(movie_id);
-            if holders.iter().min() == Some(&self.node) {
+            // A rejoining replacement never races to *create* a group the
+            // survivors already run: it joins, and `join`'s singleton
+            // fallback plus the coordinator merge cover the case where it
+            // really is alone.
+            if !self.rejoin && holders.iter().min() == Some(&self.node) {
                 let events = self.gcs.create_group(group);
                 self.handle_events(ctx, events);
             } else {
                 self.gcs.join(ctx, group, &holders);
             }
         }
-        if self.servers.iter().copied().min() == Some(self.node) {
+        if !self.rejoin && self.servers.iter().copied().min() == Some(self.node) {
             let events = self.gcs.create_group(SERVER_GROUP);
             self.handle_events(ctx, events);
         } else {

@@ -122,6 +122,14 @@ pub enum VodEvent {
         /// The node.
         node: NodeId,
     },
+    /// A previously crashed node booted again with a fresh process (the
+    /// repair side of a crash/repair cycle).
+    NodeRestarted {
+        /// When it rebooted.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
     /// A network partition came up.
     Partitioned {
         /// When it took effect.
@@ -382,6 +390,22 @@ pub enum VodEvent {
         /// Why it was discarded.
         kind: DiscardKind,
     },
+    /// The received frame-number sequence jumped forward past at least one
+    /// frame the client never saw. Duplicates and reordering within the
+    /// buffer window do *not* produce this event — only a frame arriving
+    /// beyond `highest seen + 1`. The safety oracle checks these jumps
+    /// against the sync-skew bound (paper §6.1.1: duplicates allowed,
+    /// gaps bounded by the 500 ms skew).
+    FrameGap {
+        /// When the jump was observed.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// Highest frame number received before the jump.
+        from_frame: FrameNo,
+        /// The frame number that arrived next.
+        to_frame: FrameNo,
+    },
     /// The client issued a VCR command.
     VcrIssued {
         /// When the command was sent.
@@ -428,6 +452,7 @@ impl VodEvent {
             | VodEvent::NetDropped { at, .. }
             | VodEvent::NodeStarted { at, .. }
             | VodEvent::NodeCrashed { at, .. }
+            | VodEvent::NodeRestarted { at, .. }
             | VodEvent::Partitioned { at, .. }
             | VodEvent::Healed { at, .. }
             | VodEvent::Suspected { at, .. }
@@ -451,6 +476,7 @@ impl VodEvent {
             | VodEvent::BandChanged { at, .. }
             | VodEvent::EmergencyRequested { at, .. }
             | VodEvent::FrameDiscarded { at, .. }
+            | VodEvent::FrameGap { at, .. }
             | VodEvent::VcrIssued { at, .. }
             | VodEvent::MovieEnded { at, .. } => at,
         }
@@ -503,6 +529,10 @@ impl VodEvent {
                 node: *node,
             },
             TraceEvent::NodeCrashed { at, node } => VodEvent::NodeCrashed {
+                at: *at,
+                node: *node,
+            },
+            TraceEvent::NodeRestarted { at, node } => VodEvent::NodeRestarted {
                 at: *at,
                 node: *node,
             },
@@ -603,6 +633,9 @@ impl VodEvent {
             }
             VodEvent::NodeCrashed { node, .. } => {
                 let _ = write!(out, ",\"ev\":\"node_crashed\",\"node\":{}", node.0);
+            }
+            VodEvent::NodeRestarted { node, .. } => {
+                let _ = write!(out, ",\"ev\":\"node_restarted\",\"node\":{}", node.0);
             }
             VodEvent::Partitioned { a, b, .. } => {
                 out.push_str(",\"ev\":\"partitioned\",\"a\":");
@@ -827,6 +860,18 @@ impl VodEvent {
                     frame.0,
                     frame_type_name(*ftype),
                     kind.name()
+                );
+            }
+            VodEvent::FrameGap {
+                client,
+                from_frame,
+                to_frame,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"frame_gap\",\"client\":{},\"from_frame\":{},\"to_frame\":{}",
+                    client.0, from_frame.0, to_frame.0
                 );
             }
             VodEvent::VcrIssued { client, cmd, .. } => {
@@ -1063,6 +1108,9 @@ pub struct RunReport {
     pub events_seen: u64,
     /// Events evicted from the ring buffer before the report ran.
     pub events_dropped: u64,
+    /// Safety-oracle verdicts, when an oracle pass ran over the same
+    /// trace (see [`crate::oracle`]). `None` for plain reports.
+    pub oracle: Option<crate::oracle::OracleReport>,
 }
 
 impl RunReport {
@@ -1338,7 +1386,11 @@ impl fmt::Display for RunReport {
             f,
             "  gcs: {} suspicion(s), {} view(s) installed",
             self.suspicions, self.views_installed
-        )
+        )?;
+        if let Some(oracle) = &self.oracle {
+            write!(f, "{oracle}")?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,246 @@
+//! Chaos-engine integration tests: crashed servers restart and rejoin,
+//! faults that overlap partitions reconverge after the heal, and the
+//! trace-driven safety oracle tells a healthy fleet from a broken one.
+
+use std::time::Duration;
+
+use ftvod_core::chaos::{ChaosPlan, ChaosProfile};
+use ftvod_core::config::{ReplicationConfig, VodConfig};
+use ftvod_core::oracle::{OracleConfig, OracleReport};
+use ftvod_core::protocol::ClientId;
+use ftvod_core::scenario::ScenarioBuilder;
+use ftvod_core::server::VodServer;
+use ftvod_core::trace::{VodEvent, DEFAULT_EVENT_CAPACITY};
+use ftvod_core::workload::{fleet_builder, FleetProfile};
+use media::{Movie, MovieId, MovieSpec};
+use simnet::{LinkProfile, NodeId, SimTime};
+
+fn two_hour_movie(id: u32) -> Movie {
+    Movie::generate(
+        MovieId(id),
+        &MovieSpec::paper_default().with_duration(Duration::from_secs(7200)),
+    )
+}
+
+/// The tentpole end to end: a server crashes mid-service, its clients are
+/// taken over by the survivor, and the *restarted* replacement rejoins the
+/// server and movie groups and receives clients back through the
+/// deterministic redistribution — proven by the trace (a `NodeRestarted`
+/// event, a post-restart `SessionStarted` on the restarted node) and by
+/// video frames flowing from the restarted node afterwards.
+#[test]
+fn restarted_server_rejoins_groups_and_serves_redistributed_clients() {
+    let servers = [NodeId(1), NodeId(2)];
+    let crash = SimTime::from_secs(10);
+    let restart = SimTime::from_secs(20);
+    let mut builder = ScenarioBuilder::new(11);
+    builder
+        .record_events(DEFAULT_EVENT_CAPACITY)
+        .movie(two_hour_movie(1), &servers)
+        .server(NodeId(1))
+        .server(NodeId(2))
+        .crash_at(crash, NodeId(1))
+        .restart_at(restart, NodeId(1));
+    for c in 1..=4u32 {
+        builder.client(
+            ClientId(c),
+            NodeId(100 + c),
+            MovieId(1),
+            SimTime::from_secs_f64(1.0 + 0.2 * f64::from(c)),
+        );
+    }
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(40));
+
+    // The restart is recorded, and the replacement is alive at the end.
+    let (restarted_at, post_restart_session, post_restart_video) = sim
+        .trace()
+        .with_recorder(|rec| {
+            let restarted_at = rec.events().find_map(|e| match e {
+                VodEvent::NodeRestarted { at, node } if *node == NodeId(1) => Some(*at),
+                _ => None,
+            });
+            let session = rec.events().any(|e| {
+                matches!(e, VodEvent::SessionStarted { at, server, .. }
+                    if *server == NodeId(1) && *at > restart)
+            });
+            let video = rec.events().any(|e| {
+                matches!(e, VodEvent::NetDelivered { at, from, class, .. }
+                    if *class == "video" && from.node == NodeId(1) && *at > restart)
+            });
+            (restarted_at, session, video)
+        })
+        .expect("recording was enabled");
+    assert_eq!(restarted_at, Some(restart), "the restart must be traced");
+    assert!(sim.is_alive(NodeId(1)), "the replacement must stay up");
+
+    // It rejoined the movie group: both servers are in the view again,
+    // and it holds the movie's content.
+    let members = sim
+        .sim_mut()
+        .with_process(NodeId(1), |s: &VodServer| {
+            s.movie_view(MovieId(1)).map(|v| v.members.clone())
+        })
+        .unwrap()
+        .expect("the replacement must be back in the movie group");
+    assert_eq!(members, vec![NodeId(1), NodeId(2)], "post-heal movie view");
+    let held = sim
+        .sim_mut()
+        .with_process(NodeId(1), |s: &VodServer| s.movies_held())
+        .unwrap();
+    assert!(
+        held.contains(&MovieId(1)),
+        "the replacement re-holds movie 1"
+    );
+
+    // Redistribution handed clients back, and the replacement streams.
+    assert!(
+        post_restart_session,
+        "a client must be (re)started on the restarted server"
+    );
+    assert!(
+        post_restart_video,
+        "video frames must flow from the restarted server"
+    );
+    let owned_by_1 = sim
+        .sim_mut()
+        .with_process(NodeId(1), |s: &VodServer| s.clients_owned().len())
+        .unwrap();
+    assert!(owned_by_1 > 0, "redistribution must hand clients back");
+
+    // Safety held throughout: the oracle passes the whole trace.
+    let report = sim
+        .trace()
+        .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+        .unwrap();
+    assert!(report.pass(), "{report}");
+}
+
+/// Regression for overlapping faults: a server crashes while a partition
+/// is active, then the partition heals pairwise. The survivors must end in
+/// one agreed view and every client must be owned by exactly one server —
+/// the failure mode this pins down is a stale-view deadlock where the two
+/// sides never re-merge after the heal.
+#[test]
+fn crash_during_partition_then_heal_reconverges_to_one_view() {
+    let servers = [NodeId(1), NodeId(2), NodeId(3)];
+    let mut builder = ScenarioBuilder::new(17);
+    builder
+        .record_events(DEFAULT_EVENT_CAPACITY)
+        .movie(two_hour_movie(1), &servers)
+        .server(NodeId(1))
+        .server(NodeId(2))
+        .server(NodeId(3))
+        .partition_at(SimTime::from_secs(8), &[NodeId(3)], &[NodeId(1), NodeId(2)])
+        .crash_at(SimTime::from_secs(10), NodeId(2))
+        .heal_at(
+            SimTime::from_secs(16),
+            &[NodeId(3)],
+            &[NodeId(1), NodeId(2)],
+        );
+    let clients: Vec<ClientId> = (1..=6).map(ClientId).collect();
+    for &c in &clients {
+        builder.client(
+            c,
+            NodeId(100 + c.0),
+            MovieId(1),
+            SimTime::from_secs_f64(1.0 + 0.2 * f64::from(c.0)),
+        );
+    }
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(40));
+
+    // One view: both survivors agree the movie group is exactly {1, 3}.
+    for node in [NodeId(1), NodeId(3)] {
+        let members = sim
+            .sim_mut()
+            .with_process(node, |s: &VodServer| {
+                s.movie_view(MovieId(1)).map(|v| v.members.clone())
+            })
+            .unwrap()
+            .unwrap_or_else(|| panic!("{node} lost the movie group"));
+        assert_eq!(
+            members,
+            vec![NodeId(1), NodeId(3)],
+            "{node} must converge on the merged post-heal view"
+        );
+    }
+
+    // Exactly one server per client: ownership is a partition of the
+    // viewers, with no client claimed twice and none abandoned.
+    let mut owners: Vec<(ClientId, NodeId)> = Vec::new();
+    for &node in &servers {
+        if !sim.is_alive(node) {
+            continue;
+        }
+        let owned = sim
+            .sim_mut()
+            .with_process(node, |s: &VodServer| s.clients_owned())
+            .unwrap();
+        owners.extend(owned.into_iter().map(|c| (c, node)));
+    }
+    for &c in &clients {
+        let claims: Vec<NodeId> = owners
+            .iter()
+            .filter(|&&(owned, _)| owned == c)
+            .map(|&(_, n)| n)
+            .collect();
+        assert_eq!(
+            claims.len(),
+            1,
+            "{c} must have exactly one server: {claims:?}"
+        );
+    }
+    let report = sim
+        .trace()
+        .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+        .unwrap();
+    assert!(report.pass(), "{report}");
+}
+
+/// The oracle tells sick from healthy: the same seeded chaos campaign
+/// passes all four invariants at the paper's 500 ms sync interval and
+/// fails re-serve when state exchange is slowed to 20 s — crashed servers'
+/// clients cannot be taken over in time without fresh sync records.
+#[test]
+fn oracle_flags_broken_sync_interval_and_passes_paper_default() {
+    let run = |sync: Duration| {
+        let mut profile = FleetProfile::small_fleet();
+        profile.clients = 24;
+        profile.catalog_size = 4;
+        profile.initial_replicas = 2;
+        profile.arrival_window = Duration::from_secs(15);
+        let seed = 2;
+        let (mut builder, _plan) =
+            fleet_builder(&profile, seed, Some(ReplicationConfig::paper_default()));
+        let mut cfg = VodConfig::paper_default()
+            .with_sync_interval(sync)
+            .with_dynamic_replication(ReplicationConfig::paper_default());
+        if let Some(cap) = profile.sessions_per_server {
+            cfg = cfg.with_session_cap(cap);
+        }
+        builder.config(cfg);
+        let mut chaos_profile = ChaosProfile::default_campaign();
+        chaos_profile.faults = 6;
+        let chaos = ChaosPlan::generate(&chaos_profile, &profile.server_nodes(), seed);
+        chaos.apply(&mut builder, &LinkProfile::lan());
+        builder.record_events(1 << 20);
+        let mut sim = builder.build();
+        let end = SimTime::from_secs_f64(profile.run_until().as_secs_f64().max(75.0));
+        sim.run_until(end);
+        sim.trace()
+            .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+            .expect("recording was enabled")
+    };
+    let healthy = run(Duration::from_millis(500));
+    assert!(
+        healthy.pass(),
+        "paper-default campaign must pass: {healthy}"
+    );
+    let broken = run(Duration::from_secs(20));
+    assert!(
+        broken.reserved_after_fault.is_fail(),
+        "a 20s sync interval must break timely re-serve: {broken}"
+    );
+    assert!(!broken.pass());
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the chaos engine's determinism contract:
+//! the same seed must reproduce the exact fault plan *and* the exact
+//! campaign trace, byte for byte — the replay guarantee every failing
+//! seed reported by `ftvod-cli chaos` rests on.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use ftvod_core::chaos::{ChaosPlan, ChaosProfile};
+use ftvod_core::config::{ReplicationConfig, VodConfig};
+use ftvod_core::workload::{fleet_builder, FleetProfile};
+use simnet::{LinkProfile, NodeId, SimTime};
+
+fn server_nodes(n: u32) -> Vec<NodeId> {
+    (1..=n).map(NodeId).collect()
+}
+
+/// Builds and runs a small chaos campaign, returning the rendered plan
+/// and the full event trace as JSON Lines.
+fn campaign(seed: u64) -> (String, String) {
+    let mut profile = FleetProfile::small_fleet();
+    profile.clients = 8;
+    profile.catalog_size = 2;
+    profile.initial_replicas = 2;
+    profile.arrival_window = Duration::from_secs(10);
+    let (mut builder, _plan) =
+        fleet_builder(&profile, seed, Some(ReplicationConfig::paper_default()));
+    let mut cfg = VodConfig::paper_default()
+        .with_sync_interval(Duration::from_millis(500))
+        .with_dynamic_replication(ReplicationConfig::paper_default());
+    if let Some(cap) = profile.sessions_per_server {
+        cfg = cfg.with_session_cap(cap);
+    }
+    builder.config(cfg);
+    let chaos = ChaosPlan::generate(
+        &ChaosProfile::default_campaign(),
+        &profile.server_nodes(),
+        seed,
+    );
+    chaos.apply(&mut builder, &LinkProfile::lan());
+    builder.record_events(1 << 20);
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(45));
+    let jsonl = sim.events_jsonl().expect("recording was enabled");
+    (chaos.render(), jsonl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same servers, same profile: the generated plan must be
+    /// byte-identical — fault kinds, victims, times and durations.
+    #[test]
+    fn chaos_plans_are_seed_deterministic(
+        seed in 0u64..1_000_000,
+        faults in 1u32..12,
+        servers in 3u32..8,
+    ) {
+        let mut profile = ChaosProfile::default_campaign();
+        profile.faults = faults;
+        let nodes = server_nodes(servers);
+        let a = ChaosPlan::generate(&profile, &nodes, seed);
+        let b = ChaosPlan::generate(&profile, &nodes, seed);
+        prop_assert_eq!(a.render(), b.render(), "same seed must reproduce the plan");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The survivability floor holds for every seed: at no instant does
+    /// the plan crash the fleet below `min_up` live servers.
+    #[test]
+    fn chaos_plans_respect_the_survivability_floor(
+        seed in 0u64..1_000_000,
+        faults in 1u32..12,
+    ) {
+        let profile = ChaosProfile::default_campaign();
+        let mut with_faults = profile.clone();
+        with_faults.faults = faults;
+        let nodes = server_nodes(4);
+        let plan = ChaosPlan::generate(&with_faults, &nodes, seed);
+        // Sweep the crash/restart intervals: the number of concurrently
+        // down servers never exceeds fleet size minus the floor.
+        let downs: Vec<(SimTime, SimTime)> = plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                ftvod_core::chaos::ChaosFault::CrashRestart { at, restart_at, .. } => {
+                    Some((*at, *restart_at))
+                }
+                _ => None,
+            })
+            .collect();
+        for &(start, _) in &downs {
+            let concurrent = downs
+                .iter()
+                .filter(|&&(s, e)| s <= start && start < e)
+                .count() as u32;
+            prop_assert!(
+                concurrent <= 4 - with_faults.min_up,
+                "{concurrent} servers down at {start:?} violates min_up={}",
+                with_faults.min_up
+            );
+        }
+    }
+}
+
+proptest! {
+    // Full campaigns are costly; a handful of cases is enough to catch
+    // any nondeterminism in the sim/chaos/trace pipeline.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same seed ⇒ byte-identical campaign: the rendered plan *and* the
+    /// complete JSONL event trace of two independent runs must match.
+    #[test]
+    fn chaos_campaigns_are_byte_deterministic(seed in 0u64..10_000) {
+        let (plan_a, trace_a) = campaign(seed);
+        let (plan_b, trace_b) = campaign(seed);
+        prop_assert_eq!(plan_a, plan_b, "plan must be reproducible");
+        prop_assert!(trace_a == trace_b, "trace must be byte-identical");
+        prop_assert!(!trace_a.is_empty());
+    }
+}
+
+/// Different seeds draw different campaigns (spot check, not a law: two
+/// specific seeds could collide, these do not).
+#[test]
+fn distinct_seeds_draw_distinct_plans() {
+    let profile = ChaosProfile::default_campaign();
+    let nodes = server_nodes(4);
+    let a = ChaosPlan::generate(&profile, &nodes, 1);
+    let b = ChaosPlan::generate(&profile, &nodes, 2);
+    assert_ne!(a.render(), b.render(), "seeds 1 and 2 must differ");
+}

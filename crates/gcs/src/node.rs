@@ -862,7 +862,9 @@ impl<P: Payload> GcsNode<P> {
                 vid,
                 members,
             } => {
-                self.on_announce(group, peer, vid, members);
+                if let Some((epoch, candidates)) = self.on_announce(group, peer, vid, members) {
+                    self.initiate_view_change(ctx, group, epoch, candidates);
+                }
                 Vec::new()
             }
             GcsPacket::NonMemberSend {
@@ -1605,15 +1607,50 @@ impl<P: Payload> GcsNode<P> {
         events
     }
 
-    fn on_announce(&mut self, group: GroupId, from: NodeId, vid: ViewId, members: Vec<NodeId>) {
+    /// Handles a view announcement. Returns `Some((epoch, candidates))`
+    /// when the announcement reveals that this node was expelled from a
+    /// newer incarnation of the group and the caller should re-form the
+    /// residual side with a view change.
+    fn on_announce(
+        &mut self,
+        group: GroupId,
+        from: NodeId,
+        vid: ViewId,
+        members: Vec<NodeId>,
+    ) -> Option<(u64, Vec<NodeId>)> {
         let ticks = self.ticks;
         match self.status(group) {
             GroupStatus::Member => {
                 let node = self.node;
                 let state = self.group_mut(group);
                 state.max_epoch_seen = state.max_epoch_seen.max(vid.epoch);
+                if vid.epoch > state.view.id.epoch
+                    && state.view.contains(from)
+                    && !members.contains(&node)
+                {
+                    // A member we still list has reconfigured into a newer
+                    // view without us: that incarnation expelled us. Until
+                    // we re-form, neither side announces a view the other
+                    // treats as foreign (we ignore a member's announces,
+                    // they elect no merge against a view containing their
+                    // own coordinator), so the split would never heal.
+                    // Re-form the residual side; the merge election then
+                    // reunites the two incarnations.
+                    let residual: Vec<NodeId> = state
+                        .view
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|m| !members.contains(m))
+                        .collect();
+                    if state.vc.is_none() && residual.first() == Some(&node) {
+                        let epoch = state.max_epoch_seen + 1;
+                        return Some((epoch, residual));
+                    }
+                    return None;
+                }
                 if state.view.contains(from) || members.contains(&node) && vid == state.view.id {
-                    return;
+                    return None;
                 }
                 state.foreign.insert(
                     from,
@@ -1636,6 +1673,7 @@ impl<P: Payload> GcsNode<P> {
             }
             _ => {}
         }
+        None
     }
 
     fn on_nonmember_send(
@@ -2063,8 +2101,22 @@ impl<P: Payload> GcsNode<P> {
             if retry {
                 let state = self.group_mut(group);
                 if let Some(vc) = state.vc.take() {
+                    let now = ctx.now();
+                    let timeout = self.config.suspect_timeout;
                     for candidate in &vc.candidates {
-                        if !vc.acked.contains(candidate) && self.suspected.insert(*candidate) {
+                        // A missing ack alone is not evidence of death: the
+                        // ack may have been lost to churn right after a
+                        // partition heals. Only suspect a non-acker that is
+                        // also silent; a demonstrably live peer simply gets
+                        // another chance in the retried view change.
+                        let silent = self
+                            .last_heard
+                            .get(candidate)
+                            .is_none_or(|&at| now.saturating_since(at) > timeout);
+                        if !vc.acked.contains(candidate)
+                            && silent
+                            && self.suspected.insert(*candidate)
+                        {
                             let peer = *candidate;
                             let at = self.trace_now;
                             self.trace(|| GcsTrace::Suspected { at, peer });
@@ -2108,7 +2160,11 @@ impl<P: Payload> GcsNode<P> {
             let mut merge_epoch = 0;
             for info in state.foreign.values() {
                 if ticks.saturating_sub(info.seen_tick) <= self.config.foreign_expiry_ticks {
-                    let min_other = info.members.iter().copied().min();
+                    // A foreign view may still list us (a peer that missed
+                    // our reconfiguration keeps us in its view). Exclude
+                    // ourselves from the election, otherwise `node < other`
+                    // fails on both sides and the split never re-merges.
+                    let min_other = info.members.iter().copied().filter(|&m| m != node).min();
                     // Merge only if we are the global minimum; otherwise the
                     // other side's coordinator will pull us in.
                     if min_other.is_some_and(|other| node < other) {

@@ -15,8 +15,10 @@
 //! * Processes arm **timers** through their [`Context`]; all side effects
 //!   are applied deterministically in order.
 //! * The harness injects **faults**: crashes ([`Simulation::crash_at`]),
-//!   delayed server bring-up ([`Simulation::start_node_at`]) and network
-//!   partitions ([`Simulation::partition_at`]).
+//!   post-crash repair ([`Simulation::restart_at`]), delayed server
+//!   bring-up ([`Simulation::start_node_at`]), network partitions
+//!   ([`Simulation::partition_at`]) and transient degradations
+//!   ([`Simulation::set_default_profile_at`], [`BurstLoss`]).
 //! * Per-class traffic counters ([`NetStats`]) support the paper's overhead
 //!   measurements.
 //!
@@ -87,7 +89,7 @@ mod sim;
 mod stats;
 mod time;
 
-pub use net::{Endpoint, LinkProfile, NodeId, Payload, Port};
+pub use net::{BurstLoss, Endpoint, LinkProfile, NodeId, Payload, Port};
 pub use process::{Context, Process, Timer, TimerId};
 pub use rng::SimRng;
 pub use sim::{DropReason, Simulation, TraceEvent};

@@ -84,6 +84,21 @@ impl fmt::Display for Endpoint {
     }
 }
 
+/// Gilbert–Elliott burst-loss parameters: a two-state Markov chain per
+/// directed link. In the *good* state the link drops with the profile's
+/// i.i.d. `loss`; in the *bad* state it drops with `loss_bad`. The chain
+/// advances one step per datagram, so the mean burst length is
+/// `1 / p_exit` datagrams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstLoss {
+    /// Probability per datagram of moving good → bad.
+    pub p_enter: f64,
+    /// Probability per datagram of moving bad → good.
+    pub p_exit: f64,
+    /// Drop probability while in the bad state.
+    pub loss_bad: f64,
+}
+
 /// Statistical description of a directed link between two nodes.
 ///
 /// All delays are applied per datagram:
@@ -95,6 +110,9 @@ impl fmt::Display for Endpoint {
 ///
 /// A datagram is dropped with probability `loss` and delivered twice with
 /// probability `duplicate` (the copy gets an independent jitter draw).
+/// When `burst` is set, loss instead follows the Gilbert–Elliott chain of
+/// [`BurstLoss`]: `loss` applies in the good state and `loss_bad` in the
+/// bad state, so drops arrive in correlated bursts rather than i.i.d.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LinkProfile {
     /// Fixed propagation delay.
@@ -114,6 +132,9 @@ pub struct LinkProfile {
     /// serialization delay). Serialization is queued per *sender*, modeling a
     /// shared NIC.
     pub bandwidth: Option<u64>,
+    /// Optional Gilbert–Elliott burst-loss chain; `None` keeps the plain
+    /// i.i.d. `loss` behaviour (and draws no extra randomness).
+    pub burst: Option<BurstLoss>,
 }
 
 impl LinkProfile {
@@ -129,6 +150,7 @@ impl LinkProfile {
             reorder: 0.0,
             reorder_extra: Duration::ZERO,
             bandwidth: None,
+            burst: None,
         }
     }
 
@@ -143,6 +165,7 @@ impl LinkProfile {
             reorder: 0.0,
             reorder_extra: Duration::ZERO,
             bandwidth: Some(100_000_000 / 8),
+            burst: None,
         }
     }
 
@@ -158,6 +181,7 @@ impl LinkProfile {
             reorder: 0.02,
             reorder_extra: Duration::from_millis(30),
             bandwidth: Some(10_000_000 / 8),
+            burst: None,
         }
     }
 
@@ -176,6 +200,7 @@ impl LinkProfile {
             reorder: 0.0,
             reorder_extra: Duration::ZERO,
             bandwidth: Some(10_000_000 / 8),
+            burst: None,
         }
     }
 
@@ -208,6 +233,30 @@ impl LinkProfile {
     /// Returns a copy with the egress bandwidth replaced.
     pub fn with_bandwidth(mut self, bytes_per_sec: Option<u64>) -> Self {
         self.bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Returns a copy with Gilbert–Elliott burst loss enabled: the link
+    /// enters a bad state with probability `p_enter` per datagram, leaves
+    /// it with probability `p_exit`, and drops with probability `loss_bad`
+    /// while bad (the profile's `loss` still applies while good).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn with_burst_loss(mut self, p_enter: f64, p_exit: f64, loss_bad: f64) -> Self {
+        for (name, p) in [
+            ("p_enter", p_enter),
+            ("p_exit", p_exit),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+        self.burst = Some(BurstLoss {
+            p_enter,
+            p_exit,
+            loss_bad,
+        });
         self
     }
 }
@@ -294,5 +343,23 @@ mod tests {
     #[should_panic(expected = "loss must be in [0,1]")]
     fn with_loss_validates() {
         let _ = LinkProfile::lan().with_loss(1.5);
+    }
+
+    #[test]
+    fn burst_loss_is_off_by_default_and_configurable() {
+        assert_eq!(LinkProfile::lan().burst, None);
+        assert_eq!(LinkProfile::wan().burst, None);
+        let p = LinkProfile::lan().with_burst_loss(0.05, 0.25, 0.9);
+        let burst = p.burst.expect("burst configured");
+        assert_eq!(burst.p_enter, 0.05);
+        assert_eq!(burst.p_exit, 0.25);
+        assert_eq!(burst.loss_bad, 0.9);
+        assert_eq!(p.loss, 0.0, "good-state loss keeps the base profile");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_exit must be in [0,1]")]
+    fn with_burst_loss_validates() {
+        let _ = LinkProfile::lan().with_burst_loss(0.1, 1.5, 0.9);
     }
 }

@@ -98,6 +98,15 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A previously crashed node booted again (repair): its `on_start` is
+    /// about to run on a fresh process. Emitted instead of
+    /// [`TraceEvent::NodeStarted`] when the node had crashed before.
+    NodeRestarted {
+        /// Simulated time of the reboot.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
     /// A partition came up between two sets of nodes.
     Partitioned {
         /// Simulated time the partition took effect.
@@ -150,6 +159,9 @@ enum EventKind<M: Payload> {
         b: Vec<NodeId>,
     },
     HealAll,
+    SetDefaultProfile {
+        profile: LinkProfile,
+    },
 }
 
 struct Scheduled<M: Payload> {
@@ -232,7 +244,16 @@ pub struct Simulation<M: Payload> {
     nodes: BTreeMap<NodeId, NodeSlot<M>>,
     default_profile: LinkProfile,
     overrides: HashMap<(NodeId, NodeId), LinkProfile>,
-    blocked: HashSet<(NodeId, NodeId)>,
+    /// Directed pairs severed by active partitions, with a count per
+    /// pair: overlapping partitions may cut the same link, and healing
+    /// one must not reopen a pair the other still severs.
+    blocked: HashMap<(NodeId, NodeId), u32>,
+    /// Nodes that crashed and have not been restarted since; lets the
+    /// tracer distinguish a first boot from a post-crash repair.
+    crashed: HashSet<NodeId>,
+    /// Gilbert–Elliott state per directed link: `true` while the link is in
+    /// the bad (bursty) state. Only touched when a profile sets `burst`.
+    burst_bad: HashMap<(NodeId, NodeId), bool>,
     egress_busy: HashMap<NodeId, SimTime>,
     rng: SimRng,
     cancelled: HashSet<u64>,
@@ -255,7 +276,9 @@ impl<M: Payload> Simulation<M> {
             nodes: BTreeMap::new(),
             default_profile: LinkProfile::ideal(),
             overrides: HashMap::new(),
-            blocked: HashSet::new(),
+            blocked: HashMap::new(),
+            crashed: HashSet::new(),
+            burst_bad: HashMap::new(),
             egress_busy: HashMap::new(),
             rng: SimRng::seed_from_u64(seed),
             cancelled: HashSet::new(),
@@ -336,6 +359,24 @@ impl<M: Payload> Simulation<M> {
     /// node are still delivered (they left the NIC before the crash).
     pub fn crash_at(&mut self, at: SimTime, id: NodeId) {
         self.schedule(at, EventKind::Crash { node: id });
+    }
+
+    /// Schedules a fresh `process` to boot on the previously crashed node
+    /// `id` at time `at` — the repair side of the crash/repair cycle. The
+    /// replacement process starts from its initial state (a real machine
+    /// reboot loses volatile memory); the tracer sees
+    /// [`TraceEvent::NodeRestarted`] instead of `NodeStarted` when the node
+    /// had crashed before.
+    pub fn restart_at(&mut self, at: SimTime, id: NodeId, process: impl Process<M>) {
+        self.start_node_at(at, id, process);
+    }
+
+    /// Schedules a replacement of the default link profile at time `at`
+    /// (link overrides are untouched). Chaos campaigns use a pair of these
+    /// to model a transient network degradation: degrade at `t`, restore
+    /// the base profile at `t + duration`.
+    pub fn set_default_profile_at(&mut self, at: SimTime, profile: LinkProfile) {
+        self.schedule(at, EventKind::SetDefaultProfile { profile });
     }
 
     /// Schedules a network partition separating every node in `a` from every
@@ -545,20 +586,25 @@ impl<M: Payload> Simulation<M> {
                 });
                 slot.process = Some(process);
                 slot.alive = true;
-                self.trace(TraceEvent::NodeStarted { at, node });
+                if self.crashed.remove(&node) {
+                    self.trace(TraceEvent::NodeRestarted { at, node });
+                } else {
+                    self.trace(TraceEvent::NodeStarted { at, node });
+                }
                 self.run_handler(node, |process, ctx| process.on_start(ctx));
             }
             EventKind::Crash { node } => {
                 if let Some(slot) = self.nodes.get_mut(&node) {
                     slot.alive = false;
                 }
+                self.crashed.insert(node);
                 self.trace(TraceEvent::NodeCrashed { at, node });
             }
             EventKind::Partition { a, b } => {
                 for &x in &a {
                     for &y in &b {
-                        self.blocked.insert((x, y));
-                        self.blocked.insert((y, x));
+                        *self.blocked.entry((x, y)).or_insert(0) += 1;
+                        *self.blocked.entry((y, x)).or_insert(0) += 1;
                     }
                 }
                 if self.tracer.is_some() {
@@ -568,8 +614,14 @@ impl<M: Payload> Simulation<M> {
             EventKind::Heal { a, b } => {
                 for &x in &a {
                     for &y in &b {
-                        self.blocked.remove(&(x, y));
-                        self.blocked.remove(&(y, x));
+                        for pair in [(x, y), (y, x)] {
+                            if let Some(count) = self.blocked.get_mut(&pair) {
+                                *count -= 1;
+                                if *count == 0 {
+                                    self.blocked.remove(&pair);
+                                }
+                            }
+                        }
                     }
                 }
                 if self.tracer.is_some() {
@@ -585,6 +637,9 @@ impl<M: Payload> Simulation<M> {
                         b: Vec::new(),
                     });
                 }
+            }
+            EventKind::SetDefaultProfile { profile } => {
+                self.default_profile = profile;
             }
         }
     }
@@ -653,7 +708,7 @@ impl<M: Payload> Simulation<M> {
             class,
             bytes: size,
         });
-        if self.blocked.contains(&(from.node, to.node)) {
+        if self.blocked.contains_key(&(from.node, to.node)) {
             self.stats.class_mut(class).dropped_partition += 1;
             self.trace(TraceEvent::Dropped {
                 at,
@@ -669,7 +724,26 @@ impl<M: Payload> Simulation<M> {
             .get(&(from.node, to.node))
             .unwrap_or(&self.default_profile)
             .clone();
-        if profile.loss > 0.0 && self.rng.gen_f64() < profile.loss {
+        // Loss: plain i.i.d. by default; with `burst` set, a Gilbert–Elliott
+        // two-state chain advanced once per datagram (one transition draw,
+        // then the state-dependent loss draw). Profiles without `burst` draw
+        // nothing extra, keeping existing runs byte-identical.
+        let loss_now = match profile.burst {
+            None => profile.loss,
+            Some(burst) => {
+                let bad = self.burst_bad.entry((from.node, to.node)).or_insert(false);
+                let transition = if *bad { burst.p_exit } else { burst.p_enter };
+                if self.rng.gen_f64() < transition {
+                    *bad = !*bad;
+                }
+                if *bad {
+                    burst.loss_bad
+                } else {
+                    profile.loss
+                }
+            }
+        };
+        if loss_now > 0.0 && self.rng.gen_f64() < loss_now {
             self.stats.class_mut(class).dropped_loss += 1;
             self.trace(TraceEvent::Dropped {
                 at,

@@ -407,6 +407,7 @@ fn tracer_observes_the_whole_lifecycle() {
             TraceEvent::Dropped { .. } => "dropped",
             TraceEvent::NodeStarted { .. } => "started",
             TraceEvent::NodeCrashed { .. } => "crashed",
+            TraceEvent::NodeRestarted { .. } => "restarted",
             TraceEvent::Partitioned { .. } => "partitioned",
             TraceEvent::Healed { .. } => "healed",
         };

@@ -30,6 +30,15 @@
 //!   --seconds S        run length override
 //!   --static           disable the dynamic replica manager
 //!   --seed N           determinism seed             (default 42)
+//! ftvod-cli chaos [options]                 seeded fault campaigns checked
+//!                                           by the safety oracle; exits
+//!                                           nonzero if any invariant fails
+//!   --seeds N          number of campaign seeds     (default 5)
+//!   --seed N           first seed                   (default 1)
+//!   --faults K         fault slots per campaign     (default 6)
+//!   --clients M        sessions per campaign        (default 24)
+//!   --sync-ms MS       server sync interval         (default 500)
+//!   --plan             print each campaign's fault schedule
 //! ```
 //!
 //! Every subcommand also accepts `--help`/`-h`.
@@ -237,6 +246,159 @@ fn run_fleet(opts: &FleetOptions) {
     }
 }
 
+#[derive(Debug, Clone, PartialEq)]
+struct ChaosOptions {
+    seeds: u32,
+    seed: u64,
+    faults: u32,
+    clients: u32,
+    sync_ms: u64,
+    plan: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            seeds: 5,
+            seed: 1,
+            faults: 6,
+            clients: 24,
+            sync_ms: 500,
+            plan: false,
+        }
+    }
+}
+
+fn parse_chaos(args: &[String]) -> Result<ChaosOptions, String> {
+    let mut opts = ChaosOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--faults" => {
+                opts.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?
+            }
+            "--clients" => {
+                opts.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--sync-ms" => {
+                opts.sync_ms = value("--sync-ms")?
+                    .parse()
+                    .map_err(|e| format!("--sync-ms: {e}"))?
+            }
+            "--plan" => opts.plan = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_owned());
+    }
+    if opts.clients == 0 {
+        return Err("--clients must be at least 1".to_owned());
+    }
+    if opts.sync_ms == 0 {
+        return Err("--sync-ms must be positive".to_owned());
+    }
+    Ok(opts)
+}
+
+/// The deployment every chaos campaign runs against: a four-server fleet
+/// with two initial copies of each movie, sized down so a multi-seed
+/// sweep stays fast.
+fn chaos_fleet(clients: u32) -> FleetProfile {
+    let mut profile = FleetProfile::small_fleet();
+    profile.clients = clients;
+    profile.catalog_size = 4;
+    profile.initial_replicas = 2;
+    profile.arrival_window = Duration::from_secs(15);
+    profile
+}
+
+/// Runs one seeded campaign end to end and returns the oracle's verdicts
+/// plus the plan it executed.
+fn chaos_campaign(opts: &ChaosOptions, seed: u64) -> (ChaosPlan, OracleReport) {
+    let profile = chaos_fleet(opts.clients);
+    let (mut builder, _plan) =
+        fleet_builder(&profile, seed, Some(ReplicationConfig::paper_default()));
+    let mut cfg = VodConfig::paper_default()
+        .with_sync_interval(Duration::from_millis(opts.sync_ms))
+        .with_dynamic_replication(ReplicationConfig::paper_default());
+    if let Some(cap) = profile.sessions_per_server {
+        cfg = cfg.with_session_cap(cap);
+    }
+    builder.config(cfg);
+    let mut chaos_profile = ChaosProfile::default_campaign();
+    chaos_profile.faults = opts.faults;
+    let chaos = ChaosPlan::generate(&chaos_profile, &profile.server_nodes(), seed);
+    chaos.apply(&mut builder, &LinkProfile::lan());
+    // Room for every event of the run: eviction would blind the oracle.
+    builder.record_events(1 << 20);
+    let mut sim = builder.build();
+    // Past the fault window, the longest restart and the repair bound.
+    let end = SimTime::from_secs_f64(profile.run_until().as_secs_f64().max(75.0));
+    sim.run_until(end);
+    let oracle = sim
+        .trace()
+        .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+        .expect("recording was enabled");
+    (chaos, oracle)
+}
+
+fn run_chaos(opts: &ChaosOptions) -> Result<(), String> {
+    println!(
+        "chaos: {} campaign(s) from seed {}, {} fault slot(s), {} session(s), sync {} ms",
+        opts.seeds, opts.seed, opts.faults, opts.clients, opts.sync_ms
+    );
+    let mut failing: Vec<u64> = Vec::new();
+    for i in 0..opts.seeds {
+        let seed = opts.seed + u64::from(i);
+        let (plan, oracle) = chaos_campaign(opts, seed);
+        let (crashes, partitions, bursts) = plan.kind_counts();
+        println!(
+            "seed {seed}: {}  [{crashes} crash/restart, {partitions} partition, {bursts} burst]",
+            ftvod_core::oracle::summary_token(&oracle)
+        );
+        if opts.plan {
+            print!("{}", plan.render());
+        }
+        if !oracle.pass() {
+            print!("{oracle}");
+            failing.push(seed);
+        }
+    }
+    if failing.is_empty() {
+        println!(
+            "chaos: {}/{} campaign(s) passed the oracle",
+            opts.seeds, opts.seeds
+        );
+        Ok(())
+    } else {
+        let first = failing[0];
+        Err(format!(
+            "{} of {} campaign(s) violated a safety invariant (seeds {:?}); replay with: ftvod-cli chaos --seeds 1 --seed {first} --plan",
+            failing.len(),
+            opts.seeds,
+            failing
+        ))
+    }
+}
+
 fn profile_by_name(name: &str) -> Result<LinkProfile, String> {
     match name {
         "lan" => Ok(LinkProfile::lan()),
@@ -345,11 +507,22 @@ fn run_trace(which: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn run_report(which: &str, seed: u64) {
+fn run_report(which: &str, seed: u64) -> Result<(), String> {
     let sim = traced_preset(which, seed);
-    let report = sim.report().expect("recording was enabled");
+    let mut report = sim.report().expect("recording was enabled");
+    let oracle = sim
+        .trace()
+        .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+        .expect("recording was enabled");
+    let pass = oracle.pass();
+    report.oracle = Some(oracle);
     println!("{which} scenario, seed {seed}:\n");
     print!("{report}");
+    if pass {
+        Ok(())
+    } else {
+        Err("the safety oracle flagged an invariant violation".to_owned())
+    }
 }
 
 fn run_custom(opts: &CustomOptions) -> Result<(), String> {
@@ -473,6 +646,23 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --static       disable the dynamic replica manager\n\
              \x20 --seed N       determinism seed                   (default 42)"
         }
+        "chaos" => {
+            "usage: ftvod-cli chaos [options]\n\n\
+             Run seeded fault campaigns — crash/restart cycles, pairwise\n\
+             partitions with heals, correlated loss bursts — against a\n\
+             four-server fleet, then replay each trace through the safety\n\
+             oracle. The same seed always produces the same campaign and\n\
+             the same verdicts, byte for byte. Exits nonzero if any\n\
+             campaign violates an invariant, printing the first failing\n\
+             seed for replay.\n\n\
+             options:\n\
+             \x20 --seeds N      number of campaign seeds           (default 5)\n\
+             \x20 --seed N       first seed                         (default 1)\n\
+             \x20 --faults K     fault slots per campaign           (default 6)\n\
+             \x20 --clients M    sessions per campaign              (default 24)\n\
+             \x20 --sync-ms MS   server sync interval in ms         (default 500)\n\
+             \x20 --plan         print each campaign's fault schedule"
+        }
         _ => {
             "usage: ftvod-cli <command> [options]\n\n\
              commands:\n\
@@ -480,7 +670,8 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 trace       run a preset, export the event stream as JSONL\n\
              \x20 report      run a preset, print the derived run report\n\
              \x20 custom      build your own deployment (crashes, shutdowns)\n\
-             \x20 fleet       generated fleet workload with dynamic replication\n\n\
+             \x20 fleet       generated fleet workload with dynamic replication\n\
+             \x20 chaos       seeded fault campaigns checked by the safety oracle\n\n\
              Run `ftvod-cli <command> --help` for the command's options."
         }
     }
@@ -514,12 +705,12 @@ fn main() -> ExitCode {
             let out = out_flag(&args)?;
             run_trace(which, seed, out.as_deref())
         })),
-        "report" => exit_from(preset_name(&args[1..]).and_then(|which| {
-            run_report(which, seed_flag(&args)?);
-            Ok(())
-        })),
+        "report" => exit_from(
+            preset_name(&args[1..]).and_then(|which| run_report(which, seed_flag(&args)?)),
+        ),
         "custom" => exit_from(parse_custom(&args[1..]).and_then(|opts| run_custom(&opts))),
         "fleet" => exit_from(parse_fleet(&args[1..]).map(|opts| run_fleet(&opts))),
+        "chaos" => exit_from(parse_chaos(&args[1..]).and_then(|opts| run_chaos(&opts))),
         other => {
             eprintln!("unknown command \"{other}\"\n\n{}", usage_for("overview"));
             ExitCode::FAILURE
@@ -666,15 +857,58 @@ mod tests {
     }
 
     #[test]
+    fn chaos_defaults_parse() {
+        let opts = parse_chaos(&[]).unwrap();
+        assert_eq!(opts, ChaosOptions::default());
+        assert_eq!(opts.seeds, 5);
+        assert_eq!(opts.sync_ms, 500);
+        assert!(!opts.plan);
+    }
+
+    #[test]
+    fn chaos_full_flag_set_parses() {
+        let opts = parse_chaos(&strings(&[
+            "--seeds",
+            "25",
+            "--seed",
+            "9",
+            "--faults",
+            "4",
+            "--clients",
+            "12",
+            "--sync-ms",
+            "20000",
+            "--plan",
+        ]))
+        .unwrap();
+        assert_eq!(opts.seeds, 25);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.faults, 4);
+        assert_eq!(opts.clients, 12);
+        assert_eq!(opts.sync_ms, 20000);
+        assert!(opts.plan);
+    }
+
+    #[test]
+    fn chaos_rejects_bad_inputs() {
+        assert!(parse_chaos(&strings(&["--bogus"])).is_err());
+        assert!(parse_chaos(&strings(&["--seeds", "0"])).is_err());
+        assert!(parse_chaos(&strings(&["--clients", "0"])).is_err());
+        assert!(parse_chaos(&strings(&["--sync-ms", "0"])).is_err());
+        assert!(parse_chaos(&strings(&["--seeds"])).is_err());
+    }
+
+    #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "lan", "wan", "trace", "report", "custom", "fleet", "overview",
+            "lan", "wan", "trace", "report", "custom", "fleet", "chaos", "overview",
         ] {
             let text = usage_for(cmd);
             assert!(text.starts_with("usage:"), "{cmd} usage malformed");
         }
         assert!(usage_for("fleet").contains("--zipf"));
-        assert!(usage_for("overview").contains("fleet"));
+        assert!(usage_for("chaos").contains("--sync-ms"));
+        assert!(usage_for("overview").contains("chaos"));
     }
 
     #[test]

@@ -78,8 +78,10 @@ pub mod vod {
 
 /// The most commonly needed names in one import.
 pub mod prelude {
+    pub use ftvod_core::chaos::{ChaosFault, ChaosPlan, ChaosProfile};
     pub use ftvod_core::client::{ClientStats, VodClient, WatchRequest};
     pub use ftvod_core::config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
+    pub use ftvod_core::oracle::{OracleConfig, OracleReport, Verdict};
     pub use ftvod_core::protocol::{ClientId, VodWire};
     pub use ftvod_core::scenario::{presets, ScenarioBuilder, VcrOp, VodSim};
     pub use ftvod_core::server::{Replica, VodServer};
