@@ -5,6 +5,9 @@
 //! of the paper's evaluation; see EXPERIMENTS.md at the repository root for
 //! the index and the recorded paper-vs-measured comparison.
 
+pub mod json;
+pub mod perf;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 

@@ -20,6 +20,7 @@ use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer};
 
 use crate::config::VodConfig;
 use crate::metrics::{Cumulative, TimeSeries};
+use crate::profile::{ProfileHandle, Subsystem};
 use crate::protocol::{
     session_group, ClientId, ControlPayload, OpenRequest, VcrCmd, VideoPacket, VodWire, GCS_PORT,
     SERVER_GROUP,
@@ -116,6 +117,7 @@ pub struct VodClient {
     flow: FlowController,
     stats: ClientStats,
     trace: TraceHandle,
+    profile: ProfileHandle,
     last_band: Band,
     /// Highest frame number ever received, for gap detection. Reset on
     /// seek (a jump the client asked for is not a service gap).
@@ -172,6 +174,7 @@ impl VodClient {
             speed_percent: 100,
             stats: ClientStats::default(),
             trace: TraceHandle::disabled(),
+            profile: ProfileHandle::disabled(),
             last_band,
             highest_frame: None,
             display_interval: Duration::from_secs_f64(1.0 / effective_fps),
@@ -193,6 +196,14 @@ impl VodClient {
             self.gcs
                 .set_tracer(move |event| trace.emit(|| VodEvent::from_gcs(node, event)));
         }
+        self
+    }
+
+    /// Installs a profile handle: the client's display-tick playback path
+    /// opens cost spans on it. Profiling is passive and does not change
+    /// the client's behaviour.
+    pub fn with_profile(mut self, profile: ProfileHandle) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -503,6 +514,7 @@ impl Process<VodWire> for VodClient {
                 self.handle_events(ctx.now(), events);
             }
             tag::DISPLAY => {
+                let _span = self.profile.span(Subsystem::ClientPlayback);
                 if self.stopped {
                     return;
                 }

@@ -14,6 +14,8 @@
 //! * [`metrics`] — time series/counters behind every reproduced figure;
 //! * [`trace`] — the cross-layer event stream, JSONL export and derived
 //!   run reports (takeover-latency breakdowns, latency percentiles);
+//! * [`profile`] — per-subsystem cost accounting (span wall-clock plus
+//!   simnet scheduler counters), zero-overhead when disabled;
 //! * [`workload`] — the fleet workload engine: Zipf popularity, Poisson
 //!   arrivals, VCR mixes and churn, all from one seed;
 //! * [`chaos`] — seeded fault campaigns: crash/restart cycles, pairwise
@@ -30,6 +32,7 @@ pub mod client;
 pub mod config;
 pub mod metrics;
 pub mod oracle;
+pub mod profile;
 pub mod protocol;
 pub mod scenario;
 pub mod server;
@@ -41,6 +44,7 @@ pub use client::{ClientStats, VodClient, WatchRequest};
 pub use config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
 pub use metrics::Histogram;
 pub use oracle::{OracleConfig, OracleReport, Verdict};
+pub use profile::{ProfileHandle, ProfileReport, SpanStats, Subsystem};
 pub use protocol::{ClientId, ControlPayload, DemandEntry, VideoPacket, VodWire};
 pub use scenario::{ScenarioBuilder, VcrOp, VodSim};
 pub use server::{Replica, ServerStats, VodServer};

@@ -40,6 +40,7 @@ use simnet::{LinkProfile, NodeId, SimTime, Simulation};
 
 use crate::client::{ClientStats, VodClient, WatchRequest};
 use crate::config::VodConfig;
+use crate::profile::{ProfileHandle, ProfileReport};
 use crate::protocol::{ClientId, VodWire};
 use crate::server::{Replica, ServerStats, VodServer};
 use crate::trace::{RunReport, TraceHandle, VodEvent};
@@ -97,6 +98,9 @@ pub struct ScenarioBuilder {
     clients: Vec<ClientSetup>,
     script: Vec<(SimTime, Scripted)>,
     event_capacity: Option<usize>,
+    /// `Some(capacity)` turns on cost profiling; the capacity bounds the
+    /// flamechart span buffer (0 = aggregate totals only).
+    profile_capacity: Option<usize>,
 }
 
 impl ScenarioBuilder {
@@ -121,6 +125,7 @@ impl ScenarioBuilder {
             clients: Vec::new(),
             script: Vec::new(),
             event_capacity: None,
+            profile_capacity: None,
         }
     }
 
@@ -131,6 +136,24 @@ impl ScenarioBuilder {
     /// are bit-identical with and without it.
     pub fn record_events(&mut self, capacity: usize) -> &mut Self {
         self.event_capacity = Some(capacity);
+        self
+    }
+
+    /// Opts the built simulation into cost profiling: scheduler counters
+    /// ([`simnet::SimProfile`]) plus per-subsystem wall-clock spans,
+    /// exposed through [`VodSim::profile`] and [`VodSim::profile_report`].
+    /// Profiling is passive — simulated outcomes are bit-identical with
+    /// and without it, and all non-wall-clock fields are deterministic.
+    pub fn profile_costs(&mut self) -> &mut Self {
+        self.profile_capacity = Some(0);
+        self
+    }
+
+    /// Like [`ScenarioBuilder::profile_costs`], additionally retaining up
+    /// to `capacity` individual spans for Chrome-trace flamechart export
+    /// ([`crate::profile::ProfileHandle::chrome_trace_json`]).
+    pub fn profile_flamechart(&mut self, capacity: usize) -> &mut Self {
+        self.profile_capacity = Some(capacity.max(1));
         self
     }
 
@@ -275,6 +298,14 @@ impl ScenarioBuilder {
             let handle = trace.clone();
             sim.set_tracer(move |event| handle.emit(|| VodEvent::from_net(event)));
         }
+        let profile = match self.profile_capacity {
+            Some(0) => ProfileHandle::enabled(),
+            Some(capacity) => ProfileHandle::with_flamechart(capacity),
+            None => ProfileHandle::disabled(),
+        };
+        if profile.is_enabled() {
+            sim.enable_profiling();
+        }
         let universe: Vec<NodeId> = self.server_universe.iter().copied().collect();
         let replicas_for = |node: NodeId| -> Vec<Replica> {
             self.movies
@@ -299,7 +330,8 @@ impl ScenarioBuilder {
                 node,
                 VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
                     .with_catalog(catalog.iter().cloned())
-                    .with_trace(trace.clone()),
+                    .with_trace(trace.clone())
+                    .with_profile(profile.clone()),
             );
         }
         for &(at, node) in &self.late_servers {
@@ -308,7 +340,8 @@ impl ScenarioBuilder {
                 node,
                 VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
                     .with_catalog(catalog.iter().cloned())
-                    .with_trace(trace.clone()),
+                    .with_trace(trace.clone())
+                    .with_profile(profile.clone()),
             );
         }
         for &(at, node) in &self.crashes {
@@ -321,6 +354,7 @@ impl ScenarioBuilder {
                 VodServer::new(self.cfg.clone(), node, universe.clone(), replicas_for(node))
                     .with_catalog(catalog.iter().cloned())
                     .with_trace(trace.clone())
+                    .with_profile(profile.clone())
                     .with_rejoin(),
             );
         }
@@ -357,7 +391,8 @@ impl ScenarioBuilder {
                     universe.clone(),
                     request,
                 )
-                .with_trace(trace.clone()),
+                .with_trace(trace.clone())
+                .with_profile(profile.clone()),
             );
             client_nodes.insert(setup.id, setup.node);
         }
@@ -373,6 +408,7 @@ impl ScenarioBuilder {
             script,
             next_script: 0,
             trace,
+            profile,
         }
     }
 }
@@ -385,6 +421,7 @@ pub struct VodSim {
     script: Vec<(SimTime, Scripted)>,
     next_script: usize,
     trace: TraceHandle,
+    profile: ProfileHandle,
 }
 
 impl std::fmt::Debug for VodSim {
@@ -491,6 +528,25 @@ impl VodSim {
     /// event recording.
     pub fn report(&self) -> Option<RunReport> {
         self.trace.report()
+    }
+
+    /// The profile handle of this run (disabled unless the builder opted
+    /// in via [`ScenarioBuilder::profile_costs`]).
+    pub fn profile(&self) -> &ProfileHandle {
+        &self.profile
+    }
+
+    /// Merges scheduler counters, subsystem spans and network totals into
+    /// a [`ProfileReport`]; `None` without cost profiling.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        if !self.profile.is_enabled() {
+            return None;
+        }
+        Some(ProfileReport::collect(
+            self.sim.profile(),
+            &self.profile,
+            Some(self.sim.stats()),
+        ))
     }
 
     /// Escape hatch for tests: the underlying simulation.

@@ -26,6 +26,7 @@ use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer, TimerId};
 
 use crate::config::{ResumePolicy, TakeoverPolicy, VodConfig};
 use crate::metrics::{Cumulative, TimeSeries};
+use crate::profile::{ProfileHandle, Subsystem};
 use crate::protocol::{
     movie_group, ClientId, ClientRecord, ControlPayload, DemandEntry, FlowRequest, OpenRequest,
     VcrCmd, VideoPacket, VodWire, GCS_PORT, SERVER_GROUP, VIDEO_PORT,
@@ -153,6 +154,7 @@ pub struct VodServer {
     sessions: BTreeMap<ClientId, Session>,
     stats: ServerStats,
     trace: TraceHandle,
+    profile: ProfileHandle,
     sync_round: u64,
     /// Latest SERVER_GROUP view, for demand aggregation and elections.
     server_view: View,
@@ -224,6 +226,7 @@ impl VodServer {
             sessions: BTreeMap::new(),
             stats: ServerStats::default(),
             trace: TraceHandle::disabled(),
+            profile: ProfileHandle::disabled(),
             sync_round: 0,
             server_view: View::default(),
             demand: BTreeMap::new(),
@@ -271,6 +274,14 @@ impl VodServer {
             self.gcs
                 .set_tracer(move |event| trace.emit(|| VodEvent::from_gcs(node, event)));
         }
+        self
+    }
+
+    /// Installs a profile handle: the server's view-change, periodic sync
+    /// and takeover/exchange paths open cost spans on it. Profiling is
+    /// passive and does not change the server's behaviour.
+    pub fn with_profile(mut self, profile: ProfileHandle) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -359,6 +370,7 @@ impl VodServer {
     }
 
     fn on_view(&mut self, ctx: &mut Context<'_, VodWire>, group: GroupId, view: View) {
+        let _span = self.profile.span(Subsystem::GcsViewChange);
         if group == SERVER_GROUP {
             // Track the server universe for demand aggregation; drop the
             // reports of departed servers so they cannot skew decisions.
@@ -959,6 +971,7 @@ impl VodServer {
 
     /// Periodic state multicast (paper §5.2, every half second).
     fn on_sync_timer(&mut self, ctx: &mut Context<'_, VodWire>) {
+        let _span = self.profile.span(Subsystem::ServerSync);
         self.sync_round += 1;
         let now = ctx.now();
         self.stats
@@ -1035,6 +1048,7 @@ impl VodServer {
     }
 
     fn on_exchange_timer(&mut self, ctx: &mut Context<'_, VodWire>, movie_id: MovieId) {
+        let _span = self.profile.span(Subsystem::ServerTakeover);
         let Some(state) = self.movies.get_mut(&movie_id) else {
             return;
         };

@@ -1299,6 +1299,179 @@ impl RunReport {
             self.emergencies_granted,
         )
     }
+
+    /// Renders the whole report as one machine-readable JSON object.
+    ///
+    /// All durations are integer microseconds (`*_us`) so equal reports
+    /// render byte-identically — the same convention as
+    /// [`VodEvent::write_json`]. Oracle verdicts, when present, appear
+    /// under `"oracle"` with their stable invariant names.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"ftvod-report/v1\"");
+        let _ = write!(out, ",\"takeovers\":[");
+        for (i, t) in self.takeovers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"client\":{},\"from_server\":{},\"to_server\":{},\
+                 \"trigger\":\"{}\",\"triggered_us\":{},\"view_change_us\":{},\
+                 \"resume_us\":{},\"total_us\":{},\"resume_frame\":{}}}",
+                t.client.0,
+                t.from_server
+                    .map_or_else(|| "null".to_owned(), |n| n.0.to_string()),
+                t.to_server.0,
+                t.trigger,
+                secs_to_us(t.triggered_s),
+                secs_to_us(t.view_change_s),
+                secs_to_us(t.resume_s),
+                secs_to_us(t.total_s),
+                t.resume_frame.0,
+            );
+        }
+        let _ = write!(out, "],\"migrations\":{}", self.migrations);
+        for (name, hist) in [
+            ("delivery_latency", &self.delivery_latency),
+            ("takeover_latency", &self.takeover_latency),
+            ("refill_time", &self.refill_time),
+        ] {
+            let _ = write!(out, ",\"{name}\":");
+            write_histogram_json(&mut out, hist);
+        }
+        let _ = write!(out, ",\"glitches\":[");
+        for (i, g) in self.glitches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"client\":{},\"resumed_us\":{},\"gap_us\":{}}}",
+                g.client.0,
+                secs_to_us(g.resumed_s),
+                secs_to_us(g.gap_s),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"glitch_us\":{},\"late_frames\":{},\"overflow_frames\":{},\
+             \"emergencies_requested\":{},\"emergencies_granted\":{}",
+            secs_to_us(self.glitch_seconds()),
+            self.late_frames,
+            self.overflow_frames,
+            self.emergencies_requested,
+            self.emergencies_granted,
+        );
+        let _ = write!(out, ",\"emergency_windows\":[");
+        for (i, w) in self.emergency_windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"client\":{},\"server\":{},\"started_us\":{},\
+                 \"duration_us\":{},\"base\":{}}}",
+                w.client.0,
+                w.server.0,
+                secs_to_us(w.started_s),
+                secs_to_us(w.duration_s),
+                w.base,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"replica_bringups\":{},\"replica_retires\":{},\
+             \"suspicions\":{},\"views_installed\":{},\
+             \"events_seen\":{},\"events_dropped\":{}",
+            self.replica_bringups,
+            self.replica_retires,
+            self.suspicions,
+            self.views_installed,
+            self.events_seen,
+            self.events_dropped,
+        );
+        match &self.oracle {
+            None => out.push_str(",\"oracle\":null"),
+            Some(oracle) => {
+                let _ = write!(
+                    out,
+                    ",\"oracle\":{{\"pass\":{},\"verdicts\":[",
+                    oracle.pass()
+                );
+                for (i, (name, verdict)) in oracle.verdicts().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let (status, detail) = match verdict {
+                        crate::oracle::Verdict::Pass => ("pass", None),
+                        crate::oracle::Verdict::Fail(d) => ("fail", Some(d)),
+                        crate::oracle::Verdict::Inconclusive(d) => ("inconclusive", Some(d)),
+                    };
+                    let _ = write!(
+                        out,
+                        "{{\"invariant\":\"{name}\",\"status\":\"{status}\",\"detail\":"
+                    );
+                    match detail {
+                        None => out.push_str("null"),
+                        Some(d) => {
+                            out.push('"');
+                            out.push_str(&json_escape(d));
+                            out.push('"');
+                        }
+                    }
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Seconds to integer microseconds, the JSON duration convention.
+fn secs_to_us(seconds: f64) -> u64 {
+    (seconds * 1e6).round().max(0.0) as u64
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends a histogram as `{"count":…,"min_us":…,…}` (or `null` when it
+/// has no samples).
+fn write_histogram_json(out: &mut String, hist: &Histogram) {
+    if hist.is_empty() {
+        out.push_str("null");
+        return;
+    }
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"min_us\":{},\"max_us\":{},\"mean_us\":{},\
+         \"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+        hist.count(),
+        secs_to_us(hist.min().expect("non-empty")),
+        secs_to_us(hist.max().expect("non-empty")),
+        secs_to_us(hist.mean().expect("non-empty")),
+        secs_to_us(hist.quantile(0.5).expect("non-empty")),
+        secs_to_us(hist.quantile(0.9).expect("non-empty")),
+        secs_to_us(hist.quantile(0.99).expect("non-empty")),
+    );
 }
 
 fn write_histogram_line(

@@ -1,0 +1,157 @@
+//! Integration tests for the self-profiling subsystem: the trace ring
+//! buffer's overflow accounting, the determinism contract on profile
+//! counters (same seed, same counters, byte for byte), and the
+//! zero-perturbation guarantee (profiling never changes what the
+//! simulation computes).
+
+use ftvod_core::profile::Subsystem;
+use ftvod_core::protocol::ClientId;
+use ftvod_core::scenario::presets;
+use simnet::{NodeId, SimTime};
+
+const END: SimTime = SimTime::from_secs(92);
+const SERVERS: [NodeId; 3] = [NodeId(1), NodeId(2), NodeId(3)];
+
+/// A capacity far below the Fig-4 event volume, forcing eviction.
+const TINY_CAPACITY: usize = 64;
+
+/// When the ring buffer overflows, eviction is accounted deterministically:
+/// two same-seed runs drop the same number of events and retain the same
+/// window, byte for byte.
+#[test]
+fn ring_buffer_overflow_accounting_is_deterministic() {
+    let run = || {
+        let (mut builder, _, _) = presets::fig4_lan(42);
+        builder.record_events(TINY_CAPACITY);
+        let mut sim = builder.build();
+        sim.run_until(END);
+        let (len, capacity, dropped) = sim
+            .trace()
+            .with_recorder(|rec| (rec.len(), rec.capacity(), rec.dropped()))
+            .expect("recording enabled");
+        let jsonl = sim.events_jsonl().expect("recording enabled");
+        (len, capacity, dropped, jsonl)
+    };
+    let (len, capacity, dropped, jsonl) = run();
+    assert_eq!(capacity, TINY_CAPACITY);
+    assert_eq!(len, TINY_CAPACITY, "buffer should be full");
+    assert!(
+        dropped > 0,
+        "scenario should overflow a {TINY_CAPACITY}-slot buffer"
+    );
+    assert_eq!(
+        jsonl.lines().count(),
+        TINY_CAPACITY,
+        "JSONL is the retained window"
+    );
+
+    let (len2, _, dropped2, jsonl2) = run();
+    assert_eq!(len, len2, "retained count diverged across same-seed runs");
+    assert_eq!(
+        dropped, dropped2,
+        "drop accounting diverged across same-seed runs"
+    );
+    assert_eq!(
+        jsonl, jsonl2,
+        "retained window diverged across same-seed runs"
+    );
+}
+
+/// The profile counter table — scheduler event counts, span counts,
+/// network totals — is identical across repeated same-seed runs. Only
+/// the wall-clock side of the report may vary.
+#[test]
+fn profile_counters_are_deterministic_across_runs() {
+    let counters = || {
+        let (mut builder, _, _) = presets::fig4_lan(42);
+        builder.profile_costs();
+        let mut sim = builder.build();
+        sim.run_until(END);
+        sim.profile_report().expect("profiling enabled").counters
+    };
+    let first = counters();
+    assert!(
+        first.get("sched.events_total").copied().unwrap_or(0) > 0,
+        "scheduler dispatched no events"
+    );
+    assert!(
+        first
+            .get("span.client.playback.count")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "client playback recorded no spans"
+    );
+    assert!(
+        first
+            .get("span.gcs.view_change.count")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "the crash scenario installed no views"
+    );
+    assert_eq!(first, counters(), "counters diverged across same-seed runs");
+}
+
+/// The zero-overhead-when-off contract's other half: when profiling is
+/// on, it is strictly passive. Client and server statistics are
+/// bit-identical with and without profiling — no RNG draw, timer, or
+/// message depends on it.
+#[test]
+fn profiling_does_not_perturb_simulation() {
+    let run = |profiled: bool| {
+        let (mut builder, _, _) = presets::fig4_lan(42);
+        if profiled {
+            builder.profile_costs();
+        }
+        let mut sim = builder.build();
+        sim.run_until(END);
+        let client = sim.client_stats(ClientId(1)).expect("client exists");
+        let servers: Vec<_> = SERVERS.iter().map(|&n| sim.server_stats(n)).collect();
+        (client, servers)
+    };
+    let profiled = run(true);
+    let plain = run(false);
+    assert_eq!(profiled.0, plain.0, "client stats diverged under profiling");
+    assert_eq!(profiled.1, plain.1, "server stats diverged under profiling");
+}
+
+/// A flamechart buffer far smaller than the span volume drops the excess
+/// and says how many; the drop count is deterministic, and the retained
+/// trace is valid Chrome-trace JSON with one metadata record per
+/// subsystem.
+#[test]
+fn flamechart_capacity_overflow_is_accounted() {
+    let run = || {
+        let (mut builder, _, _) = presets::fig4_lan(42);
+        builder.profile_flamechart(16);
+        let mut sim = builder.build();
+        sim.run_until(END);
+        let dropped = sim.profile().flamechart_dropped();
+        let trace = sim
+            .profile()
+            .chrome_trace_json()
+            .expect("profiling enabled");
+        (dropped, trace)
+    };
+    let (dropped, trace) = run();
+    assert!(dropped > 0, "the scenario should overflow 16 span slots");
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"thread_name\""));
+    assert!(trace.contains(Subsystem::ClientPlayback.name()));
+    let (dropped2, _) = run();
+    assert_eq!(dropped, dropped2, "flamechart drop count diverged");
+}
+
+/// Disabled profiling stays disabled: no report, no flamechart, handle
+/// reports off. This is the configuration every non-perf run uses, so it
+/// must never silently flip on.
+#[test]
+fn profiling_is_off_by_default() {
+    let (builder, _, _) = presets::fig4_lan(42);
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(10));
+    assert!(!sim.profile().is_enabled());
+    assert!(sim.profile_report().is_none());
+    assert!(sim.profile().chrome_trace_json().is_none());
+}

@@ -83,6 +83,7 @@
 
 mod net;
 mod process;
+mod profile;
 pub mod rng;
 pub mod rt;
 mod sim;
@@ -91,6 +92,7 @@ mod time;
 
 pub use net::{BurstLoss, Endpoint, LinkProfile, NodeId, Payload, Port};
 pub use process::{Context, Process, Timer, TimerId};
+pub use profile::SimProfile;
 pub use rng::SimRng;
 pub use sim::{DropReason, Simulation, TraceEvent};
 pub use stats::{ClassStats, NetStats};

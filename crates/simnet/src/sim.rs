@@ -8,10 +8,11 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::net::{Endpoint, LinkProfile, NodeId, Payload};
 use crate::process::{AnyProcess, Context, Effect, Process, Timer, TimerId};
+use crate::profile::SimProfile;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::SimTime;
@@ -261,6 +262,9 @@ pub struct Simulation<M: Payload> {
     stats: NetStats,
     effects: Vec<Effect<M>>,
     tracer: Option<Tracer>,
+    /// Hot-path cost accounting; `None` (the default) means every
+    /// profiling update in the engine is skipped entirely.
+    profile: Option<SimProfile>,
 }
 
 impl<M: Payload> Simulation<M> {
@@ -286,7 +290,22 @@ impl<M: Payload> Simulation<M> {
             stats: NetStats::new(),
             effects: Vec::new(),
             tracer: None,
+            profile: None,
         }
+    }
+
+    /// Turns on hot-path cost accounting. Counters start from zero at the
+    /// moment of the call; profiling is passive and cannot change the run
+    /// (it touches no RNG, timers or messages — only its own counters and
+    /// host wall-clock reads).
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(SimProfile::default());
+    }
+
+    /// The accumulated hot-path profile, or `None` when profiling was
+    /// never enabled.
+    pub fn profile(&self) -> Option<&SimProfile> {
+        self.profile.as_ref()
     }
 
     /// Installs a tracer receiving a [`TraceEvent`] for every send,
@@ -420,6 +439,7 @@ impl<M: Payload> Simulation<M> {
     /// Runs every event scheduled at or before `until`, then advances the
     /// clock to exactly `until`.
     pub fn run_until(&mut self, until: SimTime) {
+        let started = self.profile.as_ref().map(|_| Instant::now());
         while let Some(head) = self.queue.peek() {
             if head.at > until {
                 break;
@@ -429,6 +449,9 @@ impl<M: Payload> Simulation<M> {
         }
         if until > self.now {
             self.now = until;
+        }
+        if let (Some(profile), Some(started)) = (self.profile.as_mut(), started) {
+            profile.dispatch_ns += started.elapsed().as_nanos() as u64;
         }
     }
 
@@ -442,7 +465,11 @@ impl<M: Payload> Simulation<M> {
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some(ev) => {
+                let started = self.profile.as_ref().map(|_| Instant::now());
                 self.dispatch(ev.at, ev.kind);
+                if let (Some(profile), Some(started)) = (self.profile.as_mut(), started) {
+                    profile.dispatch_ns += started.elapsed().as_nanos() as u64;
+                }
                 true
             }
             None => false,
@@ -531,6 +558,17 @@ impl<M: Payload> Simulation<M> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, kind });
+        if let Some(profile) = self.profile.as_mut() {
+            profile.peak_queue_depth = profile.peak_queue_depth.max(self.queue.len() as u64);
+        }
+    }
+
+    /// Increments a profile counter, doing nothing when profiling is off.
+    #[inline]
+    fn count(&mut self, bump: impl FnOnce(&mut SimProfile)) {
+        if let Some(profile) = self.profile.as_mut() {
+            bump(profile);
+        }
     }
 
     fn dispatch(&mut self, at: SimTime, kind: EventKind<M>) {
@@ -544,6 +582,7 @@ impl<M: Payload> Simulation<M> {
                 class,
                 sent_at,
             } => {
+                self.count(|p| p.deliver_events += 1);
                 let alive = self.nodes.get(&to.node).is_some_and(|s| s.alive);
                 if !alive {
                     self.stats.class_mut(class).dropped_dead += 1;
@@ -570,16 +609,20 @@ impl<M: Payload> Simulation<M> {
             }
             EventKind::Timer { node, id, tag } => {
                 if self.cancelled.remove(&id.0) {
+                    self.count(|p| p.timer_squashed += 1);
                     return;
                 }
                 if !self.nodes.get(&node).is_some_and(|s| s.alive) {
+                    self.count(|p| p.timer_dead += 1);
                     return;
                 }
+                self.count(|p| p.timer_fired += 1);
                 self.run_handler(node, |process, ctx| {
                     process.on_timer(ctx, Timer { id, tag });
                 });
             }
             EventKind::Start { node, process } => {
+                self.count(|p| p.start_events += 1);
                 let slot = self.nodes.entry(node).or_insert(NodeSlot {
                     process: None,
                     alive: false,
@@ -594,6 +637,7 @@ impl<M: Payload> Simulation<M> {
                 self.run_handler(node, |process, ctx| process.on_start(ctx));
             }
             EventKind::Crash { node } => {
+                self.count(|p| p.crash_events += 1);
                 if let Some(slot) = self.nodes.get_mut(&node) {
                     slot.alive = false;
                 }
@@ -601,6 +645,7 @@ impl<M: Payload> Simulation<M> {
                 self.trace(TraceEvent::NodeCrashed { at, node });
             }
             EventKind::Partition { a, b } => {
+                self.count(|p| p.partition_events += 1);
                 for &x in &a {
                     for &y in &b {
                         *self.blocked.entry((x, y)).or_insert(0) += 1;
@@ -612,6 +657,7 @@ impl<M: Payload> Simulation<M> {
                 }
             }
             EventKind::Heal { a, b } => {
+                self.count(|p| p.heal_events += 1);
                 for &x in &a {
                     for &y in &b {
                         for pair in [(x, y), (y, x)] {
@@ -629,6 +675,7 @@ impl<M: Payload> Simulation<M> {
                 }
             }
             EventKind::HealAll => {
+                self.count(|p| p.heal_events += 1);
                 self.blocked.clear();
                 if self.tracer.is_some() {
                     self.trace(TraceEvent::Healed {
@@ -639,6 +686,7 @@ impl<M: Payload> Simulation<M> {
                 }
             }
             EventKind::SetDefaultProfile { profile } => {
+                self.count(|p| p.profile_change_events += 1);
                 self.default_profile = profile;
             }
         }
@@ -683,9 +731,11 @@ impl<M: Payload> Simulation<M> {
         match effect {
             Effect::Send { from, to, msg } => self.route(from, to, msg),
             Effect::SetTimer { id, at, tag } => {
+                self.count(|p| p.timers_set += 1);
                 self.schedule(at, EventKind::Timer { node, id, tag });
             }
             Effect::CancelTimer(id) => {
+                self.count(|p| p.timers_cancelled += 1);
                 self.cancelled.insert(id.0);
             }
             Effect::Exit => {}
@@ -693,6 +743,7 @@ impl<M: Payload> Simulation<M> {
     }
 
     fn route(&mut self, from: Endpoint, to: Endpoint, msg: M) {
+        self.count(|p| p.msgs_routed += 1);
         let class = msg.class();
         let size = msg.size_bytes();
         {

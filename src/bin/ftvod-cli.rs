@@ -7,11 +7,14 @@
 //!                                           run a preset and export the
 //!                                           cross-layer event stream as
 //!                                           JSON Lines (stdout by default)
-//! ftvod-cli report <lan|wan> [--seed N]     run a preset and print the
+//! ftvod-cli report <lan|wan> [--seed N] [--json]
+//!                                           run a preset and print the
 //!                                           derived run report: takeover
 //!                                           latency breakdown (view-change
 //!                                           + resume), delivery latency
-//!                                           percentiles, glitch windows
+//!                                           percentiles, glitch windows;
+//!                                           --json emits the machine-readable
+//!                                           form incl. oracle verdicts
 //! ftvod-cli custom [options]                build your own deployment
 //!   --servers N        replicas at start            (default 2)
 //!   --clients M        viewers                      (default 1)
@@ -39,13 +42,27 @@
 //!   --clients M        sessions per campaign        (default 24)
 //!   --sync-ms MS       server sync interval         (default 500)
 //!   --plan             print each campaign's fault schedule
+//! ftvod-cli perf [options]                  run the fixed perf suite and
+//!                                           emit BENCH_ftvod.json; with a
+//!                                           baseline, gate on regressions
+//!   --out FILE         where to write the BENCH file (default BENCH_ftvod.json)
+//!   --baseline FILE    compare against a previous BENCH file
+//!   --rev REV          git revision to record       (default "unknown")
+//!   --date DATE        date to record               (default "unknown")
+//!   --counters-only    omit wall-clock fields (byte-identical output)
+//!   --flamechart FILE  export a Chrome-trace JSON of fig4_lan spans
+//!   --max-wall-ratio R wall-clock regression threshold (default 5.0)
 //! ```
+//!
+//! `lan`, `wan`, `custom` and `fleet` also accept `--net-csv FILE` to
+//! export the per-class network traffic counters as CSV.
 //!
 //! Every subcommand also accepts `--help`/`-h`.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use ftvod::bench::perf::{run_suite, BenchReport, DEFAULT_MAX_WALL_RATIO};
 use ftvod::prelude::*;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +74,7 @@ struct CustomOptions {
     crashes: Vec<u64>,
     shutdowns: Vec<u64>,
     seed: u64,
+    net_csv: Option<String>,
 }
 
 impl Default for CustomOptions {
@@ -69,6 +87,7 @@ impl Default for CustomOptions {
             crashes: Vec::new(),
             shutdowns: Vec::new(),
             seed: 42,
+            net_csv: None,
         }
     }
 }
@@ -112,6 +131,7 @@ fn parse_custom(args: &[String]) -> Result<CustomOptions, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--net-csv" => opts.net_csv = Some(value("--net-csv")?.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -134,6 +154,7 @@ struct FleetOptions {
     seconds: Option<u64>,
     dynamic: bool,
     seed: u64,
+    net_csv: Option<String>,
 }
 
 impl Default for FleetOptions {
@@ -147,6 +168,7 @@ impl Default for FleetOptions {
             seconds: None,
             dynamic: true,
             seed: 42,
+            net_csv: None,
         }
     }
 }
@@ -193,6 +215,7 @@ fn parse_fleet(args: &[String]) -> Result<FleetOptions, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--net-csv" => opts.net_csv = Some(value("--net-csv")?.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -205,7 +228,7 @@ fn parse_fleet(args: &[String]) -> Result<FleetOptions, String> {
     Ok(opts)
 }
 
-fn run_fleet(opts: &FleetOptions) {
+fn run_fleet(opts: &FleetOptions) -> Result<(), String> {
     let mut profile = FleetProfile::small_fleet();
     profile.servers = opts.servers;
     profile.clients = opts.clients;
@@ -244,6 +267,7 @@ fn run_fleet(opts: &FleetOptions) {
         );
         println!("\n{}", run.summary_line());
     }
+    write_net_csv(&sim, opts.net_csv.as_deref())
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -434,6 +458,30 @@ fn out_flag(args: &[String]) -> Result<Option<String>, String> {
     Ok(None)
 }
 
+fn net_csv_flag(args: &[String]) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--net-csv" {
+            return match it.next() {
+                Some(path) => Ok(Some(path.clone())),
+                None => Err("--net-csv needs a value".to_owned()),
+            };
+        }
+    }
+    Ok(None)
+}
+
+/// Exports the per-class network counters as CSV when a path was given.
+fn write_net_csv(sim: &VodSim, path: Option<&str>) -> Result<(), String> {
+    let Some(path) = path else {
+        return Ok(());
+    };
+    let csv = sim.net_stats().to_csv();
+    std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote network counters to {path}");
+    Ok(())
+}
+
 fn summarize(sim: &VodSim, clients: &[ClientId]) {
     println!(
         "\n{:<8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}   served by",
@@ -461,7 +509,7 @@ fn summarize(sim: &VodSim, clients: &[ClientId]) {
     println!("\nnetwork traffic:\n{}", sim.net_stats());
 }
 
-fn run_preset(which: &str, seed: u64) {
+fn run_preset(which: &str, seed: u64, net_csv: Option<&str>) -> Result<(), String> {
     let (mut builder, a, b) = match which {
         "lan" => presets::fig4_lan(seed),
         _ => presets::fig5_wan(seed),
@@ -480,6 +528,7 @@ fn run_preset(which: &str, seed: u64) {
     if let Some(report) = sim.report() {
         println!("\n{}", report.summary_line());
     }
+    write_net_csv(&sim, net_csv)
 }
 
 /// Runs a preset with event recording and hands the finished sim back.
@@ -507,7 +556,7 @@ fn run_trace(which: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn run_report(which: &str, seed: u64) -> Result<(), String> {
+fn run_report(which: &str, seed: u64, json: bool) -> Result<(), String> {
     let sim = traced_preset(which, seed);
     let mut report = sim.report().expect("recording was enabled");
     let oracle = sim
@@ -516,13 +565,118 @@ fn run_report(which: &str, seed: u64) -> Result<(), String> {
         .expect("recording was enabled");
     let pass = oracle.pass();
     report.oracle = Some(oracle);
-    println!("{which} scenario, seed {seed}:\n");
-    print!("{report}");
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!("{which} scenario, seed {seed}:\n");
+        print!("{report}");
+    }
     if pass {
         Ok(())
     } else {
         Err("the safety oracle flagged an invariant violation".to_owned())
     }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PerfOptions {
+    out: String,
+    baseline: Option<String>,
+    rev: String,
+    date: String,
+    counters_only: bool,
+    flamechart: Option<String>,
+    max_wall_ratio: f64,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            out: "BENCH_ftvod.json".to_owned(),
+            baseline: None,
+            rev: "unknown".to_owned(),
+            date: "unknown".to_owned(),
+            counters_only: false,
+            flamechart: None,
+            max_wall_ratio: DEFAULT_MAX_WALL_RATIO,
+        }
+    }
+}
+
+fn parse_perf(args: &[String]) -> Result<PerfOptions, String> {
+    let mut opts = PerfOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => opts.out = value("--out")?.clone(),
+            "--baseline" => opts.baseline = Some(value("--baseline")?.clone()),
+            "--rev" => opts.rev = value("--rev")?.clone(),
+            "--date" => opts.date = value("--date")?.clone(),
+            "--counters-only" => opts.counters_only = true,
+            "--flamechart" => opts.flamechart = Some(value("--flamechart")?.clone()),
+            "--max-wall-ratio" => {
+                opts.max_wall_ratio = value("--max-wall-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-wall-ratio: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !opts.max_wall_ratio.is_finite() || opts.max_wall_ratio < 1.0 {
+        return Err("--max-wall-ratio must be a finite ratio of at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+fn run_perf(opts: &PerfOptions) -> Result<(), String> {
+    // Load the baseline first so a malformed file fails before the
+    // minutes-long suite runs.
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(BenchReport::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?)
+        }
+        None => None,
+    };
+    println!(
+        "perf: running the fixed suite (fig4_lan, fig5_wan, fleet_e3, chaos_5seeds), rev {}",
+        opts.rev
+    );
+    let capacity = if opts.flamechart.is_some() {
+        1 << 18
+    } else {
+        0
+    };
+    let (report, flamechart) = run_suite(&opts.rev, &opts.date, capacity);
+    print!("{}", report.render_table());
+    let json = report.to_json(!opts.counters_only);
+    std::fs::write(&opts.out, &json).map_err(|e| format!("writing {}: {e}", opts.out))?;
+    println!("wrote {}", opts.out);
+    if let Some(path) = &opts.flamechart {
+        let trace = flamechart.ok_or("the suite produced no flamechart spans")?;
+        std::fs::write(path, &trace).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote flamechart to {path} (open in a Chrome-trace viewer)");
+    }
+    if let Some(baseline) = baseline {
+        let regressions = BenchReport::compare(&baseline, &report, opts.max_wall_ratio);
+        if regressions.is_empty() {
+            println!(
+                "perf gate: no regressions against {}",
+                opts.baseline.as_deref().unwrap_or("baseline")
+            );
+        } else {
+            let mut msg = format!("{} perf regression(s):", regressions.len());
+            for r in &regressions {
+                msg.push_str("\n  ");
+                msg.push_str(r);
+            }
+            return Err(msg);
+        }
+    }
+    Ok(())
 }
 
 fn run_custom(opts: &CustomOptions) -> Result<(), String> {
@@ -567,7 +721,7 @@ fn run_custom(opts: &CustomOptions) -> Result<(), String> {
     if let Some(report) = sim.report() {
         println!("\n{}", report.summary_line());
     }
-    Ok(())
+    write_net_csv(&sim, opts.net_csv.as_deref())
 }
 
 fn preset_name(args: &[String]) -> Result<&'static str, String> {
@@ -595,11 +749,12 @@ fn exit_from(result: Result<(), String>) -> ExitCode {
 fn usage_for(topic: &str) -> &'static str {
     match topic {
         "lan" | "wan" => {
-            "usage: ftvod-cli <lan | wan> [--seed N]\n\n\
+            "usage: ftvod-cli <lan | wan> [--seed N] [--net-csv FILE]\n\n\
              Run the paper's Figure 4 (lan) or Figure 5 (wan) scenario and\n\
              print per-client statistics plus the run-report summary.\n\n\
              options:\n\
-             \x20 --seed N     determinism seed (default 42)"
+             \x20 --seed N        determinism seed (default 42)\n\
+             \x20 --net-csv FILE  export per-class network counters as CSV"
         }
         "trace" => {
             "usage: ftvod-cli trace <lan | wan> [--seed N] [--out FILE]\n\n\
@@ -610,12 +765,14 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --out FILE   write the JSONL stream to FILE"
         }
         "report" => {
-            "usage: ftvod-cli report <lan | wan> [--seed N]\n\n\
+            "usage: ftvod-cli report <lan | wan> [--seed N] [--json]\n\n\
              Run a preset scenario and print the derived run report:\n\
              takeover-latency breakdowns (view change + resume), delivery\n\
              latency percentiles, glitch windows, replication decisions.\n\n\
              options:\n\
-             \x20 --seed N     determinism seed (default 42)"
+             \x20 --seed N     determinism seed (default 42)\n\
+             \x20 --json       emit the machine-readable report (schema\n\
+             \x20              ftvod-report/v1) including oracle verdicts"
         }
         "custom" => {
             "usage: ftvod-cli custom [options]\n\n\
@@ -628,7 +785,8 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --profile P    lan | wan | wan-reserved           (default lan)\n\
              \x20 --crash T      crash the serving replica at T (repeatable)\n\
              \x20 --shutdown T   gracefully detach the serving replica at T\n\
-             \x20 --seed N       determinism seed                   (default 42)"
+             \x20 --seed N       determinism seed                   (default 42)\n\
+             \x20 --net-csv FILE export per-class network counters as CSV"
         }
         "fleet" => {
             "usage: ftvod-cli fleet [options]\n\n\
@@ -644,7 +802,8 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --cap C        admission cap per server           (default 3M/2N)\n\
              \x20 --seconds S    run length override (default: until the plan ends)\n\
              \x20 --static       disable the dynamic replica manager\n\
-             \x20 --seed N       determinism seed                   (default 42)"
+             \x20 --seed N       determinism seed                   (default 42)\n\
+             \x20 --net-csv FILE export per-class network counters as CSV"
         }
         "chaos" => {
             "usage: ftvod-cli chaos [options]\n\n\
@@ -663,6 +822,26 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --sync-ms MS   server sync interval in ms         (default 500)\n\
              \x20 --plan         print each campaign's fault schedule"
         }
+        "perf" => {
+            "usage: ftvod-cli perf [options]\n\n\
+             Run the fixed perf suite (fig4_lan, fig5_wan, fleet_e3,\n\
+             chaos_5seeds) with hot-path cost profiling on and write the\n\
+             schema-versioned BENCH_ftvod.json: per-scenario wall-clock,\n\
+             events/second, peak concurrent sessions and the deterministic\n\
+             counter table. With --baseline, compare against a previous\n\
+             BENCH file and exit nonzero on any regression: counters must\n\
+             match exactly, wall-clock must stay within the ratio\n\
+             threshold.\n\n\
+             options:\n\
+             \x20 --out FILE          BENCH output path      (default BENCH_ftvod.json)\n\
+             \x20 --baseline FILE     gate against a previous BENCH file\n\
+             \x20 --rev REV           git revision to record (default unknown)\n\
+             \x20 --date DATE         date to record         (default unknown)\n\
+             \x20 --counters-only     omit wall-clock fields; output is\n\
+             \x20                     byte-identical across runs\n\
+             \x20 --flamechart FILE   export fig4_lan spans as Chrome-trace JSON\n\
+             \x20 --max-wall-ratio R  wall-clock threshold   (default 5.0)"
+        }
         _ => {
             "usage: ftvod-cli <command> [options]\n\n\
              commands:\n\
@@ -671,7 +850,9 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 report      run a preset, print the derived run report\n\
              \x20 custom      build your own deployment (crashes, shutdowns)\n\
              \x20 fleet       generated fleet workload with dynamic replication\n\
-             \x20 chaos       seeded fault campaigns checked by the safety oracle\n\n\
+             \x20 chaos       seeded fault campaigns checked by the safety oracle\n\
+             \x20 perf        run the perf suite, write BENCH_ftvod.json, gate\n\
+             \x20             against a baseline\n\n\
              Run `ftvod-cli <command> --help` for the command's options."
         }
     }
@@ -699,18 +880,23 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match cmd {
-        "lan" | "wan" => exit_from(seed_flag(&args).map(|seed| run_preset(cmd, seed))),
+        "lan" | "wan" => exit_from(seed_flag(&args).and_then(|seed| {
+            let net_csv = net_csv_flag(&args)?;
+            run_preset(cmd, seed, net_csv.as_deref())
+        })),
         "trace" => exit_from(preset_name(&args[1..]).and_then(|which| {
             let seed = seed_flag(&args)?;
             let out = out_flag(&args)?;
             run_trace(which, seed, out.as_deref())
         })),
-        "report" => exit_from(
-            preset_name(&args[1..]).and_then(|which| run_report(which, seed_flag(&args)?)),
-        ),
+        "report" => exit_from(preset_name(&args[1..]).and_then(|which| {
+            let json = args[1..].iter().any(|a| a == "--json");
+            run_report(which, seed_flag(&args)?, json)
+        })),
         "custom" => exit_from(parse_custom(&args[1..]).and_then(|opts| run_custom(&opts))),
-        "fleet" => exit_from(parse_fleet(&args[1..]).map(|opts| run_fleet(&opts))),
+        "fleet" => exit_from(parse_fleet(&args[1..]).and_then(|opts| run_fleet(&opts))),
         "chaos" => exit_from(parse_chaos(&args[1..]).and_then(|opts| run_chaos(&opts))),
+        "perf" => exit_from(parse_perf(&args[1..]).and_then(|opts| run_perf(&opts))),
         other => {
             eprintln!("unknown command \"{other}\"\n\n{}", usage_for("overview"));
             ExitCode::FAILURE
@@ -901,7 +1087,7 @@ mod tests {
     #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "lan", "wan", "trace", "report", "custom", "fleet", "chaos", "overview",
+            "lan", "wan", "trace", "report", "custom", "fleet", "chaos", "perf", "overview",
         ] {
             let text = usage_for(cmd);
             assert!(text.starts_with("usage:"), "{cmd} usage malformed");
@@ -909,6 +1095,68 @@ mod tests {
         assert!(usage_for("fleet").contains("--zipf"));
         assert!(usage_for("chaos").contains("--sync-ms"));
         assert!(usage_for("overview").contains("chaos"));
+        assert!(usage_for("overview").contains("perf"));
+        assert!(usage_for("perf").contains("--counters-only"));
+        assert!(usage_for("report").contains("--json"));
+        assert!(usage_for("fleet").contains("--net-csv"));
+    }
+
+    #[test]
+    fn perf_defaults_parse() {
+        let opts = parse_perf(&[]).unwrap();
+        assert_eq!(opts, PerfOptions::default());
+        assert_eq!(opts.out, "BENCH_ftvod.json");
+        assert!(!opts.counters_only);
+        assert!((opts.max_wall_ratio - DEFAULT_MAX_WALL_RATIO).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_full_flag_set_parses() {
+        let opts = parse_perf(&strings(&[
+            "--out",
+            "bench.json",
+            "--baseline",
+            "BENCH_ftvod.json",
+            "--rev",
+            "abc123",
+            "--date",
+            "2026-08-07",
+            "--counters-only",
+            "--flamechart",
+            "flame.json",
+            "--max-wall-ratio",
+            "3.5",
+        ]))
+        .unwrap();
+        assert_eq!(opts.out, "bench.json");
+        assert_eq!(opts.baseline.as_deref(), Some("BENCH_ftvod.json"));
+        assert_eq!(opts.rev, "abc123");
+        assert_eq!(opts.date, "2026-08-07");
+        assert!(opts.counters_only);
+        assert_eq!(opts.flamechart.as_deref(), Some("flame.json"));
+        assert!((opts.max_wall_ratio - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_rejects_bad_inputs() {
+        assert!(parse_perf(&strings(&["--bogus"])).is_err());
+        assert!(parse_perf(&strings(&["--out"])).is_err());
+        assert!(parse_perf(&strings(&["--max-wall-ratio", "0.5"])).is_err());
+        assert!(parse_perf(&strings(&["--max-wall-ratio", "nan"])).is_err());
+    }
+
+    #[test]
+    fn net_csv_flag_parses() {
+        assert_eq!(
+            net_csv_flag(&strings(&["lan", "--net-csv", "net.csv"])),
+            Ok(Some("net.csv".to_owned()))
+        );
+        assert_eq!(net_csv_flag(&strings(&["lan"])), Ok(None));
+        assert!(net_csv_flag(&strings(&["lan", "--net-csv"])).is_err());
+        let custom = parse_custom(&strings(&["--net-csv", "net.csv"])).unwrap();
+        assert_eq!(custom.net_csv.as_deref(), Some("net.csv"));
+        let fleet = parse_fleet(&strings(&["--net-csv", "net.csv"])).unwrap();
+        assert_eq!(fleet.net_csv.as_deref(), Some("net.csv"));
     }
 
     #[test]

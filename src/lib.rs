@@ -76,12 +76,20 @@ pub mod vod {
     pub use ftvod_core::*;
 }
 
+/// The experiment and benchmark harness (re-export of [`ftvod_bench`]):
+/// shared experiment utilities plus the fixed perf suite behind
+/// `ftvod-cli perf` and the CI regression gate.
+pub mod bench {
+    pub use ftvod_bench::*;
+}
+
 /// The most commonly needed names in one import.
 pub mod prelude {
     pub use ftvod_core::chaos::{ChaosFault, ChaosPlan, ChaosProfile};
     pub use ftvod_core::client::{ClientStats, VodClient, WatchRequest};
     pub use ftvod_core::config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
     pub use ftvod_core::oracle::{OracleConfig, OracleReport, Verdict};
+    pub use ftvod_core::profile::{ProfileHandle, ProfileReport, Subsystem};
     pub use ftvod_core::protocol::{ClientId, VodWire};
     pub use ftvod_core::scenario::{presets, ScenarioBuilder, VcrOp, VodSim};
     pub use ftvod_core::server::{Replica, VodServer};
