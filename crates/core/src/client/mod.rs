@@ -302,6 +302,13 @@ impl VodClient {
     pub fn stop(&mut self, ctx: &mut Context<'_, VodWire>) {
         self.stopped = true;
         self.send_vcr(ctx, VcrCmd::Stop);
+        // Membership is the liveness signal (paper §5.2): the Stop above
+        // can die with a crashing server before it reaches the other
+        // replicas, and a survivor would then resurrect the session from
+        // a stale record and stream to us forever. Leaving the session
+        // group makes that impossible — any would-be resurrector installs
+        // a view without this node and ends the session instead.
+        self.gcs.leave(ctx, session_group(self.id));
     }
 
     fn send_vcr(&mut self, ctx: &mut Context<'_, VodWire>, cmd: VcrCmd) {

@@ -203,6 +203,12 @@ struct Scan {
     /// When each client's session was over for good (server-side end,
     /// client stop, or end of movie) — excuses for invariant 4.
     session_over: BTreeMap<ClientId, SimTime>,
+    /// Clients whose own actions ended the session (VCR stop, end of
+    /// movie). Unlike a server-side end, this is ground truth of intent:
+    /// a later `SessionStarted` against it is a stale-record
+    /// resurrection by a replica that missed the removal, not renewed
+    /// demand, and must not re-arm invariant 4.
+    stopped_for_good: BTreeSet<ClientId>,
     /// Windows during which some watched movie had no live holder:
     /// `(movie, from, to)`.
     uncovered: Vec<(MovieId, SimTime, SimTime)>,
@@ -282,8 +288,12 @@ impl Scan {
                     holders.entry(*movie).or_default().insert(*server);
                     viewers.entry(*movie).or_default().insert(*client);
                     client_movie.insert(*client, *movie);
-                    // A session (re)start supersedes an earlier "over".
-                    scan.session_over.remove(client);
+                    // A session (re)start supersedes an earlier server-side
+                    // "over" (a wrong end corrected by a takeover) — but
+                    // never the client's own stop.
+                    if !scan.stopped_for_good.contains(client) {
+                        scan.session_over.remove(client);
+                    }
                 }
                 VodEvent::SessionStopped { server, client, .. } => {
                     if let Some(start) = open_spans
@@ -343,10 +353,12 @@ impl Scan {
                 VodEvent::VcrIssued { client, cmd, .. } => {
                     if matches!(cmd, VcrCmd::Stop) {
                         scan.session_over.entry(*client).or_insert(at);
+                        scan.stopped_for_good.insert(*client);
                     }
                 }
                 VodEvent::MovieEnded { client, .. } => {
                     scan.session_over.entry(*client).or_insert(at);
+                    scan.stopped_for_good.insert(*client);
                 }
                 _ => {}
             }
@@ -485,31 +497,31 @@ impl Scan {
     }
 
     /// The repair deadline for a crash at `crash_at`, re-based past every
-    /// later disruption that begins before the then-current deadline. A
+    /// disruption that begins inside the *original* repair window. A
     /// compounding fault — another server crashing, or a partition cutting
     /// the fleet mid-repair — can legitimately take out the very replica
-    /// that was about to take over, so each overlapping disruption re-arms
-    /// the bound from the moment it clears (a cut's heal, a crash itself).
+    /// that was about to take over, so each such disruption excuses the
+    /// repair until it clears (a cut's heal, a crash itself) plus one
+    /// bound. The deadline is the *maximum of the excuses*, not a chain:
+    /// the old sweep re-armed eligibility from the already-extended
+    /// deadline, so a partition heal and a crash landing in the same sync
+    /// window double-extended the bound — each excuse stretched the window
+    /// the next one had to land in, and an unrepaired client could ride a
+    /// cascade of unrelated faults indefinitely.
     fn rebased_deadline(&self, crash_at: SimTime, cfg: &OracleConfig) -> SimTime {
-        // (begins, clears) per disruption, swept in chronological order.
-        let mut disruptions: Vec<(SimTime, SimTime)> = Vec::new();
+        // Eligibility is judged against the original window only.
+        let original = crash_at + cfg.reserve_bound;
+        let mut deadline = original;
         for &(at, _) in &self.crashes {
-            if at > crash_at {
-                disruptions.push((at, at));
+            if at > crash_at && at <= original {
+                deadline = deadline.max(at + cfg.reserve_bound);
             }
         }
         for cuts in self.cuts.values() {
             for &(begins, clears) in cuts {
-                if clears > crash_at {
-                    disruptions.push((begins.max(crash_at), clears));
+                if clears > crash_at && begins <= original {
+                    deadline = deadline.max(clears + cfg.reserve_bound);
                 }
-            }
-        }
-        disruptions.sort();
-        let mut deadline = crash_at + cfg.reserve_bound;
-        for (begins, clears) in disruptions {
-            if begins <= deadline {
-                deadline = deadline.max(clears + cfg.reserve_bound);
             }
         }
         deadline
@@ -795,6 +807,175 @@ mod tests {
         });
         let report = OracleReport::check(&recorder(repaired), &OracleConfig::paper_default());
         assert_eq!(report.reserved_after_fault, Verdict::Pass, "{report}");
+    }
+
+    /// Sick trace for the deadline re-basing: a partition heal inside the
+    /// original repair window excuses the repair until heal + bound, but a
+    /// *later* crash landing only inside that already-extended window must
+    /// NOT extend it again. The old chained sweep double-extended here and
+    /// blessed a repair that arrived a full bound late.
+    #[test]
+    fn compounding_faults_extend_once_not_chained() {
+        // Crash at 5s → original window ends at 15s (bound 10s). A cut
+        // heals at 14s → excused until 24s. A second crash at 20s is
+        // outside the original window; under the old chaining it stretched
+        // the deadline to 30s, so the repair at 27s passed.
+        let events = vec![
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(1),
+            },
+            started(1.0, 1, 7),
+            VodEvent::NodeCrashed {
+                at: t(5.0),
+                node: NodeId(1),
+            },
+            VodEvent::Partitioned {
+                at: t(6.0),
+                a: vec![NodeId(2)],
+                b: vec![NodeId(3)],
+            },
+            VodEvent::Healed {
+                at: t(14.0),
+                a: vec![NodeId(2)],
+                b: vec![NodeId(3)],
+            },
+            VodEvent::NodeCrashed {
+                at: t(20.0),
+                node: NodeId(3),
+            },
+            VodEvent::NetDelivered {
+                at: t(27.0),
+                sent_at: t(26.9),
+                from: Endpoint::new(NodeId(2), Port(1)),
+                to: Endpoint::new(NodeId(107), Port(1)),
+                class: "video",
+            },
+            VodEvent::FrameGap {
+                at: t(60.0),
+                client: ClientId(7),
+                from_frame: FrameNo(0),
+                to_frame: FrameNo(1),
+            },
+        ];
+        let report = OracleReport::check(&recorder(events), &OracleConfig::paper_default());
+        assert!(report.reserved_after_fault.is_fail(), "{report}");
+        // The same trace with the repair inside the single-excuse window
+        // (before 24s) passes.
+        let events_ok = vec![
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(1),
+            },
+            started(1.0, 1, 7),
+            VodEvent::NodeCrashed {
+                at: t(5.0),
+                node: NodeId(1),
+            },
+            VodEvent::Partitioned {
+                at: t(6.0),
+                a: vec![NodeId(2)],
+                b: vec![NodeId(3)],
+            },
+            VodEvent::Healed {
+                at: t(14.0),
+                a: vec![NodeId(2)],
+                b: vec![NodeId(3)],
+            },
+            VodEvent::NetDelivered {
+                at: t(23.0),
+                sent_at: t(22.9),
+                from: Endpoint::new(NodeId(2), Port(1)),
+                to: Endpoint::new(NodeId(107), Port(1)),
+                class: "video",
+            },
+            VodEvent::FrameGap {
+                at: t(60.0),
+                client: ClientId(7),
+                from_frame: FrameNo(0),
+                to_frame: FrameNo(1),
+            },
+        ];
+        let report = OracleReport::check(&recorder(events_ok), &OracleConfig::paper_default());
+        assert_eq!(report.reserved_after_fault, Verdict::Pass, "{report}");
+    }
+
+    /// A client's own VCR stop ends its service obligation for good. A
+    /// later `SessionStarted` against it is a stale-record resurrection
+    /// (a replica that missed the removal re-serving a client that quit)
+    /// and must not re-arm the re-served-after-fault demand — even if
+    /// the resurrecting server then crashes with the zombie open.
+    #[test]
+    fn client_stop_is_terminal_despite_resurrection() {
+        let report = OracleReport::check(
+            &recorder(vec![
+                VodEvent::NodeStarted {
+                    at: t(0.0),
+                    node: NodeId(1),
+                },
+                VodEvent::NodeStarted {
+                    at: t(0.0),
+                    node: NodeId(2),
+                },
+                started(1.0, 1, 7),
+                VodEvent::VcrIssued {
+                    at: t(20.0),
+                    client: ClientId(7),
+                    cmd: VcrCmd::Stop,
+                },
+                started(21.0, 2, 7),
+                VodEvent::NodeCrashed {
+                    at: t(25.0),
+                    node: NodeId(2),
+                },
+                VodEvent::FrameGap {
+                    at: t(60.0),
+                    client: ClientId(8),
+                    from_frame: FrameNo(0),
+                    to_frame: FrameNo(1),
+                },
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert_eq!(report.reserved_after_fault, Verdict::Pass, "{report}");
+    }
+
+    /// The control for the terminal-stop rule: a *server-side* end
+    /// superseded by a later start is a corrected takeover, and the
+    /// client still demands repair when that server crashes.
+    #[test]
+    fn server_side_end_is_superseded_by_restart() {
+        let report = OracleReport::check(
+            &recorder(vec![
+                VodEvent::NodeStarted {
+                    at: t(0.0),
+                    node: NodeId(1),
+                },
+                VodEvent::NodeStarted {
+                    at: t(0.0),
+                    node: NodeId(2),
+                },
+                started(1.0, 1, 7),
+                VodEvent::SessionEnded {
+                    at: t(20.0),
+                    server: NodeId(1),
+                    client: ClientId(7),
+                },
+                started(21.0, 2, 7),
+                VodEvent::NodeCrashed {
+                    at: t(25.0),
+                    node: NodeId(2),
+                },
+                VodEvent::FrameGap {
+                    at: t(60.0),
+                    client: ClientId(8),
+                    from_frame: FrameNo(0),
+                    to_frame: FrameNo(1),
+                },
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert!(report.reserved_after_fault.is_fail(), "{report}");
     }
 
     #[test]

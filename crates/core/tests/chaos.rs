@@ -210,7 +210,7 @@ fn oracle_flags_broken_sync_interval_and_passes_paper_default() {
         profile.catalog_size = 4;
         profile.initial_replicas = 2;
         profile.arrival_window = Duration::from_secs(15);
-        let seed = 2;
+        let seed = 3;
         let (mut builder, _plan) =
             fleet_builder(&profile, seed, Some(ReplicationConfig::paper_default()));
         let mut cfg = VodConfig::paper_default()

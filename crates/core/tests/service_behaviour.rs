@@ -320,6 +320,41 @@ fn stop_removes_the_session_everywhere() {
     );
 }
 
+/// A stop racing the serving replica's crash: the Stop command (and the
+/// record removal it would have announced) dies with the server, so the
+/// survivor's stale record resurrects the session for a client that
+/// already quit. The client's departure from its session group on stop
+/// must kill the zombie — the survivor installs a session view without
+/// the client's node and ends the session instead of streaming to a
+/// stopped client forever.
+#[test]
+fn stop_racing_server_crash_leaves_no_zombie_session() {
+    let mut builder = ScenarioBuilder::new(21);
+    builder
+        .network(LinkProfile::lan())
+        .movie(movie(120), &[S1, S2])
+        .server(S1)
+        .server(S2)
+        .client(C1, CLIENT_NODE, MovieId(1), SimTime::from_secs(2))
+        .vcr_at(SimTime::from_secs(15), C1, VcrOp::Stop);
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(14));
+    assert_eq!(sim.owner_of(C1), Some(S2), "highest id serves first");
+    // The crash lands at the same instant as the stop: positive link
+    // latency guarantees S2 is gone before the Stop arrives, and S1
+    // only knows the stale record.
+    sim.sim_mut().crash_at(SimTime::from_secs(15), S2);
+    sim.run_until(SimTime::from_secs(25));
+    assert_eq!(sim.owner_of(C1), None, "the resurrected session must die");
+    let received = sim.client_stats(C1).unwrap().frames_received;
+    sim.run_until(SimTime::from_secs(35));
+    assert_eq!(
+        sim.client_stats(C1).unwrap().frames_received,
+        received,
+        "a stopped client accepts nothing"
+    );
+}
+
 #[test]
 fn quality_capped_client_gets_all_i_frames_at_reduced_rate() {
     let mut builder = ScenarioBuilder::new(13);

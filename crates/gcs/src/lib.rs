@@ -113,8 +113,10 @@
 
 mod node;
 mod packet;
+pub mod proto;
 mod types;
 
-pub use node::{GcsNode, GcsTrace, GroupStatus, NotMemberError};
+pub use node::{GcsNode, GcsTrace, NotMemberError};
 pub use packet::{Carried, GcsPacket, HEADER_BYTES};
+pub use proto::GroupStatus;
 pub use types::{GcsConfig, GcsEvent, GroupId, View, ViewId};

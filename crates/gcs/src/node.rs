@@ -41,6 +41,10 @@ use std::fmt;
 use simnet::{Context, Endpoint, NodeId, Payload, Port, SimTime, Timer};
 
 use crate::packet::{Carried, GcsPacket};
+use crate::proto::{
+    AnnounceOutcome, FlushProgress, GroupStatus, InstallDecision, LeaveStart, Membership,
+    ProtoConfig, ProtoEvent, ProtoMsg,
+};
 use crate::types::{GcsConfig, GcsEvent, GroupId, View, ViewId};
 
 /// Error returned when multicasting to a group the node is not (and is not
@@ -113,18 +117,12 @@ pub enum GcsTrace {
 
 type GcsTracer = Box<dyn FnMut(&GcsTrace)>;
 
-/// Membership status of this node with respect to one group.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum GroupStatus {
-    /// Not a member and not trying to become one.
-    Idle,
-    /// Join requested; waiting to be included in a view.
-    Joining,
-    /// Member of an installed view; sends and deliveries flow normally.
-    Member,
-    /// Promised a view change: deliveries are paused until the install.
-    Flushing,
-}
+/// A passive probe receiving the [`ProtoEvent`] stream the live node
+/// feeds its embedded membership state machine — `None` group means the
+/// event is node-global (failure-detector suspicion). The replay
+/// equivalence tests drive a pure [`crate::proto::ProtoNode`] from this
+/// stream and assert it installs the same view sequence as the live node.
+type ProtoProbe = Box<dyn FnMut(Option<GroupId>, &ProtoEvent)>;
 
 struct RecvState<P> {
     /// Next sequence number to deliver from this sender.
@@ -142,10 +140,11 @@ impl<P> RecvState<P> {
     }
 }
 
-struct ViewChangeState<P> {
-    vid: ViewId,
-    candidates: Vec<NodeId>,
-    acked: BTreeSet<NodeId>,
+/// Message-plane freight of an in-progress view change. The membership
+/// half of the round (proposal id, candidates, acks) lives in the
+/// embedded [`Membership::flush`]; the two are created and consumed
+/// together.
+struct VcData<P> {
     delivered_max: BTreeMap<NodeId, u64>,
     causal_max: BTreeMap<NodeId, u64>,
     pool: BTreeMap<(NodeId, u64), Carried<P>>,
@@ -155,26 +154,50 @@ struct ViewChangeState<P> {
     last_prepare_tick: u64,
 }
 
+impl<P> VcData<P> {
+    fn new(ticks: u64) -> Self {
+        VcData {
+            delivered_max: BTreeMap::new(),
+            causal_max: BTreeMap::new(),
+            pool: BTreeMap::new(),
+            start_tick: ticks,
+            last_prepare_tick: ticks,
+        }
+    }
+
+    /// Folds one flush report (our own or a candidate's) into the round.
+    fn absorb(
+        &mut self,
+        delivered: Vec<(NodeId, u64)>,
+        held: Vec<(NodeId, u64, Carried<P>)>,
+        causal: Vec<(NodeId, u64)>,
+    ) {
+        for (sender, floor) in delivered {
+            let entry = self.delivered_max.entry(sender).or_insert(0);
+            *entry = (*entry).max(floor);
+        }
+        for (sender, seq, payload) in held {
+            self.pool.insert((sender, seq), payload);
+        }
+        for (sender, count) in causal {
+            let entry = self.causal_max.entry(sender).or_insert(0);
+            *entry = (*entry).max(count);
+        }
+    }
+}
+
 /// A causal arrival waiting for its dependencies:
 /// `(sender, dependency vector, payload)`.
 type CausalPending<P> = (NodeId, Vec<(NodeId, u64)>, P);
 
-struct ForeignInfo {
-    vid: ViewId,
-    members: Vec<NodeId>,
-    seen_tick: u64,
-}
-
 struct GroupState<P> {
-    status: GroupStatus,
-    view: View,
-    had_view: bool,
-    promised: Option<ViewId>,
+    /// The membership plane: every who-is-in-the-view decision is
+    /// delegated to this pure state machine (shared with the model
+    /// checker; see [`crate::proto`]).
+    mem: Membership,
     promised_tick: u64,
-    max_epoch_seen: u64,
-    leaving: bool,
     leave_tick: u64,
-    join_contacts: Vec<NodeId>,
+    last_leave_send_tick: u64,
     join_start_tick: u64,
     last_join_send_tick: u64,
     next_seq: u64,
@@ -195,10 +218,12 @@ struct GroupState<P> {
     /// dependencies are not yet satisfied.
     causal_delivered: BTreeMap<NodeId, u64>,
     causal_waiting: Vec<CausalPending<P>>,
-    pending_joiners: BTreeSet<NodeId>,
-    pending_leavers: BTreeSet<NodeId>,
-    vc: Option<ViewChangeState<P>>,
-    foreign: BTreeMap<NodeId, ForeignInfo>,
+    /// Message-plane half of an in-progress view change; `Some` exactly
+    /// when [`Membership::flush`] is.
+    vc: Option<VcData<P>>,
+    /// Freshness clocks for the foreign entries in [`Membership::foreign`]
+    /// (time stays out of the pure machine).
+    foreign_seen: BTreeMap<NodeId, u64>,
     last_nak_tick: BTreeMap<NodeId, u64>,
     /// A freshly computed install, blindly retransmitted a few ticks in a
     /// row so that a single lost datagram cannot strand a member in the
@@ -214,18 +239,23 @@ struct InstallResend<P> {
     remaining: u8,
 }
 
+/// What an incoming announce asks of the node. The blind
+/// [`InstallResend`] burst above covers a single lost Install datagram;
+/// `Resync` covers the unbounded case (every retransmission lost, or a
+/// partition outlasting the burst) that the model checker surfaced.
+enum AnnounceReaction {
+    None,
+    Reform { epoch: u64, candidates: Vec<NodeId> },
+    Resync,
+}
+
 impl<P> GroupState<P> {
     fn new() -> Self {
         GroupState {
-            status: GroupStatus::Idle,
-            view: View::default(),
-            had_view: false,
-            promised: None,
+            mem: Membership::new(),
             promised_tick: 0,
-            max_epoch_seen: 0,
-            leaving: false,
             leave_tick: 0,
-            join_contacts: Vec::new(),
+            last_leave_send_tick: 0,
             join_start_tick: 0,
             last_join_send_tick: 0,
             next_seq: 1,
@@ -240,10 +270,8 @@ impl<P> GroupState<P> {
             order_inbox: BTreeMap::new(),
             causal_delivered: BTreeMap::new(),
             causal_waiting: Vec::new(),
-            pending_joiners: BTreeSet::new(),
-            pending_leavers: BTreeSet::new(),
             vc: None,
-            foreign: BTreeMap::new(),
+            foreign_seen: BTreeMap::new(),
             last_nak_tick: BTreeMap::new(),
             install_resend: None,
         }
@@ -314,6 +342,11 @@ pub struct GcsNode<P: Payload> {
     /// (e.g. flush abandonment inside a tick); drained into the next batch.
     deferred_events: Vec<GcsEvent<P>>,
     tracer: Option<GcsTracer>,
+    /// Protocol-variant knobs forwarded to the membership state machine.
+    proto_cfg: ProtoConfig,
+    /// Passive mirror of every event fed to the membership plane; see
+    /// [`GcsNode::set_proto_probe`].
+    proto_probe: Option<ProtoProbe>,
     /// Last simulated time observed through a [`Context`]; lets entry
     /// points without a context (e.g. [`GcsNode::create_group`]) stamp
     /// trace events.
@@ -361,7 +394,27 @@ impl<P: Payload> GcsNode<P> {
             views_installed: 0,
             deferred_events: Vec::new(),
             tracer: None,
+            proto_cfg: ProtoConfig::default(),
+            proto_probe: None,
             trace_now: SimTime::ZERO,
+        }
+    }
+
+    /// Installs a passive probe receiving the exact [`ProtoEvent`] stream
+    /// this node feeds its embedded membership state machine (`None`
+    /// group = node-global failure-detector events). Replaying the stream
+    /// through a pure [`crate::proto::ProtoNode`] must reproduce this
+    /// node's view sequence — the replay-equivalence property tests hold
+    /// the refactor to that.
+    pub fn set_proto_probe(&mut self, probe: impl FnMut(Option<GroupId>, &ProtoEvent) + 'static) {
+        self.proto_probe = Some(Box::new(probe));
+    }
+
+    /// Runs `make` and hands the event to the probe — only when one is
+    /// installed, so the disabled path costs a single branch.
+    fn probe(&mut self, group: Option<GroupId>, make: impl FnOnce() -> ProtoEvent) {
+        if let Some(probe) = self.proto_probe.as_mut() {
+            probe(group, &make());
         }
     }
 
@@ -400,8 +453,10 @@ impl<P: Payload> GcsNode<P> {
     /// flushing toward the next view).
     pub fn view(&self, group: GroupId) -> Option<&View> {
         let state = self.groups.get(&group)?;
-        match state.status {
-            GroupStatus::Member | GroupStatus::Flushing if state.had_view => Some(&state.view),
+        match state.mem.status {
+            GroupStatus::Member | GroupStatus::Flushing if state.mem.had_view => {
+                Some(&state.mem.view)
+            }
             _ => None,
         }
     }
@@ -410,7 +465,7 @@ impl<P: Payload> GcsNode<P> {
     pub fn status(&self, group: GroupId) -> GroupStatus {
         self.groups
             .get(&group)
-            .map_or(GroupStatus::Idle, |g| g.status)
+            .map_or(GroupStatus::Idle, |g| g.mem.status)
     }
 
     /// Whether this node currently belongs to an installed view of `group`.
@@ -452,20 +507,12 @@ impl<P: Payload> GcsNode<P> {
     /// VoD client creating its own session group.
     pub fn create_group(&mut self, group: GroupId) -> Vec<GcsEvent<P>> {
         let node = self.node;
+        self.probe(Some(group), || ProtoEvent::Create);
         let state = self.group_mut(group);
-        if state.status != GroupStatus::Idle {
+        let Some(view) = state.mem.create(node) else {
             return Vec::new();
-        }
-        let vid = ViewId {
-            epoch: state.max_epoch_seen + 1,
-            coordinator: node,
         };
-        state.max_epoch_seen = vid.epoch;
-        state.view = View::new(vid, vec![node]);
-        state.had_view = true;
-        state.status = GroupStatus::Member;
         self.views_installed += 1;
-        let view = self.groups[&group].view.clone();
         let at = self.trace_now;
         self.trace(|| GcsTrace::ViewInstalled {
             at,
@@ -485,12 +532,13 @@ impl<P: Payload> GcsNode<P> {
     {
         let node = self.node;
         let ticks = self.ticks;
+        self.probe(Some(group), || ProtoEvent::RequestJoin {
+            contacts: contacts.to_vec(),
+        });
         let state = self.group_mut(group);
-        if state.status != GroupStatus::Idle {
+        if !state.mem.start_join(contacts) {
             return;
         }
-        state.status = GroupStatus::Joining;
-        state.join_contacts = contacts.to_vec();
         state.join_start_tick = ticks;
         state.last_join_send_tick = ticks;
         let at = ctx.now();
@@ -518,35 +566,33 @@ impl<P: Payload> GcsNode<P> {
     {
         let node = self.node;
         let ticks = self.ticks;
+        self.probe(Some(group), || ProtoEvent::RequestLeave);
         let Some(state) = self.groups.get_mut(&group) else {
             return;
         };
-        if state.status == GroupStatus::Idle {
+        let start = state.mem.request_leave(node, &self.suspected);
+        if start == LeaveStart::Ignored {
             return;
         }
-        if state.view.members == vec![node] {
+        if start == LeaveStart::Dissolve {
             // Sole member: dissolve immediately.
             self.groups.remove(&group);
             return;
         }
-        state.leaving = true;
         state.leave_tick = ticks;
-        state.pending_leavers.insert(node);
+        state.last_leave_send_tick = ticks;
         let at = ctx.now();
         self.trace_now = at;
         self.trace(|| GcsTrace::LeaveRequested { at, group });
-        let state = self.groups.get_mut(&group).expect("group checked above");
-        if let Some(coord) = state.view.coordinator_candidate() {
-            if coord != node {
-                self.emit(
-                    ctx,
-                    coord,
-                    GcsPacket::LeaveReq {
-                        group,
-                        leaver: node,
-                    },
-                );
-            }
+        if let LeaveStart::Send(target) = start {
+            self.emit(
+                ctx,
+                target,
+                GcsPacket::LeaveReq {
+                    group,
+                    leaver: node,
+                },
+            );
         }
     }
 
@@ -615,7 +661,7 @@ impl<P: Payload> GcsNode<P> {
             let seq = state.next_order_seq;
             state.next_order_seq += 1;
             state.pending_order.insert(seq, payload.clone());
-            (seq, state.view.coordinator_candidate())
+            (seq, state.mem.view.coordinator_candidate())
         };
         match sequencer {
             Some(seq_node) if seq_node == node => {
@@ -658,7 +704,7 @@ impl<P: Payload> GcsNode<P> {
         let node = self.node;
         {
             let state = self.group_mut(group);
-            if state.view.coordinator_candidate() != Some(node) {
+            if state.mem.view.coordinator_candidate() != Some(node) {
                 return Vec::new(); // not the sequencer (stale request)
             }
             let floor = state.order_floor.get(&origin).copied().unwrap_or(0);
@@ -685,7 +731,7 @@ impl<P: Payload> GcsNode<P> {
         loop {
             let next: Option<(NodeId, u64, P)> = {
                 let state = self.group_mut(group);
-                if state.view.coordinator_candidate() != Some(node) {
+                if state.mem.view.coordinator_candidate() != Some(node) {
                     return events;
                 }
                 let mut found = None;
@@ -797,7 +843,14 @@ impl<P: Payload> GcsNode<P> {
         let peer = from.node;
         self.trace_now = ctx.now();
         self.last_heard.insert(peer, ctx.now());
-        self.suspected.remove(&peer);
+        if self.suspected.remove(&peer) {
+            self.probe(None, || ProtoEvent::Unsuspect(peer));
+        }
+        if self.proto_probe.is_some() {
+            if let Some((group, msg)) = proto_msg_of(&pkt) {
+                self.probe(Some(group), || ProtoEvent::Deliver { from: peer, msg });
+            }
+        }
         match pkt {
             GcsPacket::Heartbeat => Vec::new(),
             GcsPacket::JoinReq { group, joiner } => {
@@ -805,8 +858,8 @@ impl<P: Payload> GcsNode<P> {
                 Vec::new()
             }
             GcsPacket::LeaveReq { group, leaver } => {
-                if self.status(group) == GroupStatus::Member {
-                    self.group_mut(group).pending_leavers.insert(leaver);
+                if let Some(state) = self.groups.get_mut(&group) {
+                    state.mem.on_leave_req(leaver);
                 }
                 Vec::new()
             }
@@ -862,8 +915,18 @@ impl<P: Payload> GcsNode<P> {
                 vid,
                 members,
             } => {
-                if let Some((epoch, candidates)) = self.on_announce(group, peer, vid, members) {
-                    self.initiate_view_change(ctx, group, epoch, candidates);
+                match self.on_announce(group, peer, vid, members) {
+                    AnnounceReaction::Reform { epoch, candidates } => {
+                        self.initiate_view_change(ctx, group, epoch, candidates);
+                    }
+                    AnnounceReaction::Resync => {
+                        // We are listed in a newer view we never
+                        // installed: the Install was lost. Ask the
+                        // announcer to re-admit us.
+                        let joiner = self.node;
+                        self.emit(ctx, peer, GcsPacket::JoinReq { group, joiner });
+                    }
+                    AnnounceReaction::None => {}
                 }
                 Vec::new()
             }
@@ -900,11 +963,15 @@ impl<P: Payload> GcsNode<P> {
             self.tick_order_resends(ctx);
         }
         events.extend(self.tick_joins(ctx));
+        // Prune before the election: `Membership::election` treats every
+        // remaining foreign entry as fresh, so stale ones must be expired
+        // first. The prune's keep-predicate is exactly the freshness check
+        // the election used to apply, evaluated at the same tick.
+        self.tick_prune();
         self.tick_view_changes(ctx);
         if self.ticks.is_multiple_of(self.config.announce_every_ticks) {
             self.tick_announces(ctx);
         }
-        self.tick_prune();
         events.append(&mut self.deferred_events);
         events
     }
@@ -928,6 +995,7 @@ impl<P: Payload> GcsNode<P> {
         state.next_seq += 1;
         state.send_buf.insert(seq, payload.clone());
         let peers: Vec<NodeId> = state
+            .mem
             .view
             .members
             .iter()
@@ -1205,7 +1273,7 @@ impl<P: Payload> GcsNode<P> {
             .insert(member, delivered.into_iter().collect());
         // Stability: a message is stable once every current member has
         // delivered it; only then may retained copies be dropped.
-        let members = state.view.members.clone();
+        let members = state.mem.view.members.clone();
         if members.is_empty() {
             return;
         }
@@ -1254,20 +1322,16 @@ impl<P: Payload> GcsNode<P> {
     where
         M: Payload + From<GcsPacket<P>>,
     {
-        if joiner == self.node || self.status(group) != GroupStatus::Member {
+        let node = self.node;
+        if joiner == node || self.status(group) == GroupStatus::Idle {
             return;
         }
-        let state = self.group_mut(group);
-        if state.view.contains(joiner) {
+        let Some(state) = self.groups.get_mut(&group) else {
             return;
-        }
-        state.pending_joiners.insert(joiner);
+        };
         // Relay to the coordinator in case the joiner does not know it.
-        if let Some(coord) = state.view.coordinator_candidate() {
-            let node = self.node;
-            if coord != node {
-                self.emit(ctx, coord, GcsPacket::JoinReq { group, joiner });
-            }
+        if let Some(coord) = state.mem.on_join_req(node, &self.suspected, joiner) {
+            self.emit(ctx, coord, GcsPacket::JoinReq { group, joiner });
         }
     }
 
@@ -1286,28 +1350,14 @@ impl<P: Payload> GcsNode<P> {
         }
         let ticks = self.ticks;
         let state = self.group_mut(group);
-        state.max_epoch_seen = state.max_epoch_seen.max(vid.epoch);
-        // Refuse proposals that do not dominate what we installed/promised.
-        if state.had_view && vid.epoch <= state.view.id.epoch {
+        // The machine refuses proposals that do not dominate what we
+        // installed/promised, and never promises from Idle (membership
+        // requires consent — the coordinator times out on the missing
+        // flush-ack and drops us).
+        if !state.mem.on_prepare(node, vid, &candidates) {
             return;
         }
-        if let Some(promised) = state.promised {
-            if vid <= promised {
-                return;
-            }
-        }
-        if state.status == GroupStatus::Idle {
-            // Membership requires consent: a node with no state for this
-            // group (never joined, or just left) must not be pulled in by
-            // a stale candidate list. The coordinator times out on the
-            // missing flush-ack and drops us.
-            return;
-        }
-        state.promised = Some(vid);
         state.promised_tick = ticks;
-        if state.status == GroupStatus::Member {
-            state.status = GroupStatus::Flushing;
-        }
         let delivered = state.floors(node);
         let held = state.held(node);
         let causal = state.causal_snapshot();
@@ -1341,28 +1391,27 @@ impl<P: Payload> GcsNode<P> {
         let Some(state) = self.groups.get_mut(&group) else {
             return Vec::new();
         };
-        let Some(vc) = state.vc.as_mut() else {
+        // Validate against the membership round before absorbing the
+        // report (the machine consumes the round on completion).
+        let valid = state
+            .mem
+            .flush
+            .as_ref()
+            .is_some_and(|fl| fl.vid == vid && fl.candidates.contains(&from));
+        if !valid {
             return Vec::new();
-        };
-        if vc.vid != vid || !vc.candidates.contains(&from) {
-            return Vec::new();
         }
-        vc.acked.insert(from);
-        for (sender, floor) in delivered {
-            let entry = vc.delivered_max.entry(sender).or_insert(0);
-            *entry = (*entry).max(floor);
+        state
+            .vc
+            .as_mut()
+            .expect("flush round has message-plane data")
+            .absorb(delivered, held, causal);
+        match state.mem.on_flush_ack(from, vid) {
+            FlushProgress::Complete { vid, candidates } => {
+                self.complete_view_change(ctx, group, vid, candidates)
+            }
+            _ => Vec::new(),
         }
-        for (sender, seq, payload) in held {
-            vc.pool.insert((sender, seq), payload);
-        }
-        for (sender, count) in causal {
-            let entry = vc.causal_max.entry(sender).or_insert(0);
-            *entry = (*entry).max(count);
-        }
-        if vc.candidates.iter().all(|c| vc.acked.contains(c)) {
-            return self.complete_view_change(ctx, group);
-        }
-        Vec::new()
     }
 
     /// All candidates flushed: compute the cut, distribute `Install`.
@@ -1370,6 +1419,8 @@ impl<P: Payload> GcsNode<P> {
         &mut self,
         ctx: &mut Context<'_, M>,
         group: GroupId,
+        vid: ViewId,
+        candidates: Vec<NodeId>,
     ) -> Vec<GcsEvent<P>>
     where
         M: Payload + From<GcsPacket<P>>,
@@ -1380,7 +1431,7 @@ impl<P: Payload> GcsNode<P> {
             return Vec::new();
         };
         let mut cut: BTreeMap<NodeId, u64> = BTreeMap::new();
-        for &candidate in &vc.candidates {
+        for &candidate in &candidates {
             cut.insert(candidate, 0);
         }
         for (&sender, &floor) in &vc.delivered_max {
@@ -1399,7 +1450,7 @@ impl<P: Payload> GcsNode<P> {
             .filter(|((sender, seq), _)| *seq <= cut.get(sender).copied().unwrap_or(0))
             .map(|(&(sender, seq), p)| (sender, seq, p.clone()))
             .collect();
-        let view = View::new(vid_of(&vc), vc.candidates.clone());
+        let view = View::new(vid, candidates);
         let cut_vec: Vec<(NodeId, u64)> = cut.into_iter().collect();
         let causal_vec: Vec<(NodeId, u64)> = vc.causal_max.iter().map(|(&n, &c)| (n, c)).collect();
         let peers: Vec<NodeId> = view
@@ -1449,13 +1500,15 @@ impl<P: Payload> GcsNode<P> {
         let mut events = Vec::new();
         let mut cut_deliveries: Vec<(NodeId, Carried<P>)> = Vec::new();
         let mut forced = 0u64;
-        {
-            let state = self.group_mut(group);
-            state.max_epoch_seen = state.max_epoch_seen.max(view.id.epoch);
-            if state.had_view && view.id.epoch <= state.view.id.epoch {
-                return events; // stale install
-            }
-            if !view.contains(node) {
+        let decision = self
+            .groups
+            .get(&group)
+            .map_or(InstallDecision::Refused, |s| {
+                s.mem.install_decision(node, &view)
+            });
+        match decision {
+            InstallDecision::Refused | InstallDecision::Stale => return events,
+            InstallDecision::Excluded => {
                 // We were excluded (graceful leave or false suspicion).
                 events.push(GcsEvent::View {
                     group,
@@ -1464,7 +1517,11 @@ impl<P: Payload> GcsNode<P> {
                 self.groups.remove(&group);
                 return events;
             }
-            let was_member = state.had_view;
+            InstallDecision::Adopt => {}
+        }
+        {
+            let state = self.group_mut(group);
+            let was_member = state.mem.had_view;
             let cut: BTreeMap<NodeId, u64> = cut.into_iter().collect();
             // Merge the fill into receive buffers.
             for (sender, seq, payload) in fill {
@@ -1520,20 +1577,13 @@ impl<P: Payload> GcsNode<P> {
             state.retained.clear();
             state.ack_floors.clear();
             state.last_nak_tick.clear();
-            state.pending_joiners.retain(|j| !view.contains(*j));
-            state
-                .pending_leavers
-                .retain(|l| view.contains(*l) && *l != node);
-            state.promised = None;
-            if let Some(vc) = &state.vc {
-                if vc.vid.epoch <= view.id.epoch {
-                    state.vc = None;
-                }
+            state.mem.apply_install(node, &view);
+            if state.mem.flush.is_none() {
+                state.vc = None;
             }
-            state.foreign.retain(|n, _| !view.contains(*n));
-            state.view = view.clone();
-            state.had_view = true;
-            state.status = GroupStatus::Member;
+            state
+                .foreign_seen
+                .retain(|n, _| state.mem.foreign.contains_key(n));
         }
         self.forced_gaps += forced;
         self.views_installed += 1;
@@ -1597,7 +1647,7 @@ impl<P: Payload> GcsNode<P> {
         // earlier non-member contact (e.g. a connection-establishment
         // broadcast long before this node shared any group with the peer).
         let now = ctx.now();
-        let members = self.groups[&group].view.members.clone();
+        let members = self.groups[&group].mem.view.members.clone();
         for m in members {
             if m != node {
                 self.last_heard.insert(m, now);
@@ -1607,73 +1657,46 @@ impl<P: Payload> GcsNode<P> {
         events
     }
 
-    /// Handles a view announcement. Returns `Some((epoch, candidates))`
-    /// when the announcement reveals that this node was expelled from a
-    /// newer incarnation of the group and the caller should re-form the
-    /// residual side with a view change.
+    /// Handles a view announcement. Tells the caller whether to re-form
+    /// a residual side (this node was expelled from a newer incarnation)
+    /// or to re-sync (this node missed the Install of a newer view that
+    /// lists it).
     fn on_announce(
         &mut self,
         group: GroupId,
         from: NodeId,
         vid: ViewId,
         members: Vec<NodeId>,
-    ) -> Option<(u64, Vec<NodeId>)> {
+    ) -> AnnounceReaction {
         let ticks = self.ticks;
-        match self.status(group) {
-            GroupStatus::Member => {
-                let node = self.node;
-                let state = self.group_mut(group);
-                state.max_epoch_seen = state.max_epoch_seen.max(vid.epoch);
-                if vid.epoch > state.view.id.epoch
-                    && state.view.contains(from)
-                    && !members.contains(&node)
-                {
-                    // A member we still list has reconfigured into a newer
-                    // view without us: that incarnation expelled us. Until
-                    // we re-form, neither side announces a view the other
-                    // treats as foreign (we ignore a member's announces,
-                    // they elect no merge against a view containing their
-                    // own coordinator), so the split would never heal.
-                    // Re-form the residual side; the merge election then
-                    // reunites the two incarnations.
-                    let residual: Vec<NodeId> = state
-                        .view
-                        .members
-                        .iter()
-                        .copied()
-                        .filter(|m| !members.contains(m))
-                        .collect();
-                    if state.vc.is_none() && residual.first() == Some(&node) {
-                        let epoch = state.max_epoch_seen + 1;
-                        return Some((epoch, residual));
-                    }
-                    return None;
-                }
-                if state.view.contains(from) || members.contains(&node) && vid == state.view.id {
-                    return None;
-                }
-                state.foreign.insert(
-                    from,
-                    ForeignInfo {
-                        vid,
-                        members,
-                        seen_tick: ticks,
-                    },
-                );
-            }
-            GroupStatus::Joining => {
-                // A live member announced itself: aim future join requests
-                // at it.
-                let state = self.group_mut(group);
-                if !state.join_contacts.contains(&from) {
-                    state.join_contacts.push(from);
-                }
-                // Restart the singleton clock: the group clearly exists.
-                state.join_start_tick = ticks;
-            }
-            _ => {}
+        let node = self.node;
+        let cfg = self.proto_cfg;
+        if self.status(group) == GroupStatus::Idle {
+            return AnnounceReaction::None;
         }
-        None
+        let suspected = self.suspected.clone();
+        let state = self.group_mut(group);
+        match state
+            .mem
+            .on_announce(&cfg, node, &suspected, from, vid, members)
+        {
+            AnnounceOutcome::Reform { epoch, candidates } => {
+                AnnounceReaction::Reform { epoch, candidates }
+            }
+            AnnounceOutcome::Resync => AnnounceReaction::Resync,
+            AnnounceOutcome::Foreign => {
+                state.foreign_seen.insert(from, ticks);
+                AnnounceReaction::None
+            }
+            AnnounceOutcome::JoinContact => {
+                // A live member announced itself: aim future join requests
+                // at it. Restart the singleton clock: the group clearly
+                // exists.
+                state.join_start_tick = ticks;
+                AnnounceReaction::None
+            }
+            AnnounceOutcome::Ignored => AnnounceReaction::None,
+        }
     }
 
     fn on_nonmember_send(
@@ -1710,7 +1733,7 @@ impl<P: Payload> GcsNode<P> {
         let timeout = self.config.suspect_timeout;
         let mut peers: BTreeSet<NodeId> = BTreeSet::new();
         for state in self.groups.values() {
-            peers.extend(state.view.members.iter().copied());
+            peers.extend(state.mem.view.members.iter().copied());
         }
         peers.remove(&self.node);
         for peer in peers {
@@ -1718,13 +1741,16 @@ impl<P: Payload> GcsNode<P> {
             match heard {
                 Some(at) if now.saturating_since(at) > timeout => {
                     if self.suspected.insert(peer) {
+                        self.probe(None, || ProtoEvent::Suspect(peer));
                         self.trace(|| GcsTrace::Suspected { at: now, peer });
                     }
                 }
                 Some(_) => {
                     // Recently heard: clear any stale suspicion (e.g. one
                     // acquired across an old partition).
-                    self.suspected.remove(&peer);
+                    if self.suspected.remove(&peer) {
+                        self.probe(None, || ProtoEvent::Unsuspect(peer));
+                    }
                 }
                 None => {
                     self.last_heard.insert(peer, now);
@@ -1739,8 +1765,11 @@ impl<P: Payload> GcsNode<P> {
     {
         let mut peers: BTreeSet<NodeId> = BTreeSet::new();
         for state in self.groups.values() {
-            if state.status == GroupStatus::Member || state.status == GroupStatus::Flushing {
-                peers.extend(state.view.members.iter().copied());
+            if matches!(
+                state.mem.status,
+                GroupStatus::Member | GroupStatus::Flushing
+            ) {
+                peers.extend(state.mem.view.members.iter().copied());
             }
         }
         peers.remove(&self.node);
@@ -1757,13 +1786,14 @@ impl<P: Payload> GcsNode<P> {
         let groups: Vec<GroupId> = self
             .groups
             .iter()
-            .filter(|(_, s)| s.status == GroupStatus::Member && s.view.len() > 1)
+            .filter(|(_, s)| s.mem.status == GroupStatus::Member && s.mem.view.len() > 1)
             .map(|(&g, _)| g)
             .collect();
         for group in groups {
             let state = &self.groups[&group];
             let delivered = state.floors(node);
             let peers: Vec<NodeId> = state
+                .mem
                 .view
                 .members
                 .iter()
@@ -1792,7 +1822,7 @@ impl<P: Payload> GcsNode<P> {
         let ticks = self.ticks;
         let mut naks: Vec<(GroupId, NodeId, u64, u64)> = Vec::new();
         for (&group, state) in &mut self.groups {
-            if state.status != GroupStatus::Member {
+            if state.mem.status != GroupStatus::Member {
                 continue;
             }
             for (&sender, recv) in &state.recv {
@@ -1839,16 +1869,16 @@ impl<P: Payload> GcsNode<P> {
             // Re-send pending Prepares.
             let prepare: Option<(ViewId, Vec<NodeId>, Vec<NodeId>)> = {
                 let state = self.group_mut(group);
-                match state.vc.as_mut() {
-                    Some(vc) if ticks.saturating_sub(vc.last_prepare_tick) >= 2 => {
+                match (&state.mem.flush, state.vc.as_mut()) {
+                    (Some(fl), Some(vc)) if ticks.saturating_sub(vc.last_prepare_tick) >= 2 => {
                         vc.last_prepare_tick = ticks;
-                        let missing: Vec<NodeId> = vc
+                        let missing: Vec<NodeId> = fl
                             .candidates
                             .iter()
                             .copied()
-                            .filter(|c| !vc.acked.contains(c) && *c != node)
+                            .filter(|c| !fl.acked.contains(c) && *c != node)
                             .collect();
-                        Some((vc.vid, vc.candidates.clone(), missing))
+                        Some((fl.vid, fl.candidates.clone(), missing))
                     }
                     _ => None,
                 }
@@ -1928,11 +1958,11 @@ impl<P: Payload> GcsNode<P> {
         let mut local: Vec<(GroupId, u64, P)> = Vec::new();
         let mut stalled: Vec<(GroupId, usize)> = Vec::new();
         for (&group, state) in &self.groups {
-            if state.status != GroupStatus::Member || state.pending_order.is_empty() {
+            if state.mem.status != GroupStatus::Member || state.pending_order.is_empty() {
                 continue;
             }
             stalled.push((group, state.pending_order.len()));
-            match state.view.coordinator_candidate() {
+            match state.mem.view.coordinator_candidate() {
                 Some(seq_node) if seq_node == node => {
                     for (&origin_seq, payload) in &state.pending_order {
                         local.push((group, origin_seq, payload.clone()));
@@ -1980,7 +2010,7 @@ impl<P: Payload> GcsNode<P> {
         let joining: Vec<GroupId> = self
             .groups
             .iter()
-            .filter(|(_, s)| s.status == GroupStatus::Joining)
+            .filter(|(_, s)| s.mem.status == GroupStatus::Joining)
             .map(|(&g, _)| g)
             .collect();
         for group in joining {
@@ -1988,13 +2018,23 @@ impl<P: Payload> GcsNode<P> {
                 let state = self.group_mut(group);
                 let resend = ticks.saturating_sub(state.last_join_send_tick) >= join_retry_ticks;
                 let form = ticks.saturating_sub(state.join_start_tick) >= singleton_form_ticks
-                    && state.promised.is_none();
+                    && state.mem.promised.is_none();
                 (resend, form)
             };
             if form_singleton {
+                self.probe(Some(group), || ProtoEvent::SingletonForm);
                 let state = self.group_mut(group);
-                state.status = GroupStatus::Idle;
-                events.extend(self.create_group(group));
+                let Some(view) = state.mem.singleton_form(node) else {
+                    continue;
+                };
+                self.views_installed += 1;
+                let at = self.trace_now;
+                self.trace(|| GcsTrace::ViewInstalled {
+                    at,
+                    group,
+                    view: view.clone(),
+                });
+                events.push(GcsEvent::View { group, view });
                 let pending: Vec<Carried<P>> = {
                     let state = self.group_mut(group);
                     state.pending_sends.drain(..).collect()
@@ -2019,29 +2059,28 @@ impl<P: Payload> GcsNode<P> {
                 }
             }
         }
-        // Re-send LeaveReqs periodically: the original may have hit the
-        // coordinator mid-flush and been dropped.
+        // Re-send LeaveReqs periodically: the original may have hit a dead
+        // target or a coordinator that abandoned its flush. The old code
+        // only retried on an exact tick-modulo while `Member` — a leaver
+        // whose coordinator went quiet mid-flush twice in a row (so the
+        // node sat in `Flushing` across the modulo instants) never re-sent
+        // and stalled until the force-quit. Track the last send explicitly
+        // and retry while flushing too.
         let leave_retries: Vec<(GroupId, NodeId)> = self
             .groups
             .iter()
             .filter(|(_, s)| {
-                s.leaving
-                    && s.status == GroupStatus::Member
-                    && ticks.saturating_sub(s.leave_tick) % join_retry_ticks == 0
+                s.mem.leaving
+                    && matches!(s.mem.status, GroupStatus::Member | GroupStatus::Flushing)
+                    && ticks.saturating_sub(s.last_leave_send_tick) >= join_retry_ticks
             })
-            .filter_map(|(&g, s)| {
-                s.view
-                    .members
-                    .iter()
-                    .copied()
-                    .find(|&m| m != node)
-                    .map(|coord| (g, coord))
-            })
+            .filter_map(|(&g, s)| s.mem.leave_target(node, &self.suspected).map(|t| (g, t)))
             .collect();
-        for (group, coord) in leave_retries {
+        for (group, target) in leave_retries {
+            self.group_mut(group).last_leave_send_tick = ticks;
             self.emit(
                 ctx,
-                coord,
+                target,
                 GcsPacket::LeaveReq {
                     group,
                     leaver: node,
@@ -2053,12 +2092,13 @@ impl<P: Payload> GcsNode<P> {
             .groups
             .iter()
             .filter(|(_, s)| {
-                s.leaving
+                s.mem.leaving
                     && ticks.saturating_sub(s.leave_tick) > 2 * self.config.flush_timeout_ticks
             })
             .map(|(&g, _)| g)
             .collect();
         for group in stale_leavers {
+            self.probe(Some(group), || ProtoEvent::ForceLeave);
             self.groups.remove(&group);
         }
         events
@@ -2074,19 +2114,24 @@ impl<P: Payload> GcsNode<P> {
         let groups: Vec<GroupId> = self.groups.keys().copied().collect();
         for group in groups {
             // Abandon flushes whose coordinator went quiet, releasing any
-            // sends that were queued behind the promise.
-            let abandoned_pending: Option<Vec<Carried<P>>> = {
+            // sends that were queued behind the promise. A joiner's stale
+            // promise is abandoned too: it blocks singleton formation,
+            // and no surviving coordinator will ever resolve it.
+            let abandoned = {
                 let state = self.group_mut(group);
-                if state.status == GroupStatus::Flushing
-                    && ticks.saturating_sub(state.promised_tick) > 2 * flush_timeout_ticks
-                {
-                    state.status = GroupStatus::Member;
-                    Some(state.pending_sends.drain(..).collect())
-                } else {
-                    None
-                }
+                let stale = ticks.saturating_sub(state.promised_tick) > 2 * flush_timeout_ticks;
+                stale
+                    && (state.mem.status == GroupStatus::Flushing
+                        || (state.mem.status == GroupStatus::Joining
+                            && state.mem.promised.is_some()))
             };
-            if let Some(pending) = abandoned_pending {
+            if abandoned {
+                self.probe(Some(group), || ProtoEvent::AbandonFlush);
+                let pending: Vec<Carried<P>> = {
+                    let state = self.group_mut(group);
+                    state.mem.abandon_flush();
+                    state.pending_sends.drain(..).collect()
+                };
                 for payload in pending {
                     let events = self.do_multicast(ctx, group, payload);
                     self.deferred_events.extend(events);
@@ -2095,26 +2140,37 @@ impl<P: Payload> GcsNode<P> {
             // Coordinator-side timeout: drop unresponsive candidates, retry.
             let retry = {
                 let state = self.group_mut(group);
-                matches!(&state.vc,
-                    Some(vc) if ticks.saturating_sub(vc.start_tick) > flush_timeout_ticks)
+                state.mem.flush.is_some()
+                    && matches!(&state.vc,
+                        Some(vc) if ticks.saturating_sub(vc.start_tick) > flush_timeout_ticks)
             };
             if retry {
                 let state = self.group_mut(group);
-                if let Some(vc) = state.vc.take() {
+                state.vc = None;
+                if let Some(fl) = state.mem.flush_timeout() {
                     let now = ctx.now();
                     let timeout = self.config.suspect_timeout;
-                    for candidate in &vc.candidates {
-                        // A missing ack alone is not evidence of death: the
-                        // ack may have been lost to churn right after a
-                        // partition heals. Only suspect a non-acker that is
-                        // also silent; a demonstrably live peer simply gets
-                        // another chance in the retried view change.
-                        let silent = self
-                            .last_heard
-                            .get(candidate)
-                            .is_none_or(|&at| now.saturating_since(at) > timeout);
-                        if !vc.acked.contains(candidate)
-                            && silent
+                    // A missing ack alone is not evidence of death: the
+                    // ack may have been lost to churn right after a
+                    // partition heals. Only suspect a non-acker that is
+                    // also silent; a demonstrably live peer simply gets
+                    // another chance in the retried view change.
+                    let silent: Vec<NodeId> = fl
+                        .candidates
+                        .iter()
+                        .copied()
+                        .filter(|c| {
+                            self.last_heard
+                                .get(c)
+                                .is_none_or(|&at| now.saturating_since(at) > timeout)
+                        })
+                        .collect();
+                    self.probe(Some(group), || ProtoEvent::FlushTimeout {
+                        silent: silent.clone(),
+                    });
+                    for candidate in &fl.candidates {
+                        if !fl.acked.contains(candidate)
+                            && silent.contains(candidate)
                             && self.suspected.insert(*candidate)
                         {
                             let peer = *candidate;
@@ -2124,79 +2180,15 @@ impl<P: Payload> GcsNode<P> {
                     }
                 }
             }
-            if self.status(group) != GroupStatus::Member {
+            // The membership election (stale foreign entries were expired
+            // by `tick_prune` just before this runs).
+            let Some(state) = self.groups.get(&group) else {
                 continue;
+            };
+            if let Some((epoch, candidates)) = state.mem.election(node, &self.suspected) {
+                self.probe(Some(group), || ProtoEvent::DoElection);
+                self.initiate_view_change(ctx, group, epoch, candidates);
             }
-            if self.groups[&group].vc.is_some() {
-                continue;
-            }
-            // A leaving node must not reconfigure the group from its
-            // (possibly stale) vantage point: the remaining members
-            // process its LeaveReq, and the local force-quit is the
-            // fallback.
-            if self.groups[&group].leaving {
-                continue;
-            }
-            let state = &self.groups[&group];
-            let members = &state.view.members;
-            let alive: Vec<NodeId> = members
-                .iter()
-                .copied()
-                .filter(|m| !self.suspected.contains(m))
-                .collect();
-            // Only the minimum live member coordinates.
-            if alive.first() != Some(&node) {
-                continue;
-            }
-            let mut candidates: BTreeSet<NodeId> = alive.iter().copied().collect();
-            for joiner in &state.pending_joiners {
-                if !self.suspected.contains(joiner) {
-                    candidates.insert(*joiner);
-                }
-            }
-            for leaver in &state.pending_leavers {
-                candidates.remove(leaver);
-            }
-            let mut merge_epoch = 0;
-            for info in state.foreign.values() {
-                if ticks.saturating_sub(info.seen_tick) <= self.config.foreign_expiry_ticks {
-                    // A foreign view may still list us (a peer that missed
-                    // our reconfiguration keeps us in its view). Exclude
-                    // ourselves from the election, otherwise `node < other`
-                    // fails on both sides and the split never re-merges.
-                    let min_other = info.members.iter().copied().filter(|&m| m != node).min();
-                    // Merge only if we are the global minimum; otherwise the
-                    // other side's coordinator will pull us in.
-                    if min_other.is_some_and(|other| node < other) {
-                        merge_epoch = merge_epoch.max(info.vid.epoch);
-                        candidates.extend(
-                            info.members
-                                .iter()
-                                .copied()
-                                .filter(|m| !self.suspected.contains(m)),
-                        );
-                    }
-                }
-            }
-            let leaving = state.leaving;
-            if !leaving {
-                candidates.insert(node);
-            }
-            if candidates.is_empty() {
-                // We are leaving and nobody else is reachable: dissolve.
-                self.groups.remove(&group);
-                continue;
-            }
-            let candidates: Vec<NodeId> = candidates.into_iter().collect();
-            if candidates == *members {
-                continue;
-            }
-            let epoch = self.groups[&group]
-                .max_epoch_seen
-                .max(merge_epoch)
-                .max(self.groups[&group].view.id.epoch)
-                + 1;
-            self.initiate_view_change(ctx, group, epoch, candidates);
         }
     }
 
@@ -2211,25 +2203,16 @@ impl<P: Payload> GcsNode<P> {
     {
         let node = self.node;
         let ticks = self.ticks;
-        let vid = ViewId {
-            epoch,
-            coordinator: node,
-        };
-        {
+        let vid = {
             let state = self.group_mut(group);
-            state.max_epoch_seen = state.max_epoch_seen.max(epoch);
-            state.vc = Some(ViewChangeState {
-                vid,
-                candidates: candidates.clone(),
-                acked: BTreeSet::new(),
-                delivered_max: BTreeMap::new(),
-                causal_max: BTreeMap::new(),
-                pool: BTreeMap::new(),
-                start_tick: ticks,
-                last_prepare_tick: ticks,
-            });
-            state.foreign.clear();
-        }
+            // Promises the proposal to this node, self-acks, clears the
+            // foreign book and flips to `Flushing`.
+            let vid = state.mem.begin_view_change(node, epoch, &candidates);
+            state.foreign_seen.clear();
+            state.vc = Some(VcData::new(ticks));
+            state.promised_tick = ticks;
+            vid
+        };
         for &candidate in &candidates {
             if candidate != node {
                 self.emit(
@@ -2243,37 +2226,25 @@ impl<P: Payload> GcsNode<P> {
                 );
             }
         }
-        // Flush ourselves inline.
+        // Flush ourselves inline (message-plane side of the self-ack).
         {
             let state = self.group_mut(group);
-            state.promised = Some(vid);
-            state.promised_tick = ticks;
-            if state.status == GroupStatus::Member {
-                state.status = GroupStatus::Flushing;
-            }
             let delivered = state.floors(node);
             let held = state.held(node);
             let causal = state.causal_snapshot();
             if let Some(vc) = state.vc.as_mut() {
-                vc.acked.insert(node);
-                for (sender, floor) in delivered {
-                    let entry = vc.delivered_max.entry(sender).or_insert(0);
-                    *entry = (*entry).max(floor);
-                }
-                for (sender, seq, payload) in held {
-                    vc.pool.insert((sender, seq), payload);
-                }
-                for (sender, count) in causal {
-                    let entry = vc.causal_max.entry(sender).or_insert(0);
-                    *entry = (*entry).max(count);
-                }
+                vc.absorb(delivered, held, causal);
             }
         }
         // Singleton proposals complete immediately; surface the install's
         // upcalls through the deferred queue (this runs inside a tick).
         if candidates == [node] {
-            let events = self.complete_view_change(ctx, group);
-            self.deferred_events.extend(events);
+            if let FlushProgress::Complete { vid, candidates } =
+                self.group_mut(group).mem.on_flush_ack(node, vid)
+            {
+                let events = self.complete_view_change(ctx, group, vid, candidates);
+                self.deferred_events.extend(events);
+            }
         }
     }
 
@@ -2285,17 +2256,20 @@ impl<P: Payload> GcsNode<P> {
         let announces: Vec<(GroupId, ViewId, Vec<NodeId>)> = self
             .groups
             .iter()
-            .filter(|(_, s)| {
-                s.status == GroupStatus::Member && s.view.coordinator_candidate() == Some(node)
+            .filter_map(|(&g, s)| {
+                s.mem
+                    .announce_payload(node)
+                    .map(|(vid, members)| (g, vid, members))
             })
-            .map(|(&g, s)| (g, s.view.id, s.view.members.clone()))
             .collect();
         for (group, vid, members) in announces {
+            // Members receive announces too: one that never installed
+            // the announced view detects its lost Install and re-syncs.
             let targets: Vec<NodeId> = self
                 .bootstrap
                 .iter()
                 .copied()
-                .filter(|n| *n != node && !members.contains(n))
+                .filter(|n| *n != node)
                 .collect();
             for target in targets {
                 self.emit(
@@ -2317,10 +2291,20 @@ impl<P: Payload> GcsNode<P> {
         self.nonmember_seen
             .retain(|_, &mut seen| ticks.saturating_sub(seen) <= horizon);
         let expiry = self.config.foreign_expiry_ticks;
-        for state in self.groups.values_mut() {
-            state
-                .foreign
-                .retain(|_, info| ticks.saturating_sub(info.seen_tick) <= expiry);
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            let expired: Vec<NodeId> = self.groups[&group]
+                .foreign_seen
+                .iter()
+                .filter(|(_, &seen)| ticks.saturating_sub(seen) > expiry)
+                .map(|(&peer, _)| peer)
+                .collect();
+            for peer in expired {
+                self.probe(Some(group), || ProtoEvent::ExpireForeign(peer));
+                let state = self.groups.get_mut(&group).expect("group exists");
+                state.foreign_seen.remove(&peer);
+                state.mem.expire_foreign(peer);
+            }
         }
     }
 
@@ -2335,7 +2319,7 @@ impl<P: Payload> GcsNode<P> {
     fn join_targets(&self, group: GroupId) -> Vec<NodeId> {
         let mut targets: BTreeSet<NodeId> = self.bootstrap.iter().copied().collect();
         if let Some(state) = self.groups.get(&group) {
-            targets.extend(state.join_contacts.iter().copied());
+            targets.extend(state.mem.join_contacts.iter().copied());
         }
         targets.remove(&self.node);
         targets.into_iter().collect()
@@ -2349,8 +2333,45 @@ impl<P: Payload> GcsNode<P> {
     }
 }
 
-fn vid_of<P>(vc: &ViewChangeState<P>) -> ViewId {
-    vc.vid
+/// The membership-plane projection of a packet: the [`ProtoMsg`] the pure
+/// state machine would receive for it, if any. Only evaluated when a proto
+/// probe is installed (replay-equivalence tests).
+fn proto_msg_of<P: Payload>(pkt: &GcsPacket<P>) -> Option<(GroupId, ProtoMsg)> {
+    match pkt {
+        GcsPacket::JoinReq { group, joiner } => {
+            Some((*group, ProtoMsg::JoinReq { joiner: *joiner }))
+        }
+        GcsPacket::LeaveReq { group, leaver } => {
+            Some((*group, ProtoMsg::LeaveReq { leaver: *leaver }))
+        }
+        GcsPacket::Prepare {
+            group,
+            vid,
+            candidates,
+        } => Some((
+            *group,
+            ProtoMsg::Prepare {
+                vid: *vid,
+                candidates: candidates.clone(),
+            },
+        )),
+        GcsPacket::FlushAck { group, vid, .. } => Some((*group, ProtoMsg::FlushAck { vid: *vid })),
+        GcsPacket::Install { group, view, .. } => {
+            Some((*group, ProtoMsg::Install { view: view.clone() }))
+        }
+        GcsPacket::Announce {
+            group,
+            vid,
+            members,
+        } => Some((
+            *group,
+            ProtoMsg::Announce {
+                vid: *vid,
+                members: members.clone(),
+            },
+        )),
+        _ => None,
+    }
 }
 
 /// Whether every causal dependency is satisfied by the local delivery

@@ -54,7 +54,7 @@ impl fmt::Display for ViewId {
 /// Members are kept sorted by [`NodeId`]; protocols rely on
 /// [`View::coordinator_candidate`] (the minimum member) being deterministic
 /// across all members.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct View {
     /// Identifier of this view.
     pub id: ViewId,

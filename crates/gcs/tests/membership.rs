@@ -217,3 +217,89 @@ fn views_are_deterministic_across_runs() {
     };
     assert_eq!(run(42), run(42));
 }
+
+#[test]
+fn join_racing_coordinator_crash_is_not_lost() {
+    // S1 regression, live: the JoinReq lands while the survivors are
+    // flushing the crash reconfiguration. The pending join must survive
+    // the abandoned round and be admitted by the next election — the old
+    // code forgot requests once the adopting coordinator went quiet.
+    let (mut sim, ids) = lan_sim(21, 4);
+    let members = &ids[..3];
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, ids[0], G);
+    join(&mut sim, ids[1], G, &[ids[0]]);
+    join(&mut sim, ids[2], G, &[ids[0]]);
+    sim.run_for(Duration::from_secs(3));
+    for &id in members {
+        assert_eq!(view_at(&sim, id, G).unwrap().members, members);
+    }
+    // Crash the coordinator and aim a join at a survivor in one breath.
+    sim.crash_at(sim.now(), ids[0]);
+    join(&mut sim, ids[3], G, &[ids[1]]);
+    sim.run_for(Duration::from_secs(6));
+    let want = vec![ids[1], ids[2], ids[3]];
+    for &id in &want {
+        assert_eq!(
+            view_at(&sim, id, G).unwrap().members,
+            want,
+            "join lost in the crash churn at {id}"
+        );
+    }
+}
+
+#[test]
+fn joiner_survives_adopting_coordinator_crash() {
+    // Checker-found wedge, live: a joiner promised to a coordinator that
+    // crashes mid-adoption used to hold the promise forever (blocking
+    // singleton formation, invisible to every survivor). The stale
+    // promise must be abandoned and the join retried until the survivor
+    // adopts the node.
+    let (mut sim, ids) = lan_sim(22, 3);
+    let members = &ids[..2];
+    sim.run_until(SimTime::from_millis(100));
+    create(&mut sim, ids[0], G);
+    join(&mut sim, ids[1], G, &[ids[0]]);
+    sim.run_for(Duration::from_secs(3));
+    for &id in members {
+        assert_eq!(view_at(&sim, id, G).unwrap().members, members);
+    }
+    // n3 aims its join at n1, which dies while adopting it.
+    join(&mut sim, ids[2], G, &[ids[0]]);
+    sim.run_for(Duration::from_millis(200));
+    sim.crash_at(sim.now(), ids[0]);
+    sim.run_for(Duration::from_secs(12));
+    let want = vec![ids[1], ids[2]];
+    for &id in &want {
+        assert_eq!(
+            view_at(&sim, id, G).unwrap().members,
+            want,
+            "joiner wedged after its adopter crashed, at {id}"
+        );
+    }
+}
+
+#[test]
+fn restarted_leaver_can_rejoin() {
+    // Checker-found wedge, live: a node crashes with its LeaveReq still
+    // in flight, restarts fresh and asks to join. The stale leave used
+    // to veto the rejoin out of every election forever; the newer
+    // request must win.
+    let (mut sim, ids) = lan_sim(23, 3);
+    form_group(&mut sim, &ids);
+    sim.invoke(NodeId(3), |app: &mut App, ctx| app.gcs.leave(ctx, G))
+        .unwrap();
+    sim.crash_at(sim.now(), NodeId(3));
+    sim.run_for(Duration::from_secs(2));
+    sim.start_node_at(sim.now(), NodeId(3), App::new(NodeId(3), ids.clone()));
+    sim.run_for(Duration::from_millis(200));
+    join(&mut sim, NodeId(3), G, &[NodeId(1)]);
+    sim.run_for(Duration::from_secs(6));
+    for &id in &ids {
+        assert_eq!(
+            view_at(&sim, id, G).unwrap().members,
+            ids,
+            "stale leave vetoed the rejoin, at {id}"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Replay equivalence: the live [`GcsNode`] and the pure state machine
+//! ([`gcs::proto::ProtoNode`]) are two drivers of one protocol, and the
+//! refactor holds them to that. Every live node records the exact
+//! [`ProtoEvent`] stream it feeds its embedded membership machine (via
+//! [`GcsNode::set_proto_probe`]); replaying that stream through a fresh
+//! `ProtoNode` must reproduce the node's installed-view sequence — same
+//! view ids, same member lists, same order — across seeded chaos plans
+//! mixing partitions, heals, joins, graceful leaves and traffic.
+//!
+//! A divergence here means the live node consulted state the pure
+//! machine does not carry (or vice versa), which is exactly the kind of
+//! drift that would silently invalidate the model checker's verdicts.
+
+mod common;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use common::*;
+use gcs::proto::{ProtoAction, ProtoConfig, ProtoEvent, ProtoNode};
+use gcs::{GroupId, View};
+use simnet::{LinkProfile, NodeId, SimTime, Simulation};
+
+const G: GroupId = GroupId(900);
+const SEEDS: u64 = 50;
+
+/// Per-node capture of the probed event stream.
+type EventLog = Rc<RefCell<Vec<(Option<GroupId>, ProtoEvent)>>>;
+
+/// xorshift64 — a tiny deterministic plan generator, seeded per case.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Replays a probed stream through a pure machine and collects the views
+/// it installs as a member, in order.
+fn replayed_views(
+    node: NodeId,
+    bootstrap: &[NodeId],
+    log: &[(Option<GroupId>, ProtoEvent)],
+) -> Vec<View> {
+    let mut machine = ProtoNode::new(ProtoConfig::default(), node, bootstrap.to_vec());
+    let mut views = Vec::new();
+    for (group, event) in log {
+        // `None` marks node-global failure-detector events; group-tagged
+        // events for other groups would belong to other machines.
+        if group.is_some_and(|g| g != G) {
+            continue;
+        }
+        for action in machine.step(event.clone()) {
+            if let ProtoAction::Install { view } = action {
+                if view.contains(node) {
+                    views.push(view);
+                }
+            }
+        }
+    }
+    views
+}
+
+/// The live node's recorded member-view sequence for [`G`].
+fn live_views(sim: &Simulation<Wire>, node: NodeId) -> Vec<View> {
+    sim.with_process(node, |app: &App| {
+        app.views
+            .iter()
+            .filter(|(g, v)| *g == G && v.contains(node))
+            .map(|(_, v)| v.clone())
+            .collect()
+    })
+    .unwrap_or_default()
+}
+
+/// One seeded chaos plan: form a trio, leave one spare joiner, then mix
+/// partitions/heals, the spare's join, graceful leaves and app traffic
+/// in an order the seed decides; finally heal and settle.
+fn run_plan(seed: u64) {
+    let n = 4u32;
+    let mut sim = Simulation::new(seed);
+    sim.set_default_profile(LinkProfile::lan());
+    let ids = boot(&mut sim, n);
+    let logs: Vec<EventLog> = ids.iter().map(|_| EventLog::default()).collect();
+    sim.run_until(SimTime::from_millis(100));
+    // Probes go in before the group exists, so the streams are complete.
+    for (&id, log) in ids.iter().zip(&logs) {
+        let log = Rc::clone(log);
+        sim.invoke(id, move |app: &mut App, _ctx| {
+            app.gcs
+                .set_proto_probe(move |group, event| log.borrow_mut().push((group, event.clone())));
+        })
+        .expect("probe install");
+    }
+    create(&mut sim, ids[0], G);
+    join(&mut sim, ids[1], G, &[ids[0]]);
+    join(&mut sim, ids[2], G, &[ids[0]]);
+    sim.run_for(Duration::from_secs(3));
+
+    let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let spare = ids[3];
+    let mut spare_joined = false;
+    let mut left: Vec<NodeId> = Vec::new();
+    for _ in 0..4 {
+        match rng.below(4) {
+            0 => {
+                // Partition one non-anchor node away, dwell, heal.
+                let lone = ids[1 + rng.below(3) as usize];
+                let rest: Vec<NodeId> = ids.iter().copied().filter(|&x| x != lone).collect();
+                sim.partition_at(sim.now(), &[lone], &rest);
+                sim.run_for(Duration::from_millis(1500));
+                sim.heal_all_at(sim.now());
+                sim.run_for(Duration::from_millis(1500));
+            }
+            1 => {
+                if !spare_joined {
+                    join(&mut sim, spare, G, &[ids[0]]);
+                    spare_joined = true;
+                }
+                sim.run_for(Duration::from_secs(1));
+            }
+            2 => {
+                // A graceful leave — never the anchor (it carries the
+                // traffic), at most one so the group survives.
+                let candidate = ids[1 + rng.below(2) as usize];
+                if left.is_empty() && !left.contains(&candidate) {
+                    sim.invoke(candidate, |app: &mut App, ctx| app.gcs.leave(ctx, G))
+                        .expect("leave invoke");
+                    left.push(candidate);
+                }
+                sim.run_for(Duration::from_secs(1));
+            }
+            _ => {
+                // Traffic from the anchor; tolerate a transiently
+                // non-member anchor rather than poison the plan.
+                let base = 10 * rng.below(1000);
+                sim.invoke(ids[0], move |app: &mut App, ctx| {
+                    for k in 0..3 {
+                        if let Ok(events) = app.gcs.multicast(ctx, G, Chat(base + k)) {
+                            app.record(events);
+                        }
+                    }
+                })
+                .expect("traffic invoke");
+                sim.run_for(Duration::from_millis(500));
+            }
+        }
+    }
+    sim.heal_all_at(sim.now());
+    sim.run_for(Duration::from_secs(6));
+
+    for (&id, log) in ids.iter().zip(&logs) {
+        let live = live_views(&sim, id);
+        let replayed = replayed_views(id, &ids, &log.borrow());
+        assert_eq!(
+            live, replayed,
+            "seed {seed}: view sequence diverged at {id}\n  live:     {live:?}\n  replayed: {replayed:?}"
+        );
+    }
+}
+
+/// Fifty seeded chaos plans; on every one of them, for every node, the
+/// pure machine replay reproduces the live view sequence exactly.
+#[test]
+fn replay_reproduces_live_view_sequences() {
+    for seed in 1..=SEEDS {
+        run_plan(seed);
+    }
+}

@@ -1,0 +1,255 @@
+//! Eventual-merge and takeover-coverage checking via a *fair closure*.
+//!
+//! Liveness cannot be judged at a single interleaving state — a stuck
+//! flush is fine if a timeout that fixes it is still enabled. So from
+//! every explored state the checker runs a deterministic "and then the
+//! faults stop" schedule: heal the cut, give every node ground-truth
+//! suspicion, and alternate full message delivery with one firing of
+//! every pending protocol timer, for a bounded number of rounds. A
+//! correct protocol must converge to one agreed view over exactly the
+//! engaged survivors; takeover coverage is then checked on that view.
+//!
+//! This is the check that rediscovers the PR 4 expulsion deadlock when
+//! the residual-reform fix is disabled: the expelled side ignores the
+//! survivors' announces forever, so no schedule merges the views.
+
+use ftvod_core::protocol::ClientId;
+use ftvod_core::server::assign_clients;
+use gcs::proto::{GroupStatus, ProtoEvent};
+use simnet::NodeId;
+
+use crate::world::{id_of, idx, Scenario, World};
+
+/// Delivery passes per round; bounds send/deliver ping-pong inside one
+/// round (leftovers carry into the next round).
+const DELIVERY_PASSES: usize = 32;
+
+/// Runs the fair closure from `start`. Returns the violated invariant
+/// and detail if the system fails to converge (eventual-merge) or the
+/// converged view leaves clients uncovered (takeover-coverage).
+pub fn closure_violation(start: &World, scn: &Scenario) -> Option<(String, String)> {
+    let mut w = start.clone();
+    w.cut = None;
+
+    // Who must end up in the one merged view: alive nodes that are
+    // engaged with the group and not on their way out. Leavers must end
+    // Idle; nodes that never joined stay out.
+    let participants: Vec<NodeId> = w
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, n)| w.alive[i] && n.group.status != GroupStatus::Idle && !n.group.leaving)
+        .map(|(i, _)| id_of(i))
+        .collect();
+    let leavers: Vec<NodeId> = w
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, n)| w.alive[i] && n.group.leaving)
+        .map(|(i, _)| id_of(i))
+        .collect();
+
+    let rounds = 8 + 4 * w.nodes.len();
+    for round in 0..rounds {
+        ground_truth_suspicion(&mut w);
+        deliver_all(&mut w);
+        fire_timers(&mut w, round, rounds);
+        deliver_all(&mut w);
+        if converged(&w, &participants, &leavers) {
+            return coverage_violation(&w, scn, &participants);
+        }
+    }
+    let views: Vec<String> = w
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| w.alive[i])
+        .map(|(i, n)| format!("{}: {:?} {}", id_of(i), n.group.status, n.group.view))
+        .collect();
+    Some((
+        "eventual-merge".into(),
+        format!(
+            "no common view after {rounds} fair rounds (target {participants:?}); stuck at [{}]",
+            views.join("; ")
+        ),
+    ))
+}
+
+/// Every alive node suspects exactly the peers that are silent toward
+/// it (dead, or emitting no traffic it would hear): the failure
+/// detector is eventually perfect once faults stop. Audibility, not
+/// mere liveness, is what the heartbeat FD measures — an idle node or
+/// a member of a disjoint view says nothing and must end up suspected,
+/// or expulsions and merges never trigger.
+fn ground_truth_suspicion(w: &mut World) {
+    for i in 0..w.nodes.len() {
+        if !w.alive[i] {
+            continue;
+        }
+        let me = id_of(i);
+        for j in 0..w.nodes.len() {
+            if i == j {
+                continue;
+            }
+            let peer = id_of(j);
+            if w.audible(peer, me) {
+                if w.nodes[i].suspected.contains(&peer) {
+                    w.step_node(me, ProtoEvent::Unsuspect(peer));
+                }
+            } else if !w.nodes[i].suspected.contains(&peer) {
+                w.step_node(me, ProtoEvent::Suspect(peer));
+            }
+        }
+    }
+}
+
+/// Delivers every deliverable in-flight message, in message order,
+/// repeating until quiescent (bounded by [`DELIVERY_PASSES`]).
+fn deliver_all(w: &mut World) {
+    for _ in 0..DELIVERY_PASSES {
+        let deliverable: Vec<_> = w
+            .inflight
+            .iter()
+            .filter(|(_, to, _)| w.alive[idx(*to)])
+            .cloned()
+            .collect();
+        if deliverable.is_empty() {
+            return;
+        }
+        for (from, to, msg) in deliverable {
+            w.inflight.remove(&(from, to, msg.clone()));
+            w.step_node(to, ProtoEvent::Deliver { from, msg });
+        }
+    }
+}
+
+/// Fires, once per node in id order, every protocol timer whose live
+/// counterpart would eventually go off in a quiet network.
+fn fire_timers(w: &mut World, round: usize, rounds: usize) {
+    for i in 0..w.nodes.len() {
+        if !w.alive[i] {
+            continue;
+        }
+        let me = id_of(i);
+        // A joiner that nobody adopted forms a singleton (once no alive
+        // group still lists it — the live timer ordering); merging
+        // reconciles singletons afterwards.
+        if w.nodes[i].group.status == GroupStatus::Joining {
+            let unlisted = !w.nodes.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && w.alive[j]
+                    && matches!(
+                        other.group.status,
+                        GroupStatus::Member | GroupStatus::Flushing
+                    )
+                    && other.group.view.contains(me)
+            });
+            if w.nodes[i].group.promised.is_none() && unlisted {
+                w.step_node(me, ProtoEvent::SingletonForm);
+            } else {
+                w.step_node(me, ProtoEvent::JoinRetry);
+            }
+        }
+        // All acks that can arrive have arrived (deliver_all ran); a
+        // round still pending is stuck on dead or refusing candidates.
+        if let Some(fl) = &w.nodes[i].group.flush {
+            let silent: Vec<NodeId> = fl
+                .candidates
+                .iter()
+                .copied()
+                .filter(|&c| c != me && !w.alive[idx(c)])
+                .collect();
+            w.step_node(me, ProtoEvent::FlushTimeout { silent });
+        }
+        // A promise blocks delivery (and, on the round's own
+        // coordinator, elections) until the round resolves — and on a
+        // joiner it blocks singleton formation. Once the promised
+        // coordinator is dead or demonstrably no longer runs that
+        // round, the live abandonment timer would fire: fire it.
+        if matches!(
+            w.nodes[i].group.status,
+            GroupStatus::Flushing | GroupStatus::Joining
+        ) {
+            if let Some(promised) = w.nodes[i].group.promised {
+                let coord = idx(promised.coordinator);
+                let round_dead = !w.alive[coord]
+                    || w.nodes[coord]
+                        .group
+                        .flush
+                        .as_ref()
+                        .is_none_or(|fl| fl.vid != promised);
+                if round_dead {
+                    w.step_node(me, ProtoEvent::AbandonFlush);
+                }
+            }
+        }
+        if w.nodes[i].group.leaving {
+            let node = &w.nodes[i];
+            let stuck = node.group.leave_target(me, &node.suspected).is_none();
+            // The live node's force-quit timer fires unconditionally
+            // after enough silence; model that in the second half of the
+            // closure so graceful leaves get a fair chance first.
+            if stuck || round >= rounds / 2 {
+                w.step_node(me, ProtoEvent::ForceLeave);
+            } else {
+                w.step_node(me, ProtoEvent::LeaveRetry);
+            }
+        }
+        w.step_node(me, ProtoEvent::DoElection);
+        w.step_node(me, ProtoEvent::DoAnnounce);
+    }
+}
+
+/// Converged iff every participant is a plain member of the view whose
+/// membership is exactly the participant set, and every leaver is out.
+fn converged(w: &World, participants: &[NodeId], leavers: &[NodeId]) -> bool {
+    for &leaver in leavers {
+        if w.nodes[idx(leaver)].group.status != GroupStatus::Idle {
+            return false;
+        }
+    }
+    for &p in participants {
+        let g = &w.nodes[idx(p)].group;
+        if g.status != GroupStatus::Member || g.view.members != participants {
+            return false;
+        }
+    }
+    true
+}
+
+/// On the converged view, the deterministic takeover redistribution must
+/// give every client exactly one owner among the surviving members.
+fn coverage_violation(
+    w: &World,
+    scn: &Scenario,
+    participants: &[NodeId],
+) -> Option<(String, String)> {
+    if participants.is_empty() || scn.clients == 0 {
+        return None;
+    }
+    let clients: Vec<ClientId> = (1..=scn.clients).map(ClientId).collect();
+    // Every survivor computes the assignment from its own view; they all
+    // converged on the same members, so check once from the actual view
+    // of the minimum participant (not the target list) to exercise the
+    // real input path.
+    let view = &w.nodes[idx(participants[0])].group.view;
+    let assignment = assign_clients(&clients, &view.members);
+    for &c in &clients {
+        match assignment.get(&c) {
+            None => {
+                return Some((
+                    "takeover-coverage".into(),
+                    format!("{c} left unassigned by redistribution over {view}"),
+                ));
+            }
+            Some(owner) if !participants.contains(owner) => {
+                return Some((
+                    "takeover-coverage".into(),
+                    format!("{c} assigned to non-survivor {owner} over {view}"),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,229 @@
+//! Breadth-first explicit-state exploration with hash dedup and
+//! parent-pointer counterexample reconstruction.
+//!
+//! BFS guarantees the first violating state found is at minimal depth,
+//! so the printed trace is a *shortest* counterexample under the
+//! transition order. Visited states are deduplicated by a 64-bit
+//! [`DefaultHasher`] digest of the whole world — standard small-scope
+//! practice (a colliding pair would hide a state, but at the explored
+//! scales the risk is negligible and the memory savings are what make
+//! exhaustive depths feasible). Everything the checker prints derives
+//! from ordered structures, so two runs of the same scope are
+//! byte-identical.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::closure::closure_violation;
+use crate::world::{Scenario, Step, World};
+
+/// Exploration bounds.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Maximum BFS depth (transitions from the initial state).
+    pub depth: u32,
+    /// Hard cap on distinct states (exploration truncates beyond it).
+    pub max_states: usize,
+    /// Whether to run the fair-closure liveness check at every state
+    /// (eventual-merge + takeover-coverage). Safety invariants are
+    /// always checked.
+    pub check_merge: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            depth: 7,
+            max_states: 400_000,
+            check_merge: true,
+        }
+    }
+}
+
+/// A minimal violating run: the steps from the initial state, the
+/// invariant that broke, and what exactly went wrong.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+    /// The transitions from the initial state, in order.
+    pub steps: Vec<Step>,
+}
+
+/// Outcome and statistics of one exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// `None` if every reached state satisfied every invariant.
+    pub counterexample: Option<Counterexample>,
+    /// Distinct states reached (after dedup).
+    pub states: u64,
+    /// Transitions taken (including ones leading to known states).
+    pub transitions: u64,
+    /// Deepest BFS level reached.
+    pub max_depth: u32,
+    /// True if the state cap stopped exploration before the depth bound.
+    pub truncated: bool,
+}
+
+impl Report {
+    /// True when no invariant was violated in the explored scope.
+    pub fn pass(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.counterexample {
+            None => {
+                writeln!(
+                    f,
+                    "PASS: {} states, {} transitions, depth {}{}",
+                    self.states,
+                    self.transitions,
+                    self.max_depth,
+                    if self.truncated {
+                        " (truncated by state cap)"
+                    } else {
+                        ""
+                    }
+                )
+            }
+            Some(cx) => {
+                writeln!(
+                    f,
+                    "FAIL: invariant `{}` violated after {} steps ({} states explored)",
+                    cx.invariant,
+                    cx.steps.len(),
+                    self.states
+                )?;
+                writeln!(f, "  {}", cx.detail)?;
+                writeln!(f, "  minimal counterexample:")?;
+                for (i, step) in cx.steps.iter().enumerate() {
+                    writeln!(f, "    {:2}. {step}", i + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn digest<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Hash of the closure-relevant projection of a world: the cut is about
+/// to be healed and budgets never matter inside the closure, so states
+/// differing only in those share one memoized closure verdict.
+fn closure_key(w: &World) -> u64 {
+    let mut h = DefaultHasher::new();
+    w.nodes.hash(&mut h);
+    w.alive.hash(&mut h);
+    w.inflight.hash(&mut h);
+    h.finish()
+}
+
+/// Explores `scn` breadth-first within `cfg`'s bounds, checking the
+/// safety invariants at every distinct state and (optionally) the
+/// fair-closure liveness invariants. Deterministic: two runs over the
+/// same inputs produce identical reports.
+pub fn explore(scn: &Scenario, cfg: &CheckConfig) -> Report {
+    // Parent-pointer arena: (parent index, step that got here). The
+    // initial state is index 0 with no step.
+    let mut arena: Vec<(usize, Option<Step>)> = vec![(0, None)];
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut closure_memo: HashMap<u64, Option<(String, String)>> = HashMap::new();
+    let mut queue: VecDeque<(World, usize, u32)> = VecDeque::new();
+
+    let mut report = Report {
+        counterexample: None,
+        states: 0,
+        transitions: 0,
+        max_depth: 0,
+        truncated: false,
+    };
+
+    let trace_of = |arena: &[(usize, Option<Step>)], mut at: usize| -> Vec<Step> {
+        let mut steps = Vec::new();
+        while let (parent, Some(step)) = &arena[at] {
+            steps.push(step.clone());
+            at = *parent;
+        }
+        steps.reverse();
+        steps
+    };
+
+    let initial = World::initial(scn);
+    seen.insert(digest(&initial));
+    report.states = 1;
+
+    let check = |world: &World,
+                 at: usize,
+                 arena: &[(usize, Option<Step>)],
+                 memo: &mut HashMap<u64, Option<(String, String)>>|
+     -> Option<Counterexample> {
+        if let Some((invariant, detail)) = world.violation() {
+            return Some(Counterexample {
+                invariant,
+                detail,
+                steps: trace_of(arena, at),
+            });
+        }
+        if cfg.check_merge {
+            let key = closure_key(world);
+            let verdict = memo
+                .entry(key)
+                .or_insert_with(|| closure_violation(world, scn));
+            if let Some((invariant, detail)) = verdict.clone() {
+                return Some(Counterexample {
+                    invariant,
+                    detail,
+                    steps: trace_of(arena, at),
+                });
+            }
+        }
+        None
+    };
+
+    if let Some(cx) = check(&initial, 0, &arena, &mut closure_memo) {
+        report.counterexample = Some(cx);
+        return report;
+    }
+    queue.push_back((initial, 0, 0));
+
+    while let Some((world, at, depth)) = queue.pop_front() {
+        if depth >= cfg.depth {
+            continue;
+        }
+        for step in world.steps(scn) {
+            let next = world.apply(&step);
+            if next == world {
+                continue; // legal no-op event; walks nowhere
+            }
+            report.transitions += 1;
+            if !seen.insert(digest(&next)) {
+                continue;
+            }
+            report.states += 1;
+            report.max_depth = report.max_depth.max(depth + 1);
+            arena.push((at, Some(step)));
+            let idx = arena.len() - 1;
+            if let Some(cx) = check(&next, idx, &arena, &mut closure_memo) {
+                report.counterexample = Some(cx);
+                return report;
+            }
+            if report.states as usize >= cfg.max_states {
+                report.truncated = true;
+                return report;
+            }
+            queue.push_back((next, idx, depth + 1));
+        }
+    }
+    report
+}

@@ -1,0 +1,123 @@
+//! End-to-end checker runs over the scopes the CLI and CI exercise:
+//! the fixed protocol must be green, the PR 4 revert must yield a
+//! minimal eventual-merge counterexample, and the whole thing must be
+//! deterministic run-to-run.
+
+use ftvod_mc::{explore, CheckConfig, Scenario};
+use gcs::proto::ProtoConfig;
+
+fn bounded(depth: u32) -> CheckConfig {
+    CheckConfig {
+        depth,
+        ..CheckConfig::default()
+    }
+}
+
+/// Three formed members, one crash, one partition, full interleaving of
+/// deliveries and timeouts: every safety and liveness invariant holds.
+/// Depth 7 is load-bearing: that is where the equal-epoch divergence
+/// lived (two sides of a healed partition reconfigure concurrently to
+/// the same epoch and each discards the other's announces as stale).
+#[test]
+fn formed_trio_is_green() {
+    let report = explore(&Scenario::formed(3), &bounded(7));
+    assert!(report.pass(), "{report}");
+    assert!(!report.truncated, "scope must be exhausted, not truncated");
+    assert!(report.states > 1_000, "scope unexpectedly small: {report}");
+}
+
+/// Reverting the PR 4 expulsion fix (an expelled minority no longer
+/// re-forms a residual group) must be rediscovered as an eventual-merge
+/// violation: the expelled node ignores the survivors' announces
+/// forever, so no fair schedule re-merges the views.
+#[test]
+fn revert_of_pr4_fix_is_rediscovered() {
+    let mut scn = Scenario::formed(3);
+    scn.cfg = ProtoConfig {
+        reform_on_expulsion: false,
+    };
+    let report = explore(&scn, &bounded(6));
+    let cx = report
+        .counterexample
+        .as_ref()
+        .expect("the expulsion deadlock must be found");
+    assert_eq!(cx.invariant, "eventual-merge", "{report}");
+    // BFS finds it at the minimal depth: partition, suspect, election —
+    // the closure does the rest. Anything longer means the search order
+    // regressed.
+    assert!(
+        cx.steps.len() <= 4,
+        "counterexample should be minimal: {report}"
+    );
+}
+
+/// The joiner corner that motivated the consent fixes: two members, one
+/// joiner, one crash. A replayed Install or a relay through a suspected
+/// coordinator must not wedge or split the group.
+#[test]
+fn joiner_corner_is_green() {
+    let mut scn = Scenario::formed(2);
+    scn.joiners = 1;
+    let report = explore(&scn, &bounded(6));
+    assert!(report.pass(), "{report}");
+}
+
+/// The leaver corner that motivated the expelled-coordinator fix: a
+/// graceful leave racing suspicion and a crash. The leaver must get
+/// out and the survivors must re-form without electing it. Depth 7 is
+/// load-bearing: a restarted leaver's stale in-flight `LeaveReq` used
+/// to veto its own fresh `JoinReq` out of every election forever.
+#[test]
+fn leaver_corner_is_green() {
+    let mut scn = Scenario::formed(3);
+    scn.leavers = vec![1];
+    let report = explore(&scn, &bounded(7));
+    assert!(report.pass(), "{report}");
+}
+
+/// A join and a graceful leave racing one crash over a two-member
+/// group: the corner where a joiner promised to a coordinator that then
+/// crashed mid-flush was orphaned in `Joining` forever (its promise
+/// blocked singleton formation and nothing surviving knew it existed).
+#[test]
+fn orphaned_joiner_corner_is_green() {
+    let mut scn = Scenario::formed(2);
+    scn.joiners = 1;
+    scn.leavers = vec![2];
+    let report = explore(&scn, &bounded(6));
+    assert!(report.pass(), "{report}");
+}
+
+/// Message loss: with a drop budget the protocol's retries must still
+/// converge (this is the S1 flush-abandonment class: a lost request
+/// must be re-sent, not forgotten).
+#[test]
+fn lossy_network_is_green() {
+    let mut scn = Scenario::formed(3);
+    scn.max_crashes = 0;
+    scn.max_partitions = 0;
+    scn.max_drops = 2;
+    scn.leavers = vec![2];
+    let report = explore(&scn, &bounded(7));
+    assert!(report.pass(), "{report}");
+}
+
+/// Checker determinism: the same scope explored twice renders
+/// byte-identical reports (CI double-runs the CLI and `cmp`s them).
+#[test]
+fn reports_are_deterministic() {
+    let scn = Scenario::formed(3);
+    let a = explore(&scn, &bounded(4));
+    let b = explore(&scn, &bounded(4));
+    assert_eq!(format!("{a}"), format!("{b}"));
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.transitions, b.transitions);
+
+    let mut sick = Scenario::formed(3);
+    sick.cfg = ProtoConfig {
+        reform_on_expulsion: false,
+    };
+    let a = explore(&sick, &bounded(6));
+    let b = explore(&sick, &bounded(6));
+    assert_eq!(format!("{a}"), format!("{b}"));
+}

@@ -42,6 +42,19 @@
 //!   --clients M        sessions per campaign        (default 24)
 //!   --sync-ms MS       server sync interval         (default 500)
 //!   --plan             print each campaign's fault schedule
+//! ftvod-cli check [options]                 exhaustively model-check the
+//!                                           membership state machine over a
+//!                                           small scope; exits nonzero with
+//!                                           a minimal counterexample trace
+//!                                           if any invariant fails
+//!   --nodes N          formed members               (default 3)
+//!   --joiners J        extra nodes that may join    (default 0)
+//!   --leaver ID        member that may leave gracefully
+//!   --drops K          message-loss budget          (default 0)
+//!   --clients M        clients for takeover coverage (default 4)
+//!   --depth D          interleaving depth bound     (default 5)
+//!   --max-states S     distinct-state cap           (default 400000)
+//!   --revert-pr4-fix   disable the PR 4 expulsion fix (must fail)
 //! ftvod-cli perf [options]                  run the fixed perf suite and
 //!                                           emit BENCH_ftvod.json; with a
 //!                                           baseline, gate on regressions
@@ -64,6 +77,7 @@ use std::time::Duration;
 
 use ftvod::bench::perf::{run_suite, BenchReport, DEFAULT_MAX_WALL_RATIO};
 use ftvod::prelude::*;
+use ftvod_mc::{explore, CheckConfig, ProtoConfig, Scenario};
 
 #[derive(Debug, Clone, PartialEq)]
 struct CustomOptions {
@@ -420,6 +434,145 @@ fn run_chaos(opts: &ChaosOptions) -> Result<(), String> {
             opts.seeds,
             failing
         ))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CheckOptions {
+    nodes: u32,
+    joiners: u32,
+    leaver: Option<u32>,
+    drops: u32,
+    clients: u32,
+    depth: u32,
+    max_states: usize,
+    revert_pr4_fix: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            nodes: 3,
+            joiners: 0,
+            leaver: None,
+            drops: 0,
+            clients: 4,
+            depth: 5,
+            max_states: 400_000,
+            revert_pr4_fix: false,
+        }
+    }
+}
+
+fn parse_check(args: &[String]) -> Result<CheckOptions, String> {
+    let mut opts = CheckOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                opts.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--joiners" => {
+                opts.joiners = value("--joiners")?
+                    .parse()
+                    .map_err(|e| format!("--joiners: {e}"))?
+            }
+            "--leaver" => {
+                opts.leaver = Some(
+                    value("--leaver")?
+                        .parse()
+                        .map_err(|e| format!("--leaver: {e}"))?,
+                )
+            }
+            "--drops" => {
+                opts.drops = value("--drops")?
+                    .parse()
+                    .map_err(|e| format!("--drops: {e}"))?
+            }
+            "--clients" => {
+                opts.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--depth" => {
+                opts.depth = value("--depth")?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?
+            }
+            "--max-states" => {
+                opts.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("--max-states: {e}"))?
+            }
+            "--revert-pr4-fix" => opts.revert_pr4_fix = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.nodes < 2 {
+        return Err("--nodes must be at least 2 (a singleton has no protocol to check)".to_owned());
+    }
+    if opts.nodes + opts.joiners > 5 {
+        return Err("--nodes plus --joiners must stay at or below 5 (state explosion)".to_owned());
+    }
+    if let Some(l) = opts.leaver {
+        if l == 0 || l > opts.nodes {
+            return Err(format!(
+                "--leaver must name a formed member (1..={})",
+                opts.nodes
+            ));
+        }
+    }
+    if opts.depth == 0 {
+        return Err("--depth must be at least 1".to_owned());
+    }
+    if opts.max_states == 0 {
+        return Err("--max-states must be at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+fn run_check(opts: &CheckOptions) -> Result<(), String> {
+    let mut scn = Scenario::formed(opts.nodes);
+    scn.joiners = opts.joiners;
+    scn.leavers = opts.leaver.into_iter().collect();
+    scn.max_drops = opts.drops;
+    scn.clients = opts.clients;
+    if opts.revert_pr4_fix {
+        scn.cfg = ProtoConfig {
+            reform_on_expulsion: false,
+        };
+    }
+    let cfg = CheckConfig {
+        depth: opts.depth,
+        max_states: opts.max_states,
+        check_merge: true,
+    };
+    println!(
+        "check: {} member(s), {} joiner(s), {} leaver(s), budgets {} crash / {} partition / {} drop, depth {}{}",
+        scn.members,
+        scn.joiners,
+        scn.leavers.len(),
+        scn.max_crashes,
+        scn.max_partitions,
+        scn.max_drops,
+        cfg.depth,
+        if opts.revert_pr4_fix {
+            " [PR 4 expulsion fix reverted]"
+        } else {
+            ""
+        },
+    );
+    let report = explore(&scn, &cfg);
+    print!("{report}");
+    if report.pass() {
+        Ok(())
+    } else {
+        Err("the model checker found an invariant violation".to_owned())
     }
 }
 
@@ -822,6 +975,29 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --sync-ms MS   server sync interval in ms         (default 500)\n\
              \x20 --plan         print each campaign's fault schedule"
         }
+        "check" => {
+            "usage: ftvod-cli check [options]\n\n\
+             Exhaustively model-check the GCS membership state machine\n\
+             (gcs::proto) over a small scope: breadth-first exploration of\n\
+             every interleaving of message delivery, loss, crash, restart,\n\
+             partition and heal, with safety invariants (view agreement,\n\
+             member-in-own-view) checked at every distinct state and\n\
+             liveness (eventual merge, takeover coverage) checked via a\n\
+             deterministic fair closure. The same scope always renders the\n\
+             same report, byte for byte. Exits nonzero with a minimal\n\
+             counterexample trace if any invariant fails.\n\n\
+             options:\n\
+             \x20 --nodes N          formed members                 (default 3)\n\
+             \x20 --joiners J        extra nodes that may join      (default 0)\n\
+             \x20 --leaver ID        member that may leave gracefully\n\
+             \x20 --drops K          message-loss budget            (default 0)\n\
+             \x20 --clients M        clients for takeover coverage  (default 4)\n\
+             \x20 --depth D          interleaving depth bound       (default 5)\n\
+             \x20 --max-states S     distinct-state cap             (default 400000)\n\
+             \x20 --revert-pr4-fix   disable the PR 4 expulsion fix; the\n\
+             \x20                    checker must rediscover the merge\n\
+             \x20                    deadlock and exit nonzero"
+        }
         "perf" => {
             "usage: ftvod-cli perf [options]\n\n\
              Run the fixed perf suite (fig4_lan, fig5_wan, fleet_e3,\n\
@@ -851,6 +1027,7 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 custom      build your own deployment (crashes, shutdowns)\n\
              \x20 fleet       generated fleet workload with dynamic replication\n\
              \x20 chaos       seeded fault campaigns checked by the safety oracle\n\
+             \x20 check       exhaustively model-check the membership protocol\n\
              \x20 perf        run the perf suite, write BENCH_ftvod.json, gate\n\
              \x20             against a baseline\n\n\
              Run `ftvod-cli <command> --help` for the command's options."
@@ -896,6 +1073,7 @@ fn main() -> ExitCode {
         "custom" => exit_from(parse_custom(&args[1..]).and_then(|opts| run_custom(&opts))),
         "fleet" => exit_from(parse_fleet(&args[1..]).and_then(|opts| run_fleet(&opts))),
         "chaos" => exit_from(parse_chaos(&args[1..]).and_then(|opts| run_chaos(&opts))),
+        "check" => exit_from(parse_check(&args[1..]).and_then(|opts| run_check(&opts))),
         "perf" => exit_from(parse_perf(&args[1..]).and_then(|opts| run_perf(&opts))),
         other => {
             eprintln!("unknown command \"{other}\"\n\n{}", usage_for("overview"));
@@ -1085,9 +1263,61 @@ mod tests {
     }
 
     #[test]
+    fn check_defaults_parse() {
+        let opts = parse_check(&[]).unwrap();
+        assert_eq!(opts, CheckOptions::default());
+        assert_eq!(opts.nodes, 3);
+        assert_eq!(opts.depth, 5);
+        assert!(!opts.revert_pr4_fix);
+    }
+
+    #[test]
+    fn check_full_flag_set_parses() {
+        let opts = parse_check(&strings(&[
+            "--nodes",
+            "2",
+            "--joiners",
+            "1",
+            "--leaver",
+            "2",
+            "--drops",
+            "2",
+            "--clients",
+            "6",
+            "--depth",
+            "6",
+            "--max-states",
+            "100000",
+            "--revert-pr4-fix",
+        ]))
+        .unwrap();
+        assert_eq!(opts.nodes, 2);
+        assert_eq!(opts.joiners, 1);
+        assert_eq!(opts.leaver, Some(2));
+        assert_eq!(opts.drops, 2);
+        assert_eq!(opts.clients, 6);
+        assert_eq!(opts.depth, 6);
+        assert_eq!(opts.max_states, 100_000);
+        assert!(opts.revert_pr4_fix);
+    }
+
+    #[test]
+    fn check_rejects_bad_inputs() {
+        assert!(parse_check(&strings(&["--bogus"])).is_err());
+        assert!(parse_check(&strings(&["--nodes", "1"])).is_err());
+        assert!(parse_check(&strings(&["--nodes", "4", "--joiners", "2"])).is_err());
+        assert!(parse_check(&strings(&["--leaver", "4"])).is_err());
+        assert!(parse_check(&strings(&["--leaver", "0"])).is_err());
+        assert!(parse_check(&strings(&["--depth", "0"])).is_err());
+        assert!(parse_check(&strings(&["--max-states", "0"])).is_err());
+        assert!(parse_check(&strings(&["--depth"])).is_err());
+    }
+
+    #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "lan", "wan", "trace", "report", "custom", "fleet", "chaos", "perf", "overview",
+            "lan", "wan", "trace", "report", "custom", "fleet", "chaos", "check", "perf",
+            "overview",
         ] {
             let text = usage_for(cmd);
             assert!(text.starts_with("usage:"), "{cmd} usage malformed");
@@ -1095,7 +1325,10 @@ mod tests {
         assert!(usage_for("fleet").contains("--zipf"));
         assert!(usage_for("chaos").contains("--sync-ms"));
         assert!(usage_for("overview").contains("chaos"));
+        assert!(usage_for("overview").contains("check"));
         assert!(usage_for("overview").contains("perf"));
+        assert!(usage_for("check").contains("--revert-pr4-fix"));
+        assert!(usage_for("check").contains("--depth"));
         assert!(usage_for("perf").contains("--counters-only"));
         assert!(usage_for("report").contains("--json"));
         assert!(usage_for("fleet").contains("--net-csv"));
