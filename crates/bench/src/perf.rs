@@ -1,14 +1,19 @@
 //! The fixed perf-suite behind `ftvod-cli perf` and the CI regression
 //! gate.
 //!
-//! Four scenarios cover the simulator's distinct hot paths:
+//! Five scenarios cover the simulator's distinct hot paths:
 //!
 //! * `fig4_lan` — the paper's LAN failover (crash + load balance);
 //! * `fig5_wan` — the paper's WAN migration over a lossy 7-hop path;
 //! * `fleet_e3` — the 4-server / 96-session fleet workload with dynamic
 //!   replica management (EXPERIMENTS.md E3);
 //! * `chaos_5seeds` — five seeded fault campaigns including the oracle
-//!   replay (counters summed across seeds, peaks taken as maxima).
+//!   replay (counters summed across seeds, peaks taken as maxima);
+//! * `flash_crowd` — the 10× popularity-shock duel (EXPERIMENTS.md E7):
+//!   the same plan run under reactive hysteresis and under the
+//!   predictive policy with the prefix-cache tier, with headline
+//!   counters namespaced `reactive.*` / `predictive.*` and the
+//!   `predictive_dominates` bit the gate pins.
 //!
 //! Every scenario runs with cost profiling on and produces a
 //! [`ScenarioBench`]: a table of **deterministic counters** (scheduler
@@ -25,11 +30,16 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use ftvod_core::chaos::{ChaosPlan, ChaosProfile};
-use ftvod_core::config::{ReplicationConfig, VodConfig};
+use ftvod_core::config::{PrefixCacheConfig, ReplicationConfig, VodConfig};
+use ftvod_core::forecast::PolicyKind;
 use ftvod_core::oracle::{OracleConfig, OracleReport};
 use ftvod_core::profile::Subsystem;
 use ftvod_core::scenario::{presets, VodSim};
-use ftvod_core::workload::{fleet_builder, FleetPlan, FleetProfile};
+use ftvod_core::trace::VodEvent;
+use ftvod_core::workload::{
+    fleet_builder, fleet_builder_with_config, fleet_config, FleetPlan, FleetProfile, FleetReport,
+};
+use media::MovieId;
 use simnet::{LinkProfile, SimTime};
 
 use crate::json::Json;
@@ -111,6 +121,7 @@ pub fn run_suite(
     scenarios.push(run_preset_bench("fig5_wan", 42, 0, &mut None));
     scenarios.push(run_fleet_bench(42));
     scenarios.push(run_chaos_bench(1, 5));
+    scenarios.push(run_flash_bench(42));
 
     (
         BenchReport {
@@ -272,6 +283,109 @@ fn run_chaos_bench(first_seed: u64, seeds: u64) -> ScenarioBench {
     ScenarioBench {
         name: "chaos_5seeds".to_owned(),
         sim_seconds,
+        counters,
+        wall_ns,
+        span_wall_ns,
+    }
+}
+
+/// The flash-crowd duel (EXPERIMENTS.md E7): the same seeded plan —
+/// [`FleetProfile::flash_crowd`], a 10× popularity shock on the coldest
+/// movie at 12 s — run once under reactive hysteresis and once under
+/// the predictive placement policy with the prefix-cache tier. Profiled
+/// counters sum across the two runs (peaks take the max, like the chaos
+/// scenario); on top sit per-policy headline counters namespaced
+/// `reactive.*` / `predictive.*` and `predictive_dominates`, which is 1
+/// exactly when predictive + prefix beats reactive on both total
+/// unserved time and post-shock bring-up latency. The CI gate compares
+/// all of them exactly, so a regression that costs predictive its win
+/// flips a pinned bit.
+fn run_flash_bench(seed: u64) -> ScenarioBench {
+    let profile = FleetProfile::flash_crowd();
+    let shock = profile.shock.expect("flash_crowd has a shock");
+    let shock_us = shock.at.as_micros() as u64;
+    let tail = MovieId(profile.catalog_size);
+    let end = profile.run_until();
+    let end_ms = (end.as_secs_f64() * 1e3).round() as u64;
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut span_wall_ns: BTreeMap<String, u64> = BTreeMap::new();
+    let mut wall_ns = 0u64;
+    let mut peak = 0u64;
+    let mut unserved = BTreeMap::new();
+    let mut first_bringup = BTreeMap::new();
+    for (ns, policy, prefix) in [
+        ("reactive", PolicyKind::Reactive, false),
+        ("predictive", PolicyKind::Predictive, true),
+    ] {
+        let mut cfg =
+            fleet_config(&profile, Some(ReplicationConfig::paper_default())).with_placement(policy);
+        if prefix {
+            cfg = cfg.with_prefix_cache(PrefixCacheConfig::paper_default());
+        }
+        let (mut builder, plan) = fleet_builder_with_config(&profile, seed, cfg);
+        builder.record_events(1 << 20);
+        builder.profile_costs();
+        let started = Instant::now();
+        let mut sim = builder.build();
+        sim.run_until(end);
+        let handle = sim.profile().clone();
+        let oracle = handle.time(Subsystem::OracleReplay, || {
+            sim.trace()
+                .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+                .expect("recording was enabled")
+        });
+        wall_ns += started.elapsed().as_nanos() as u64;
+        let fleet = FleetReport::from_sim(&plan, &sim, end);
+        // How long after the shock the first extra replica of the shocked
+        // movie came up; a run that never reacts scores the full run.
+        let bringup_ms = sim
+            .trace()
+            .with_recorder(|rec| {
+                rec.events()
+                    .filter_map(|e| match e {
+                        VodEvent::ReplicaBringUp { at, movie, .. }
+                            if *movie == tail && at.as_micros() >= shock_us =>
+                        {
+                            Some((at.as_micros() - shock_us) / 1000)
+                        }
+                        _ => None,
+                    })
+                    .min()
+            })
+            .flatten()
+            .unwrap_or(end_ms);
+        let (run_counters, run_spans) = harvest(&sim);
+        for (k, v) in run_counters {
+            if k.contains("peak") {
+                let slot = counters.entry(k).or_insert(0);
+                *slot = (*slot).max(v);
+            } else {
+                *counters.entry(k).or_insert(0) += v;
+            }
+        }
+        for (k, v) in run_spans {
+            *span_wall_ns.entry(k).or_insert(0) += v;
+        }
+        let unserved_ms = (fleet.unserved_seconds * 1e3).round() as u64;
+        counters.insert(format!("{ns}.unserved_ms"), unserved_ms);
+        counters.insert(format!("{ns}.never_served"), u64::from(fleet.never_served));
+        counters.insert(format!("{ns}.first_bringup_after_shock_ms"), bringup_ms);
+        counters.insert(format!("{ns}.oracle_pass"), u64::from(oracle.pass()));
+        let report = sim.trace().report().expect("recording was enabled");
+        counters.insert(format!("{ns}.bringups"), report.replica_bringups);
+        counters.insert(format!("{ns}.prefix_serves"), report.prefix_serves);
+        counters.insert(format!("{ns}.prefix_handoffs"), report.prefix_handoffs);
+        unserved.insert(ns, unserved_ms);
+        first_bringup.insert(ns, bringup_ms);
+        peak = peak.max(peak_sessions(&plan));
+    }
+    let dominates = unserved["predictive"] < unserved["reactive"]
+        && first_bringup["predictive"] < first_bringup["reactive"];
+    counters.insert("predictive_dominates".to_owned(), u64::from(dominates));
+    counters.insert("peak_sessions".to_owned(), peak);
+    ScenarioBench {
+        name: "flash_crowd".to_owned(),
+        sim_seconds: 2 * end.as_secs_f64() as u64,
         counters,
         wall_ns,
         span_wall_ns,

@@ -12,6 +12,8 @@ use std::time::Duration;
 
 use gcs::GcsConfig;
 
+use crate::forecast::PolicyKind;
+
 /// What a server does when another replica's clients lose their server.
 ///
 /// `Full` is the paper's protocol (any replica takes over; a movie
@@ -51,8 +53,11 @@ pub enum ResumePolicy {
 /// tick; when a movie's sessions-per-replica stays above the hot
 /// threshold for `hysteresis_ticks` consecutive ticks, the least-loaded
 /// non-holder joins the movie group (bring-up); when the demand would fit
-/// comfortably on one fewer replica for just as long, the
-/// lightest-loaded holder leaves it gracefully (retire). `cooldown_ticks`
+/// comfortably on one fewer replica for just as long, the highest-id
+/// member of the movie group's view-synchronous view leaves it
+/// gracefully (retire — elected over the agreed view, not the
+/// eventually-consistent demand maps, so concurrent retires cannot
+/// cascade a movie's holders below `min_replicas`). `cooldown_ticks`
 /// suppresses further changes to a movie right after its replica set
 /// moved, letting the redistribution settle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +77,12 @@ pub struct ReplicationConfig {
     /// Sync ticks to wait after a movie's replica set changed before
     /// acting on that movie again.
     pub cooldown_ticks: u32,
+    /// How long bringing up a replica takes: the elected server copies
+    /// the movie onto its disk farm for this long before it can join the
+    /// movie group and serve (zero = the copy is instantaneous, the
+    /// pre-flash-crowd modeling). This is the latency the prefix-cache
+    /// tier exists to hide.
+    pub bringup_delay: Duration,
 }
 
 impl ReplicationConfig {
@@ -86,13 +97,51 @@ impl ReplicationConfig {
             min_replicas: 1,
             max_replicas: 8,
             cooldown_ticks: 4,
+            bringup_delay: Duration::ZERO,
         }
+    }
+
+    /// Sets the replica bring-up (content copy) delay.
+    #[must_use]
+    pub fn with_bringup_delay(mut self, delay: Duration) -> Self {
+        self.bringup_delay = delay;
+        self
     }
 }
 
 impl Default for ReplicationConfig {
     fn default() -> Self {
         ReplicationConfig::paper_default()
+    }
+}
+
+/// The prefix-cache tier (DESIGN.md §5h): servers keep the first
+/// `prefix` seconds of up to `budget` movies they do *not* replicate,
+/// chosen by popularity forecast (hottest first, coldest evicted), and
+/// serve waiting clients those prefixes while a predicted replica is
+/// still coming up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixCacheConfig {
+    /// How much of the start of each cached movie a server holds.
+    pub prefix: Duration,
+    /// Maximum number of movies a server caches prefixes for.
+    pub budget: u32,
+}
+
+impl PrefixCacheConfig {
+    /// Defaults: a 10-second prefix (twenty sync ticks of bring-up
+    /// headroom) for up to four movies per server.
+    pub fn paper_default() -> Self {
+        PrefixCacheConfig {
+            prefix: Duration::from_secs(10),
+            budget: 4,
+        }
+    }
+}
+
+impl Default for PrefixCacheConfig {
+    fn default() -> Self {
+        PrefixCacheConfig::paper_default()
     }
 }
 
@@ -163,6 +212,14 @@ pub struct VodConfig {
     /// Demand-driven dynamic replica management (`None` = static
     /// placement, the paper's deployments).
     pub replication: Option<ReplicationConfig>,
+    /// Which replica-placement policy the managers run (reactive
+    /// hysteresis, forecast-driven predictive, or hybrid). Only consulted
+    /// when [`replication`](Self::replication) is enabled.
+    pub placement: PolicyKind,
+    /// Prefix-cache tier (`None` = disabled). Requires
+    /// [`replication`](Self::replication) to do anything: prefixes hide
+    /// the bring-up latency of the replica manager.
+    pub prefix_cache: Option<PrefixCacheConfig>,
 }
 
 impl VodConfig {
@@ -194,6 +251,8 @@ impl VodConfig {
             exchange_timeout: Duration::from_millis(200),
             max_sessions_per_server: None,
             replication: None,
+            placement: PolicyKind::Reactive,
+            prefix_cache: None,
         }
     }
 
@@ -280,6 +339,18 @@ impl VodConfig {
         self.replication = Some(policy);
         self
     }
+
+    /// Returns a copy with a different replica-placement policy.
+    pub fn with_placement(mut self, placement: PolicyKind) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Returns a copy with the prefix-cache tier enabled.
+    pub fn with_prefix_cache(mut self, prefix_cache: PrefixCacheConfig) -> Self {
+        self.prefix_cache = Some(prefix_cache);
+        self
+    }
 }
 
 impl Default for VodConfig {
@@ -337,6 +408,20 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(VodConfig::default(), VodConfig::paper_default());
+    }
+
+    #[test]
+    fn placement_and_prefix_cache_are_opt_in() {
+        let cfg = VodConfig::paper_default();
+        assert_eq!(cfg.placement, PolicyKind::Reactive);
+        assert_eq!(cfg.prefix_cache, None);
+        let cfg = cfg
+            .with_placement(PolicyKind::Predictive)
+            .with_prefix_cache(PrefixCacheConfig::paper_default());
+        assert_eq!(cfg.placement, PolicyKind::Predictive);
+        let pc = cfg.prefix_cache.expect("enabled");
+        assert_eq!(pc.prefix, Duration::from_secs(10));
+        assert_eq!(pc.budget, 4);
     }
 
     #[test]

@@ -1,0 +1,901 @@
+//! Popularity forecasting and pluggable replica-placement policies
+//! (DESIGN.md §5h).
+//!
+//! The PR 2 replica manager is purely *reactive*: it counts demand
+//! streaks after the clients have already arrived. This module adds the
+//! predictive half, following the Markov-chain replication strategy of
+//! the related work: every movie gets a small popularity state machine
+//! ([`MovieForecast`]: cold → warming → hot → cooling) fed by the demand
+//! shares that already flow over the half-second sync, plus an online
+//! estimate of its own transition frequencies seeded deterministically
+//! per movie. Placement decisions go through the [`PlacementPolicy`]
+//! trait with three implementations:
+//!
+//! * [`Reactive`] — the original hot/cold hysteresis, bit-for-bit;
+//! * [`Predictive`] — forecast-driven: bring a replica up as soon as the
+//!   machine says *hot* (or *warming* with an overload projection and a
+//!   warming→hot transition estimate above ½), retire on *cold*;
+//! * [`Hybrid`] — predictive bring-up with the reactive streak as a
+//!   fallback, reactive retire.
+//!
+//! Everything here is integer arithmetic over the shared demand reports,
+//! so every server's forecast bank and policy state stay in lockstep —
+//! the property the replica manager's deterministic elections rely on.
+
+use std::collections::BTreeMap;
+
+use media::MovieId;
+use simnet::SimRng;
+
+use crate::config::ReplicationConfig;
+
+/// Domain-separated seed stream for the forecast transition priors
+/// ("FORECAST" in ASCII-ish hex). Every server seeds its bank with the
+/// same constant, so the per-movie priors agree fleet-wide.
+pub const FORECAST_STREAM: u64 = 0x464f_5245_4341_5354;
+
+/// Fixed-point scale of the demand EWMA and slope estimates.
+const FP: i64 = 16;
+
+/// EWMA/slope estimates look this many sync ticks ahead when projecting
+/// demand against capacity.
+const LOOKAHEAD_TICKS: i64 = 2;
+
+/// Popularity states of the per-movie Markov machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PopState {
+    /// No meaningful demand.
+    Cold,
+    /// Demand present and rising.
+    Warming,
+    /// Demand above the per-replica hot threshold.
+    Hot,
+    /// Demand falling back from hot.
+    Cooling,
+}
+
+impl PopState {
+    /// Stable lowercase name (trace/JSON encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PopState::Cold => "cold",
+            PopState::Warming => "warming",
+            PopState::Hot => "hot",
+            PopState::Cooling => "cooling",
+        }
+    }
+
+    /// Dense index for the transition matrix.
+    fn index(self) -> usize {
+        match self {
+            PopState::Cold => 0,
+            PopState::Warming => 1,
+            PopState::Hot => 2,
+            PopState::Cooling => 3,
+        }
+    }
+
+    /// Ranking weight used by the prefix-cache eviction order: hotter
+    /// states rank higher.
+    fn rank(self) -> u64 {
+        match self {
+            PopState::Cold => 0,
+            PopState::Cooling => 1,
+            PopState::Warming => 2,
+            PopState::Hot => 3,
+        }
+    }
+}
+
+/// One movie's popularity state machine plus its online transition
+/// estimation.
+///
+/// The transition matrix starts from small seeded prior counts (Laplace
+/// smoothing with a deterministic per-movie perturbation) and accumulates
+/// every observed state transition; the warming→hot row is what the
+/// predictive policy consults before believing an overload projection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MovieForecast {
+    state: PopState,
+    /// Demand EWMA, fixed-point ×16.
+    ewma: i64,
+    /// Demand slope EWMA (per tick), fixed-point ×16.
+    slope: i64,
+    last_demand: u32,
+    observed: bool,
+    /// Estimated transition counts, `[from][to]`.
+    transitions: [[u64; 4]; 4],
+}
+
+impl MovieForecast {
+    /// A fresh machine with priors drawn from `seed`, perturbed per
+    /// `movie` so the draw is independent of the order movies are first
+    /// observed in (every server converges to the same bank regardless
+    /// of which movie it hears about first).
+    pub fn seeded(seed: u64, movie: MovieId) -> Self {
+        let mut rng = SimRng::seed_from_u64(
+            seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(movie.0) + 1),
+        );
+        let mut transitions = [[0u64; 4]; 4];
+        for row in &mut transitions {
+            for cell in row.iter_mut() {
+                // Priors in 1..=3: enough mass that one observation does
+                // not dominate, small enough that real transitions
+                // quickly reshape the estimate.
+                *cell = 1 + rng.gen_u64_below(3);
+            }
+        }
+        MovieForecast {
+            state: PopState::Cold,
+            ewma: 0,
+            slope: 0,
+            last_demand: 0,
+            observed: false,
+            transitions,
+        }
+    }
+
+    /// Current popularity state.
+    pub fn state(&self) -> PopState {
+        self.state
+    }
+
+    /// Demand EWMA rounded back to whole sessions.
+    pub fn ewma_demand(&self) -> u32 {
+        (self.ewma / FP).max(0) as u32
+    }
+
+    /// Feeds one sync tick's aggregate demand (`sessions + waiting`) for
+    /// the movie at its current replica count and returns the new state.
+    pub fn observe(&mut self, demand: u32, replicas: u32, cfg: &ReplicationConfig) -> PopState {
+        let d = i64::from(demand);
+        let delta = if self.observed {
+            d - i64::from(self.last_demand)
+        } else {
+            0
+        };
+        // EWMA α = 1/4 for the level, 1/2 for the slope: the slope must
+        // react within a tick or two of a flash crowd, the level smooths
+        // admission noise.
+        self.ewma = (3 * self.ewma + FP * d) / 4;
+        self.slope = (self.slope + FP * delta) / 2;
+        self.last_demand = demand;
+        self.observed = true;
+
+        let hot_threshold = i64::from(cfg.hot_sessions_per_replica) * i64::from(replicas.max(1));
+        let over_now = d > hot_threshold;
+        let low = demand == 0
+            || d <= i64::from(cfg.cold_sessions_per_replica) * i64::from(replicas.max(1));
+        let next = match self.state {
+            PopState::Cold => {
+                if over_now {
+                    PopState::Hot
+                } else if demand > 0 && self.slope > 0 {
+                    PopState::Warming
+                } else {
+                    PopState::Cold
+                }
+            }
+            PopState::Warming => {
+                if over_now {
+                    PopState::Hot
+                } else if demand == 0 && self.slope <= 0 {
+                    PopState::Cold
+                } else if self.slope < 0 {
+                    PopState::Cooling
+                } else {
+                    PopState::Warming
+                }
+            }
+            PopState::Hot => {
+                if !over_now && self.slope < 0 {
+                    PopState::Cooling
+                } else {
+                    PopState::Hot
+                }
+            }
+            PopState::Cooling => {
+                if over_now {
+                    PopState::Hot
+                } else if low && self.slope <= 0 {
+                    PopState::Cold
+                } else if self.slope > 0 {
+                    PopState::Warming
+                } else {
+                    PopState::Cooling
+                }
+            }
+        };
+        self.transitions[self.state.index()][next.index()] += 1;
+        self.state = next;
+        next
+    }
+
+    /// Whether demand projected two sync ticks ahead along the slope
+    /// EWMA exceeds the hot threshold at the current replica count.
+    pub fn predicts_overload(&self, replicas: u32, cfg: &ReplicationConfig) -> bool {
+        let hot_threshold = i64::from(cfg.hot_sessions_per_replica) * i64::from(replicas.max(1));
+        let projected = FP * i64::from(self.last_demand) + LOOKAHEAD_TICKS * self.slope;
+        projected > FP * hot_threshold
+    }
+
+    /// Whether the estimated warming→hot transition probability is at
+    /// least ½ — the Markov-estimation gate on acting from *warming*
+    /// alone. Seeded priors put fresh movies near the boundary; every
+    /// observed warming tick that does (or does not) go hot moves it.
+    pub fn hot_affinity(&self) -> bool {
+        let row = &self.transitions[PopState::Warming.index()];
+        let total: u64 = row.iter().sum();
+        2 * row[PopState::Hot.index()] >= total
+    }
+
+    /// Eviction key of the prefix cache: hotter state first, then the
+    /// demand EWMA. Strictly increasing in attractiveness.
+    pub fn heat(&self) -> u64 {
+        (self.state.rank() << 32) | (self.ewma.max(0) as u64).min(u64::from(u32::MAX))
+    }
+}
+
+/// The per-movie forecast machines of one server, all derived from one
+/// seed so identical demand streams produce identical banks fleet-wide.
+#[derive(Clone, Debug)]
+pub struct ForecastBank {
+    seed: u64,
+    movies: BTreeMap<MovieId, MovieForecast>,
+}
+
+impl ForecastBank {
+    /// An empty bank; per-movie machines are created on first
+    /// observation with priors derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        ForecastBank {
+            seed,
+            movies: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one movie's aggregate demand for this tick; returns the new
+    /// state.
+    pub fn observe(
+        &mut self,
+        movie: MovieId,
+        demand: u32,
+        replicas: u32,
+        cfg: &ReplicationConfig,
+    ) -> PopState {
+        let seed = self.seed;
+        self.movies
+            .entry(movie)
+            .or_insert_with(|| MovieForecast::seeded(seed, movie))
+            .observe(demand, replicas, cfg)
+    }
+
+    /// The machine for `movie`, if it has ever been observed.
+    pub fn get(&self, movie: MovieId) -> Option<&MovieForecast> {
+        self.movies.get(&movie)
+    }
+
+    /// The state for `movie` (`Cold` when never observed).
+    pub fn state(&self, movie: MovieId) -> PopState {
+        self.movies
+            .get(&movie)
+            .map_or(PopState::Cold, MovieForecast::state)
+    }
+}
+
+/// Which placement policy a server runs (config + trace annotation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The PR 2 hot/cold hysteresis.
+    #[default]
+    Reactive,
+    /// Forecast-driven pre-emptive bring-up.
+    Predictive,
+    /// Predictive bring-up with the reactive streak as fallback.
+    Hybrid,
+}
+
+impl PolicyKind {
+    /// Stable lowercase name (trace/JSON/CLI encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyKind::Reactive => "reactive",
+            PolicyKind::Predictive => "predictive",
+            PolicyKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "reactive" => Ok(PolicyKind::Reactive),
+            "predictive" => Ok(PolicyKind::Predictive),
+            "hybrid" => Ok(PolicyKind::Hybrid),
+            other => Err(format!(
+                "unknown policy {other} (reactive | predictive | hybrid)"
+            )),
+        }
+    }
+
+    /// Instantiates the policy this kind names.
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::Reactive => Box::new(Reactive::default()),
+            PolicyKind::Predictive => Box::new(Predictive::default()),
+            PolicyKind::Hybrid => Box::new(Hybrid::default()),
+        }
+    }
+}
+
+/// What tripped a replica bring-up (trace annotation and the RunReport
+/// trigger breakdown).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BringUpTrigger {
+    /// The reactive hot streak reached the hysteresis bound.
+    ReactiveStreak,
+    /// The popularity forecast pre-empted the streak.
+    Forecast,
+    /// A movie with waiting viewers had no live holder at all.
+    OrphanRescue,
+}
+
+impl BringUpTrigger {
+    /// Stable name (trace/JSON encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BringUpTrigger::ReactiveStreak => "reactive-streak",
+            BringUpTrigger::Forecast => "forecast",
+            BringUpTrigger::OrphanRescue => "orphan-rescue",
+        }
+    }
+}
+
+/// A policy's verdict for one movie on one sync tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementAction {
+    /// Leave the replica set alone.
+    Hold,
+    /// One more replica should come up (the server runs the election).
+    BringUp(BringUpTrigger),
+    /// One replica should retire.
+    Retire,
+}
+
+/// One movie's aggregated demand as seen on a sync tick.
+#[derive(Clone, Copy, Debug)]
+pub struct MovieObservation {
+    /// The movie.
+    pub movie: MovieId,
+    /// Sessions currently served, summed across live holders.
+    pub sessions: u32,
+    /// Waiting (admission-parked) clients, max across holders.
+    pub waiting: u32,
+    /// Live holders of the movie.
+    pub replicas: u32,
+    /// Live servers in the server group.
+    pub live: u32,
+}
+
+impl MovieObservation {
+    fn demand(&self) -> u32 {
+        self.sessions + self.waiting
+    }
+
+    /// Room to add a replica under `cfg` and the live set.
+    fn can_grow(&self, cfg: &ReplicationConfig) -> bool {
+        self.replicas < cfg.max_replicas && self.replicas < self.live
+    }
+}
+
+/// A replica-placement policy: one [`decide`](PlacementPolicy::decide)
+/// per aggregated movie per sync tick. The server keeps the elections
+/// (who acts) — the policy only says *whether* the replica set should
+/// move, which keeps every implementation deterministic over the shared
+/// demand stream.
+pub trait PlacementPolicy {
+    /// Which kind this is (trace annotation).
+    fn kind(&self) -> PolicyKind;
+
+    /// Called once per sync tick before any decisions (cooldowns age
+    /// here, exactly like the pre-refactor manager).
+    fn begin_tick(&mut self);
+
+    /// The verdict for one movie. `forecast` is the shared bank's
+    /// machine for the movie (already fed this tick's demand).
+    fn decide(
+        &mut self,
+        obs: &MovieObservation,
+        forecast: Option<&MovieForecast>,
+        cfg: &ReplicationConfig,
+    ) -> PlacementAction;
+
+    /// Called when this server won the election and performed `action`
+    /// on `movie`: reset the relevant streak and start the cooldown.
+    fn acted(&mut self, movie: MovieId, action: PlacementAction, cfg: &ReplicationConfig);
+}
+
+/// Shared hysteresis bookkeeping: streaks, cooldowns and replica-set
+/// change detection, preserved bit-for-bit from the pre-trait manager.
+#[derive(Clone, Debug, Default)]
+struct Hysteresis {
+    hot_streak: BTreeMap<MovieId, u32>,
+    cold_streak: BTreeMap<MovieId, u32>,
+    cooldown: BTreeMap<MovieId, u32>,
+    last_replicas: BTreeMap<MovieId, u32>,
+}
+
+impl Hysteresis {
+    fn begin_tick(&mut self) {
+        for ticks in self.cooldown.values_mut() {
+            *ticks = ticks.saturating_sub(1);
+        }
+    }
+
+    /// Replica-set change detection plus the cooldown gate. Returns true
+    /// when the movie must be left alone this tick.
+    fn settling(&mut self, movie: MovieId, replicas: u32, cfg: &ReplicationConfig) -> bool {
+        if self.last_replicas.insert(movie, replicas) != Some(replicas) {
+            // Observed replica-count change (including the first
+            // observation): restart hysteresis and hold off further
+            // changes while the redistribution settles.
+            self.hot_streak.insert(movie, 0);
+            self.cold_streak.insert(movie, 0);
+            self.cooldown.insert(movie, cfg.cooldown_ticks);
+            return true;
+        }
+        self.cooldown.get(&movie).copied().unwrap_or(0) > 0
+    }
+
+    /// Advances both streaks for the tick and returns the new runs.
+    fn advance(&mut self, movie: MovieId, hot: bool, cold: bool) -> (u32, u32) {
+        let hot_run = {
+            let s = self.hot_streak.entry(movie).or_insert(0);
+            *s = if hot { *s + 1 } else { 0 };
+            *s
+        };
+        let cold_run = {
+            let s = self.cold_streak.entry(movie).or_insert(0);
+            *s = if cold { *s + 1 } else { 0 };
+            *s
+        };
+        (hot_run, cold_run)
+    }
+
+    fn acted(&mut self, movie: MovieId, action: PlacementAction, cfg: &ReplicationConfig) {
+        match action {
+            PlacementAction::BringUp(_) => {
+                self.hot_streak.insert(movie, 0);
+            }
+            PlacementAction::Retire => {
+                self.cold_streak.insert(movie, 0);
+            }
+            PlacementAction::Hold => {}
+        }
+        self.cooldown.insert(movie, cfg.cooldown_ticks);
+    }
+}
+
+/// The reactive hot/cold rule over the shared observation.
+fn reactive_signals(obs: &MovieObservation, cfg: &ReplicationConfig) -> (bool, bool) {
+    let hot = obs.demand() > cfg.hot_sessions_per_replica * obs.replicas && obs.can_grow(cfg);
+    let cold = obs.replicas > cfg.min_replicas
+        && obs.waiting == 0
+        && obs.sessions <= cfg.cold_sessions_per_replica * (obs.replicas - 1);
+    (hot, cold)
+}
+
+/// Whether the forecast machine justifies an immediate bring-up.
+fn forecast_surge(
+    forecast: Option<&MovieForecast>,
+    obs: &MovieObservation,
+    cfg: &ReplicationConfig,
+) -> bool {
+    let Some(f) = forecast else {
+        return false;
+    };
+    match f.state() {
+        PopState::Hot => true,
+        PopState::Warming => f.predicts_overload(obs.replicas, cfg) && f.hot_affinity(),
+        PopState::Cold | PopState::Cooling => false,
+    }
+}
+
+/// The PR 2 hysteresis policy, moved behind the trait unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct Reactive {
+    hys: Hysteresis,
+}
+
+impl PlacementPolicy for Reactive {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Reactive
+    }
+
+    fn begin_tick(&mut self) {
+        self.hys.begin_tick();
+    }
+
+    fn decide(
+        &mut self,
+        obs: &MovieObservation,
+        _forecast: Option<&MovieForecast>,
+        cfg: &ReplicationConfig,
+    ) -> PlacementAction {
+        if self.hys.settling(obs.movie, obs.replicas, cfg) {
+            return PlacementAction::Hold;
+        }
+        let (hot, cold) = reactive_signals(obs, cfg);
+        let (hot_run, cold_run) = self.hys.advance(obs.movie, hot, cold);
+        if hot && hot_run >= cfg.hysteresis_ticks {
+            PlacementAction::BringUp(BringUpTrigger::ReactiveStreak)
+        } else if cold && cold_run >= cfg.hysteresis_ticks {
+            PlacementAction::Retire
+        } else {
+            PlacementAction::Hold
+        }
+    }
+
+    fn acted(&mut self, movie: MovieId, action: PlacementAction, cfg: &ReplicationConfig) {
+        self.hys.acted(movie, action, cfg);
+    }
+}
+
+/// Forecast-driven placement: act on the popularity machine instead of
+/// demand streaks. Bring-up fires without any streak (the machine's own
+/// dynamics are the damping); retire still demands a full cold streak so
+/// a momentary dip cannot shed a replica the crowd still needs.
+#[derive(Clone, Debug, Default)]
+pub struct Predictive {
+    hys: Hysteresis,
+}
+
+impl PlacementPolicy for Predictive {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Predictive
+    }
+
+    fn begin_tick(&mut self) {
+        self.hys.begin_tick();
+    }
+
+    fn decide(
+        &mut self,
+        obs: &MovieObservation,
+        forecast: Option<&MovieForecast>,
+        cfg: &ReplicationConfig,
+    ) -> PlacementAction {
+        if self.hys.settling(obs.movie, obs.replicas, cfg) {
+            return PlacementAction::Hold;
+        }
+        let surge = forecast_surge(forecast, obs, cfg) && obs.can_grow(cfg);
+        let cold = obs.replicas > cfg.min_replicas
+            && obs.waiting == 0
+            && forecast.is_some_and(|f| f.state() == PopState::Cold)
+            && obs.sessions <= cfg.cold_sessions_per_replica * (obs.replicas - 1);
+        let (_, cold_run) = self.hys.advance(obs.movie, surge, cold);
+        if surge {
+            PlacementAction::BringUp(BringUpTrigger::Forecast)
+        } else if cold && cold_run >= cfg.hysteresis_ticks {
+            PlacementAction::Retire
+        } else {
+            PlacementAction::Hold
+        }
+    }
+
+    fn acted(&mut self, movie: MovieId, action: PlacementAction, cfg: &ReplicationConfig) {
+        self.hys.acted(movie, action, cfg);
+    }
+}
+
+/// Predictive bring-up, reactive everything else: the forecast gets the
+/// first shot at a surge, the streak rule remains as a safety net for
+/// demand patterns the machine misjudges.
+#[derive(Clone, Debug, Default)]
+pub struct Hybrid {
+    hys: Hysteresis,
+}
+
+impl PlacementPolicy for Hybrid {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Hybrid
+    }
+
+    fn begin_tick(&mut self) {
+        self.hys.begin_tick();
+    }
+
+    fn decide(
+        &mut self,
+        obs: &MovieObservation,
+        forecast: Option<&MovieForecast>,
+        cfg: &ReplicationConfig,
+    ) -> PlacementAction {
+        if self.hys.settling(obs.movie, obs.replicas, cfg) {
+            return PlacementAction::Hold;
+        }
+        let (hot, cold) = reactive_signals(obs, cfg);
+        let (hot_run, cold_run) = self.hys.advance(obs.movie, hot, cold);
+        if forecast_surge(forecast, obs, cfg) && obs.can_grow(cfg) {
+            PlacementAction::BringUp(BringUpTrigger::Forecast)
+        } else if hot && hot_run >= cfg.hysteresis_ticks {
+            PlacementAction::BringUp(BringUpTrigger::ReactiveStreak)
+        } else if cold && cold_run >= cfg.hysteresis_ticks {
+            PlacementAction::Retire
+        } else {
+            PlacementAction::Hold
+        }
+    }
+
+    fn acted(&mut self, movie: MovieId, action: PlacementAction, cfg: &ReplicationConfig) {
+        self.hys.acted(movie, action, cfg);
+    }
+}
+
+impl std::fmt::Debug for dyn PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PlacementPolicy({})", self.kind().as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ReplicationConfig {
+        ReplicationConfig::paper_default()
+    }
+
+    fn obs(movie: u32, sessions: u32, waiting: u32, replicas: u32, live: u32) -> MovieObservation {
+        MovieObservation {
+            movie: MovieId(movie),
+            sessions,
+            waiting,
+            replicas,
+            live,
+        }
+    }
+
+    #[test]
+    fn forecast_walks_cold_warming_hot_cooling_cold() {
+        let mut f = MovieForecast::seeded(FORECAST_STREAM, MovieId(1));
+        assert_eq!(f.state(), PopState::Cold);
+        // Rising demand warms the movie up.
+        f.observe(0, 1, &cfg());
+        f.observe(2, 1, &cfg());
+        assert_eq!(f.state(), PopState::Warming);
+        // Past the hot threshold (8/replica) it is hot.
+        f.observe(12, 1, &cfg());
+        assert_eq!(f.state(), PopState::Hot);
+        // Falling below the threshold cools it...
+        f.observe(4, 1, &cfg());
+        assert_eq!(f.state(), PopState::Cooling);
+        // ...and a drained movie goes cold again.
+        f.observe(0, 1, &cfg());
+        f.observe(0, 1, &cfg());
+        assert_eq!(f.state(), PopState::Cold);
+    }
+
+    #[test]
+    fn overload_projection_fires_before_the_threshold() {
+        let mut f = MovieForecast::seeded(FORECAST_STREAM, MovieId(1));
+        // Steep rise: 0 → 3 → 6; still below the hot threshold of 8 but
+        // the 2-tick projection crosses it.
+        f.observe(0, 1, &cfg());
+        f.observe(3, 1, &cfg());
+        f.observe(6, 1, &cfg());
+        assert_eq!(f.state(), PopState::Warming);
+        assert!(f.predicts_overload(1, &cfg()));
+        // A flat movie at the same level does not.
+        let mut flat = MovieForecast::seeded(FORECAST_STREAM, MovieId(2));
+        for _ in 0..6 {
+            flat.observe(6, 1, &cfg());
+        }
+        assert!(!flat.predicts_overload(1, &cfg()));
+    }
+
+    #[test]
+    fn seeded_machines_are_reproducible_and_movie_dependent() {
+        let a = MovieForecast::seeded(7, MovieId(3));
+        let b = MovieForecast::seeded(7, MovieId(3));
+        assert_eq!(a, b);
+        let c = MovieForecast::seeded(7, MovieId(4));
+        assert_ne!(a.transitions, c.transitions);
+    }
+
+    #[test]
+    fn bank_state_defaults_to_cold() {
+        let bank = ForecastBank::new(FORECAST_STREAM);
+        assert_eq!(bank.state(MovieId(9)), PopState::Cold);
+        assert!(bank.get(MovieId(9)).is_none());
+    }
+
+    #[test]
+    fn reactive_needs_the_full_streak_and_respects_cooldown() {
+        let c = cfg();
+        let mut p = Reactive::default();
+        let movie = MovieId(1);
+        // First observation: replica-set change detection swallows it and
+        // arms the cooldown, exactly like the pre-trait manager.
+        p.begin_tick();
+        assert_eq!(
+            p.decide(&obs(1, 12, 0, 1, 4), None, &c),
+            PlacementAction::Hold
+        );
+        // Cooldown gates the next cooldown_ticks - 1 ticks (the streak
+        // starts accruing on the tick the cooldown reaches zero).
+        for _ in 0..c.cooldown_ticks - 1 {
+            p.begin_tick();
+            assert_eq!(
+                p.decide(&obs(1, 12, 0, 1, 4), None, &c),
+                PlacementAction::Hold
+            );
+        }
+        // Streak builds: hysteresis_ticks - 1 hot ticks are not enough...
+        for _ in 0..c.hysteresis_ticks - 1 {
+            p.begin_tick();
+            assert_eq!(
+                p.decide(&obs(1, 12, 0, 1, 4), None, &c),
+                PlacementAction::Hold
+            );
+        }
+        // ...the next one fires.
+        p.begin_tick();
+        assert_eq!(
+            p.decide(&obs(1, 12, 0, 1, 4), None, &c),
+            PlacementAction::BringUp(BringUpTrigger::ReactiveStreak)
+        );
+        p.acted(
+            movie,
+            PlacementAction::BringUp(BringUpTrigger::ReactiveStreak),
+            &c,
+        );
+        // Immediately after acting the cooldown gates the movie again.
+        p.begin_tick();
+        assert_eq!(
+            p.decide(&obs(1, 12, 0, 1, 4), None, &c),
+            PlacementAction::Hold
+        );
+    }
+
+    #[test]
+    fn reactive_boundary_conditions_match_the_thresholds() {
+        let c = cfg();
+        let mut p = Reactive::default();
+        // Warm the change-detection/cooldown up on a quiet movie,
+        // stopping one tick short so no streak has accrued yet.
+        for _ in 0..c.cooldown_ticks {
+            p.begin_tick();
+            p.decide(&obs(1, 1, 0, 2, 4), None, &c);
+        }
+        // Exactly at the hot threshold (demand == hot * replicas) is NOT
+        // hot; one above is.
+        let at = c.hot_sessions_per_replica * 2;
+        for _ in 0..c.hysteresis_ticks + 2 {
+            p.begin_tick();
+            assert_eq!(
+                p.decide(&obs(1, at, 0, 2, 4), None, &c),
+                PlacementAction::Hold
+            );
+        }
+        // Exactly at the cold threshold (sessions == cold * (replicas-1),
+        // nobody waiting) IS cold.
+        let cold_at = c.cold_sessions_per_replica;
+        let mut q = Reactive::default();
+        for _ in 0..c.cooldown_ticks {
+            q.begin_tick();
+            q.decide(&obs(1, cold_at, 0, 2, 4), None, &c);
+        }
+        for _ in 0..c.hysteresis_ticks - 1 {
+            q.begin_tick();
+            assert_eq!(
+                q.decide(&obs(1, cold_at, 0, 2, 4), None, &c),
+                PlacementAction::Hold
+            );
+        }
+        q.begin_tick();
+        assert_eq!(
+            q.decide(&obs(1, cold_at, 0, 2, 4), None, &c),
+            PlacementAction::Retire
+        );
+        // A single waiting client vetoes retirement.
+        let mut r = Reactive::default();
+        for _ in 0..c.cooldown_ticks {
+            r.begin_tick();
+            r.decide(&obs(1, cold_at, 1, 2, 4), None, &c);
+        }
+        for _ in 0..c.hysteresis_ticks + 2 {
+            r.begin_tick();
+            assert_eq!(
+                r.decide(&obs(1, cold_at, 1, 2, 4), None, &c),
+                PlacementAction::Hold
+            );
+        }
+    }
+
+    #[test]
+    fn predictive_fires_without_a_streak_once_the_machine_says_hot() {
+        let c = cfg();
+        let mut bank = ForecastBank::new(FORECAST_STREAM);
+        let mut p = Predictive::default();
+        let movie = MovieId(1);
+        // Settle change-detection + cooldown on a quiet movie first.
+        for _ in 0..=c.cooldown_ticks {
+            p.begin_tick();
+            bank.observe(movie, 0, 1, &c);
+            p.decide(&obs(1, 0, 0, 1, 4), bank.get(movie), &c);
+        }
+        // Tick 1 of the flash crowd: demand jumps over the threshold; the
+        // machine goes hot and the policy fires on the SAME tick (the
+        // reactive policy would still be building its streak).
+        p.begin_tick();
+        bank.observe(movie, 12, 1, &c);
+        assert_eq!(
+            p.decide(&obs(1, 4, 8, 1, 4), bank.get(movie), &c),
+            PlacementAction::BringUp(BringUpTrigger::Forecast)
+        );
+    }
+
+    #[test]
+    fn hybrid_prefers_the_forecast_trigger_but_keeps_the_streak() {
+        let c = cfg();
+        let mut p = Hybrid::default();
+        let movie = MovieId(1);
+        let mut bank = ForecastBank::new(FORECAST_STREAM);
+        for _ in 0..=c.cooldown_ticks {
+            p.begin_tick();
+            bank.observe(movie, 0, 1, &c);
+            p.decide(&obs(1, 0, 0, 1, 4), bank.get(movie), &c);
+        }
+        p.begin_tick();
+        bank.observe(movie, 12, 1, &c);
+        // Forecast says hot → forecast trigger wins.
+        assert_eq!(
+            p.decide(&obs(1, 12, 0, 1, 4), bank.get(movie), &c),
+            PlacementAction::BringUp(BringUpTrigger::Forecast)
+        );
+        // Without a forecast the hybrid still fires on the plain streak.
+        let mut q = Hybrid::default();
+        for _ in 0..=c.cooldown_ticks {
+            q.begin_tick();
+            q.decide(&obs(2, 0, 0, 1, 4), None, &c);
+        }
+        for _ in 0..c.hysteresis_ticks - 1 {
+            q.begin_tick();
+            assert_eq!(
+                q.decide(&obs(2, 12, 0, 1, 4), None, &c),
+                PlacementAction::Hold
+            );
+        }
+        q.begin_tick();
+        assert_eq!(
+            q.decide(&obs(2, 12, 0, 1, 4), None, &c),
+            PlacementAction::BringUp(BringUpTrigger::ReactiveStreak)
+        );
+    }
+
+    #[test]
+    fn policy_kind_round_trips_and_builds() {
+        for kind in [
+            PolicyKind::Reactive,
+            PolicyKind::Predictive,
+            PolicyKind::Hybrid,
+        ] {
+            assert_eq!(PolicyKind::parse(kind.as_str()), Ok(kind));
+            assert_eq!(kind.build().kind(), kind);
+        }
+        assert!(PolicyKind::parse("oracle").is_err());
+    }
+
+    #[test]
+    fn heat_orders_by_state_then_demand() {
+        let c = cfg();
+        let mut hot = MovieForecast::seeded(1, MovieId(1));
+        hot.observe(20, 1, &c);
+        let mut warm = MovieForecast::seeded(1, MovieId(2));
+        warm.observe(0, 1, &c);
+        warm.observe(3, 1, &c);
+        let cold = MovieForecast::seeded(1, MovieId(3));
+        assert!(hot.heat() > warm.heat());
+        assert!(warm.heat() > cold.heat());
+    }
+}

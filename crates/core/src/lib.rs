@@ -18,6 +18,10 @@
 //!   simnet scheduler counters), zero-overhead when disabled;
 //! * [`workload`] — the fleet workload engine: Zipf popularity, Poisson
 //!   arrivals, VCR mixes and churn, all from one seed;
+//! * [`forecast`] — per-movie popularity state machines (Markov
+//!   cold/warming/hot/cooling with seeded transition estimation) and the
+//!   [`forecast::PlacementPolicy`] trait with reactive,
+//!   predictive and hybrid replica-placement implementations;
 //! * [`chaos`] — seeded fault campaigns: crash/restart cycles, pairwise
 //!   partitions with heals, and correlated loss bursts from one seed;
 //! * [`oracle`] — the trace-driven safety oracle checking the paper's
@@ -30,6 +34,7 @@
 pub mod chaos;
 pub mod client;
 pub mod config;
+pub mod forecast;
 pub mod metrics;
 pub mod oracle;
 pub mod profile;
@@ -41,7 +46,11 @@ pub mod workload;
 
 pub use chaos::{ChaosFault, ChaosPlan, ChaosProfile};
 pub use client::{ClientStats, VodClient, WatchRequest};
-pub use config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
+pub use config::{PrefixCacheConfig, ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
+pub use forecast::{
+    BringUpTrigger, ForecastBank, MovieForecast, MovieObservation, PlacementAction,
+    PlacementPolicy, PolicyKind, PopState,
+};
 pub use metrics::Histogram;
 pub use oracle::{OracleConfig, OracleReport, Verdict};
 pub use profile::{ProfileHandle, ProfileReport, SpanStats, Subsystem};
@@ -49,4 +58,7 @@ pub use protocol::{ClientId, ControlPayload, DemandEntry, VideoPacket, VodWire};
 pub use scenario::{ScenarioBuilder, VcrOp, VodSim};
 pub use server::{Replica, ServerStats, VodServer};
 pub use trace::{RunReport, TakeoverBreakdown, TraceHandle, TraceRecorder, VodEvent};
-pub use workload::{fleet_builder, FleetPlan, FleetProfile, FleetReport, ZipfSampler};
+pub use workload::{
+    fleet_builder, fleet_builder_with_config, fleet_config, FleetPlan, FleetProfile, FleetReport,
+    PopularityShock, ZipfSampler,
+};

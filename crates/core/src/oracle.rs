@@ -2,7 +2,7 @@
 //! the paper's safety invariants, independently of the code that produced
 //! the behaviour.
 //!
-//! The oracle judges four invariants:
+//! The oracle judges five invariants:
 //!
 //! 1. **Exclusive service** — after a convergence window, at most one
 //!    server transmits to a given client at a time (§5.2: the membership
@@ -19,6 +19,15 @@
 //! 4. **Re-served after failure** — every client whose serving server
 //!    crashed receives usable video again within a bound (§6: service
 //!    continues despite failures).
+//! 5. **Prefix handoff complete** — a client bridged by the prefix-cache
+//!    tier must be handed off to the owning replica promptly: once a real
+//!    session starts for a prefix-served client, the prefix span must
+//!    close within the convergence window (no client is left streaming
+//!    from a prefix source after the replica is up).
+//!
+//! Prefix serves also feed invariant 3: a live prefix source counts as
+//! coverage for its movie, but only until the advertised prefix runs out
+//! (`prefix_frames / rate_fps` seconds after the serve started).
 //!
 //! Verdicts are three-valued: a [`Verdict::Fail`] is a genuine safety
 //! violation; [`Verdict::Inconclusive`] means the trace does not contain
@@ -115,6 +124,10 @@ pub struct OracleReport {
     pub replica_coverage: Verdict,
     /// Invariant 4: faulted clients re-served within the bound.
     pub reserved_after_fault: Verdict,
+    /// Invariant 5: prefix-served clients handed off to the owning
+    /// replica within the convergence window of their session start.
+    /// Vacuously `Pass` when the trace has no prefix events.
+    pub prefix_handoff: Verdict,
 }
 
 impl OracleReport {
@@ -124,12 +137,13 @@ impl OracleReport {
     }
 
     /// The verdicts with their stable display names, in report order.
-    pub fn verdicts(&self) -> [(&'static str, &Verdict); 4] {
+    pub fn verdicts(&self) -> [(&'static str, &Verdict); 5] {
         [
             ("exclusive-service", &self.exclusive_service),
             ("bounded-gaps", &self.bounded_gaps),
             ("replica-coverage", &self.replica_coverage),
             ("re-served-after-fault", &self.reserved_after_fault),
+            ("prefix-handoff-complete", &self.prefix_handoff),
         ]
     }
 
@@ -144,7 +158,8 @@ impl OracleReport {
                 exclusive_service: Verdict::Inconclusive(detail.clone()),
                 bounded_gaps: Verdict::Inconclusive(detail.clone()),
                 replica_coverage: Verdict::Inconclusive(detail.clone()),
-                reserved_after_fault: Verdict::Inconclusive(detail),
+                reserved_after_fault: Verdict::Inconclusive(detail.clone()),
+                prefix_handoff: Verdict::Inconclusive(detail),
             };
         }
         let trace_end = recorder
@@ -158,6 +173,7 @@ impl OracleReport {
             bounded_gaps: scan.check_bounded_gaps(cfg),
             replica_coverage: scan.check_replica_coverage(cfg),
             reserved_after_fault: scan.check_reserved_after_fault(cfg, trace_end),
+            prefix_handoff: scan.check_prefix_handoff(cfg, trace_end),
         }
     }
 }
@@ -180,6 +196,17 @@ struct ServeSpan {
     server: NodeId,
     start: SimTime,
     end: SimTime,
+}
+
+/// One prefix-serve interval: `server` bridged the client with cached
+/// prefix frames from `start` until the handoff (or the source's crash).
+#[derive(Clone, Copy, Debug)]
+struct PrefixSpan {
+    client: ClientId,
+    server: NodeId,
+    start: SimTime,
+    /// `None` while still open at the end of the trace.
+    end: Option<SimTime>,
 }
 
 /// Everything one linear pass over the trace extracts for the checks.
@@ -212,6 +239,11 @@ struct Scan {
     /// Windows during which some watched movie had no live holder:
     /// `(movie, from, to)`.
     uncovered: Vec<(MovieId, SimTime, SimTime)>,
+    /// Prefix-serve intervals (closed by handoff or source crash; left
+    /// `end: None` when the trace ends with the span open).
+    prefix_spans: Vec<PrefixSpan>,
+    /// Session start times per client, for the handoff deadline.
+    session_starts: BTreeMap<ClientId, Vec<SimTime>>,
 }
 
 impl Scan {
@@ -226,6 +258,12 @@ impl Scan {
         let mut viewers: BTreeMap<MovieId, BTreeSet<ClientId>> = BTreeMap::new();
         let mut client_movie: BTreeMap<ClientId, MovieId> = BTreeMap::new();
         let mut uncovered_since: BTreeMap<MovieId, SimTime> = BTreeMap::new();
+        // Open prefix serves: (client, source) → index into prefix_spans,
+        // plus the per-movie coverage view with each serve's expiry (the
+        // instant the advertised prefix runs out at the nominal rate).
+        let mut open_prefix: BTreeMap<(ClientId, NodeId), usize> = BTreeMap::new();
+        let mut prefix_cover: BTreeMap<MovieId, BTreeMap<(ClientId, NodeId), SimTime>> =
+            BTreeMap::new();
         let pair = |a: NodeId, b: NodeId| (a.min(b), a.max(b));
         for event in recorder.events() {
             let at = event.at();
@@ -244,6 +282,18 @@ impl Scan {
                                 end: at,
                             });
                         }
+                    }
+                    // ...including any prefix bridging it was doing.
+                    open_prefix.retain(|&(_, server), &mut idx| {
+                        if server == *node {
+                            scan.prefix_spans[idx].end = Some(at);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    for sources in prefix_cover.values_mut() {
+                        sources.retain(|&(_, server), _| server != *node);
                     }
                     scan.crashes.push((at, *node));
                 }
@@ -288,6 +338,7 @@ impl Scan {
                     holders.entry(*movie).or_default().insert(*server);
                     viewers.entry(*movie).or_default().insert(*client);
                     client_movie.insert(*client, *movie);
+                    scan.session_starts.entry(*client).or_default().push(at);
                     // A session (re)start supersedes an earlier server-side
                     // "over" (a wrong end corrected by a takeover) — but
                     // never the client's own stop.
@@ -333,6 +384,44 @@ impl Scan {
                         set.remove(server);
                     }
                 }
+                VodEvent::PrefixServe {
+                    server,
+                    client,
+                    movie,
+                    prefix_frames,
+                    rate_fps,
+                    ..
+                } => {
+                    let idx = scan.prefix_spans.len();
+                    scan.prefix_spans.push(PrefixSpan {
+                        client: *client,
+                        server: *server,
+                        start: at,
+                        end: None,
+                    });
+                    open_prefix.insert((*client, *server), idx);
+                    let runs_out = at
+                        + Duration::from_micros(
+                            prefix_frames * 1_000_000 / u64::from((*rate_fps).max(1)),
+                        );
+                    prefix_cover
+                        .entry(*movie)
+                        .or_default()
+                        .insert((*client, *server), runs_out);
+                }
+                VodEvent::PrefixHandoff {
+                    server,
+                    client,
+                    movie,
+                    ..
+                } => {
+                    if let Some(idx) = open_prefix.remove(&(*client, *server)) {
+                        scan.prefix_spans[idx].end = Some(at);
+                    }
+                    if let Some(sources) = prefix_cover.get_mut(movie) {
+                        sources.remove(&(*client, *server));
+                    }
+                }
                 VodEvent::FrameGap {
                     client,
                     from_frame,
@@ -362,12 +451,17 @@ impl Scan {
                 }
                 _ => {}
             }
-            // Coverage transitions are re-evaluated after every event.
+            // Coverage transitions are re-evaluated after every event. A
+            // live prefix source counts, but only until its advertised
+            // prefix runs out.
             for (movie, watching) in &viewers {
                 let covered = watching.is_empty()
                     || holders
                         .get(movie)
-                        .is_some_and(|h| h.iter().any(|s| live.contains(s)));
+                        .is_some_and(|h| h.iter().any(|s| live.contains(s)))
+                    || prefix_cover
+                        .get(movie)
+                        .is_some_and(|sources| sources.values().any(|&runs_out| at <= runs_out));
                 if covered {
                     if let Some(from) = uncovered_since.remove(movie) {
                         scan.uncovered.push((*movie, from, at));
@@ -570,6 +664,47 @@ impl Scan {
         Verdict::Pass
     }
 
+    /// Invariant 5: once a real session starts for a prefix-served
+    /// client, the prefix span must close within the convergence window
+    /// — no client keeps streaming from a prefix source after the owning
+    /// replica is up. Spans whose client never got a session are judged
+    /// by coverage (the prefix simply runs out), not here.
+    fn check_prefix_handoff(&self, cfg: &OracleConfig, trace_end: SimTime) -> Verdict {
+        for span in &self.prefix_spans {
+            let started = self
+                .session_starts
+                .get(&span.client)
+                .and_then(|ts| ts.iter().find(|&&t| t >= span.start));
+            let Some(&started) = started else {
+                continue;
+            };
+            let deadline = started + cfg.convergence;
+            if span.end.is_some_and(|end| end <= deadline) {
+                continue;
+            }
+            if span.end.is_none() && trace_end < deadline {
+                return Verdict::Inconclusive(format!(
+                    "trace ends {}us before {}'s prefix-handoff deadline \
+                     (session started at {}us)",
+                    deadline.saturating_since(trace_end).as_micros(),
+                    span.client,
+                    started.as_micros()
+                ));
+            }
+            let end = span.end.unwrap_or(trace_end);
+            return Verdict::Fail(format!(
+                "{} still on prefix source {} {}us past its handoff deadline \
+                 (session started at {}us, prefix since {}us)",
+                span.client,
+                span.server,
+                end.saturating_since(deadline).as_micros(),
+                started.as_micros(),
+                span.start.as_micros()
+            ));
+        }
+        Verdict::Pass
+    }
+
     /// Usable (non-late) video frames that reached `client` in `(from,
     /// to]`: arrivals at its node minus its late discards in the window.
     fn usable_frames_in(&self, client: ClientId, from: SimTime, to: SimTime) -> u64 {
@@ -588,7 +723,7 @@ impl Scan {
     }
 }
 
-/// Renders the four verdicts as one stable summary token, e.g.
+/// Renders the five verdicts as one stable summary token, e.g.
 /// `"PASS"` or `"FAIL[exclusive-service,re-served-after-fault]"`.
 pub fn summary_token(report: &OracleReport) -> String {
     if report.pass() {
@@ -976,6 +1111,164 @@ mod tests {
             &OracleConfig::paper_default(),
         );
         assert!(report.reserved_after_fault.is_fail(), "{report}");
+    }
+
+    fn prefix_serve(at: f64, server: u32, client: u32) -> VodEvent {
+        VodEvent::PrefixServe {
+            at: t(at),
+            server: NodeId(server),
+            client: ClientId(client),
+            client_node: NodeId(100 + client),
+            movie: MovieId(1),
+            from_frame: FrameNo(0),
+            prefix_frames: 300, // 10 s at 30 fps
+            rate_fps: 30,
+        }
+    }
+
+    fn prefix_handoff(at: f64, server: u32, client: u32, to_owner: u32) -> VodEvent {
+        VodEvent::PrefixHandoff {
+            at: t(at),
+            server: NodeId(server),
+            client: ClientId(client),
+            movie: MovieId(1),
+            frames_sent: 30,
+            served_for: Duration::from_secs(1),
+            to_owner: NodeId(to_owner),
+        }
+    }
+
+    #[test]
+    fn prompt_prefix_handoff_passes_and_a_stuck_one_fails() {
+        // Serve the prefix at 1 s, real session at 3 s, handoff at 3.5 s:
+        // inside the convergence window.
+        let report = OracleReport::check(
+            &recorder(vec![
+                prefix_serve(1.0, 2, 7),
+                started(3.0, 1, 7),
+                prefix_handoff(3.5, 2, 7, 1),
+                stopped(20.0, 1, 7),
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert_eq!(report.prefix_handoff, Verdict::Pass, "{report}");
+        // The same trace with the prefix span never closing: the client
+        // rides the prefix source long past the deadline.
+        let report = OracleReport::check(
+            &recorder(vec![
+                prefix_serve(1.0, 2, 7),
+                started(3.0, 1, 7),
+                stopped(20.0, 1, 7),
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert!(report.prefix_handoff.is_fail(), "{report}");
+        assert_eq!(summary_token(&report), "FAIL[prefix-handoff-complete]");
+    }
+
+    #[test]
+    fn truncated_prefix_handoff_is_inconclusive_and_no_session_is_vacuous() {
+        // The trace ends 0.5 s after the session start, before the 2 s
+        // convergence deadline: not enough evidence either way.
+        let report = OracleReport::check(
+            &recorder(vec![prefix_serve(1.0, 2, 7), started(3.0, 1, 7)]),
+            &OracleConfig::paper_default(),
+        );
+        assert!(
+            matches!(report.prefix_handoff, Verdict::Inconclusive(_)),
+            "{report}"
+        );
+        assert!(report.pass());
+        // A prefix span with no session at all is not this invariant's
+        // problem (coverage judges the runway instead).
+        let report = OracleReport::check(
+            &recorder(vec![
+                prefix_serve(1.0, 2, 7),
+                VodEvent::FrameGap {
+                    at: t(30.0),
+                    client: ClientId(7),
+                    from_frame: FrameNo(0),
+                    to_frame: FrameNo(1),
+                },
+            ]),
+            &OracleConfig::paper_default(),
+        );
+        assert_eq!(report.prefix_handoff, Verdict::Pass, "{report}");
+    }
+
+    /// The only holder crashes at 5 s; a prefix source bridges the viewer
+    /// from 5.5 s with a 10 s prefix (runway ends at 15.5 s). The bridge
+    /// counts as coverage while it lasts, so the uncovered clock starts
+    /// at the first event past the runway, not at the crash — but no
+    /// longer than the advertised prefix.
+    #[test]
+    fn prefix_serve_covers_a_movie_only_until_the_prefix_runs_out() {
+        let holder_back = |at: f64| {
+            vec![
+                VodEvent::NodeStarted {
+                    at: t(at),
+                    node: NodeId(3),
+                },
+                VodEvent::ReplicaBringUp {
+                    at: t(at),
+                    server: NodeId(3),
+                    movie: MovieId(1),
+                    demand: 1,
+                    replicas: 1,
+                    policy: crate::forecast::PolicyKind::Predictive,
+                    trigger: crate::forecast::BringUpTrigger::Forecast,
+                    forecast: crate::forecast::PopState::Hot,
+                },
+            ]
+        };
+        let base = |bridge: bool, back_at: f64| {
+            let mut events = vec![
+                VodEvent::NodeStarted {
+                    at: t(0.0),
+                    node: NodeId(1),
+                },
+                started(1.0, 1, 7),
+                VodEvent::NodeCrashed {
+                    at: t(5.0),
+                    node: NodeId(1),
+                },
+            ];
+            if bridge {
+                events.push(prefix_serve(5.5, 2, 7));
+            }
+            // A video delivery just past the runway re-evaluates coverage
+            // (and repairs invariant 4 along the way).
+            events.push(VodEvent::NetDelivered {
+                at: t(16.0),
+                sent_at: t(15.9),
+                from: Endpoint::new(NodeId(2), Port(1)),
+                to: Endpoint::new(NodeId(107), Port(1)),
+                class: "video",
+            });
+            events.extend(holder_back(back_at));
+            events.push(VodEvent::FrameGap {
+                at: t(60.0),
+                client: ClientId(7),
+                from_frame: FrameNo(0),
+                to_frame: FrameNo(1),
+            });
+            events
+        };
+        // Bridged: uncovered only from the end of the runway (16 s) to
+        // the replacement holder at 22 s — inside the 15 s grace.
+        let report =
+            OracleReport::check(&recorder(base(true, 22.0)), &OracleConfig::paper_default());
+        assert_eq!(report.replica_coverage, Verdict::Pass, "{report}");
+        // Unbridged: the same holder gap runs 5 s → 22 s and fails.
+        let report =
+            OracleReport::check(&recorder(base(false, 22.0)), &OracleConfig::paper_default());
+        assert!(report.replica_coverage.is_fail(), "{report}");
+        // Bridged but with the holder back only at 35 s: the prefix ran
+        // out at 15.5 s and cannot stretch further — 16 s → 35 s blows
+        // the grace window despite the bridge.
+        let report =
+            OracleReport::check(&recorder(base(true, 35.0)), &OracleConfig::paper_default());
+        assert!(report.replica_coverage.is_fail(), "{report}");
     }
 
     #[test]

@@ -215,6 +215,36 @@ pub enum ControlPayload {
         /// One entry per movie the sender holds (empty when it holds
         /// none; the report still advertises the sender's zero load).
         entries: Vec<DemandEntry>,
+        /// Movies the sender holds a *prefix* for in its prefix cache
+        /// (DESIGN.md §5h). Empty when the tier is disabled, so the
+        /// report costs nothing extra in that case. Coordinators use
+        /// this to route waiting clients to a prefix source while a
+        /// predicted replica is still coming up.
+        prefixes: Vec<MovieId>,
+    },
+    /// Coordinator → server group: `target` should serve `record`'s
+    /// client the cached prefix of its movie while the real replica
+    /// comes up (only the target acts on it).
+    PrefixAssign {
+        /// The prefix source elected by the coordinator.
+        target: NodeId,
+        /// The waiting client's record (carries movie, node, offset and
+        /// rate).
+        record: ClientRecord,
+    },
+    /// Coordinator → server group: `target` must stop prefix-serving
+    /// `client` — either its replica is up (`owner` is the serving
+    /// server) or the session is gone (`owner` is the unserved
+    /// sentinel).
+    PrefixRelease {
+        /// The prefix source being released.
+        target: NodeId,
+        /// The client concerned.
+        client: ClientId,
+        /// Movie the prefix was served from.
+        movie: MovieId,
+        /// Where the client's session landed.
+        owner: NodeId,
     },
 }
 
@@ -245,7 +275,11 @@ impl Payload for ControlPayload {
             ControlPayload::Flow { .. } => 8,
             ControlPayload::Vcr { .. } => 12,
             ControlPayload::EndOfMovie { .. } => 8,
-            ControlPayload::Demand { entries, .. } => 12 + entries.len() * DemandEntry::WIRE_BYTES,
+            ControlPayload::Demand {
+                entries, prefixes, ..
+            } => 12 + entries.len() * DemandEntry::WIRE_BYTES + prefixes.len() * 4,
+            ControlPayload::PrefixAssign { .. } => 8 + ClientRecord::WIRE_BYTES,
+            ControlPayload::PrefixRelease { .. } => 20,
         }
     }
 
@@ -258,6 +292,8 @@ impl Payload for ControlPayload {
             ControlPayload::Vcr { .. } => "vod-flow",
             ControlPayload::EndOfMovie { .. } => "vod-ctl",
             ControlPayload::Demand { .. } => "vod-sync",
+            ControlPayload::PrefixAssign { .. } => "vod-sync",
+            ControlPayload::PrefixRelease { .. } => "vod-sync",
         }
     }
 }
@@ -376,14 +412,54 @@ mod tests {
                     waiting: 0,
                 },
             ],
+            prefixes: Vec::new(),
         };
         assert_eq!(payload.size_bytes(), 12 + 2 * DemandEntry::WIRE_BYTES);
         assert_eq!(payload.class(), "vod-sync");
         let empty = ControlPayload::Demand {
             server: NodeId(2),
             entries: Vec::new(),
+            prefixes: Vec::new(),
         };
         assert_eq!(empty.size_bytes(), 12);
+        // Prefix advertisements cost 4 bytes per cached movie.
+        let with_prefixes = ControlPayload::Demand {
+            server: NodeId(2),
+            entries: Vec::new(),
+            prefixes: vec![MovieId(3), MovieId(7)],
+        };
+        assert_eq!(with_prefixes.size_bytes(), 12 + 8);
+    }
+
+    #[test]
+    fn prefix_payload_sizes_and_class() {
+        let record = ClientRecord {
+            client: ClientId(1),
+            client_node: NodeId(100),
+            session_group: session_group(ClientId(1)),
+            movie: MovieId(1),
+            next_frame: FrameNo(0),
+            rate_fps: 30,
+            max_fps: 30,
+            owner: NodeId(u32::MAX),
+            assigned_epoch: 3,
+            updated_at: SimTime::from_secs(30),
+            paused: false,
+        };
+        let assign = ControlPayload::PrefixAssign {
+            target: NodeId(2),
+            record,
+        };
+        assert_eq!(assign.size_bytes(), 8 + ClientRecord::WIRE_BYTES);
+        assert_eq!(assign.class(), "vod-sync");
+        let release = ControlPayload::PrefixRelease {
+            target: NodeId(2),
+            client: ClientId(1),
+            movie: MovieId(1),
+            owner: NodeId(3),
+        };
+        assert_eq!(release.size_bytes(), 20);
+        assert_eq!(release.class(), "vod-sync");
     }
 
     #[test]

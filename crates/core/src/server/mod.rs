@@ -21,10 +21,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gcs::{GcsEvent, GcsNode, GroupId, View};
-use media::{Movie, MovieId, QualityFilter};
+use media::{FrameNo, Movie, MovieId, QualityFilter};
 use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer, TimerId};
 
 use crate::config::{ResumePolicy, TakeoverPolicy, VodConfig};
+use crate::forecast::{
+    BringUpTrigger, ForecastBank, MovieObservation, PlacementAction, PlacementPolicy, PopState,
+    FORECAST_STREAM,
+};
 use crate::metrics::{Cumulative, TimeSeries};
 use crate::profile::{ProfileHandle, Subsystem};
 use crate::protocol::{
@@ -51,9 +55,19 @@ mod tag {
     pub const DECAY: u64 = 4;
     pub const EXCHANGE: u64 = 5;
     pub const SHUTDOWN: u64 = 6;
+    pub const PREFIX: u64 = 7;
+    pub const BRINGUP: u64 = 8;
 
     pub fn send(client: u32) -> u64 {
         SEND | (u64::from(client) << 8)
+    }
+
+    pub fn bringup(movie: u32) -> u64 {
+        BRINGUP | (u64::from(movie) << 8)
+    }
+
+    pub fn prefix(client: u32) -> u64 {
+        PREFIX | (u64::from(client) << 8)
     }
 
     pub fn decay(client: u32) -> u64 {
@@ -94,6 +108,18 @@ struct Session {
 struct Exchange {
     epoch: u64,
     reported: BTreeSet<NodeId>,
+}
+
+/// A local prefix transmission: this server feeds a waiting client the
+/// cached first seconds of a movie it does not replicate, until the
+/// coordinator reports the real replica is up (or the prefix runs out).
+struct PrefixSession {
+    record: ClientRecord,
+    /// Exclusive end of the cached range; transmission stops here.
+    end_frame: FrameNo,
+    frames_sent: u64,
+    started_at: SimTime,
+    timer: Option<TimerId>,
 }
 
 struct MovieState {
@@ -139,6 +165,14 @@ pub struct ServerStats {
     pub replica_bringups: Cumulative,
     /// Replicas this server retired from cold movies.
     pub replica_retires: Cumulative,
+    /// Prefix transmissions started from this server's prefix cache.
+    pub prefix_serves: Cumulative,
+    /// Prefix transmissions ended (handoff to a replica, release, or
+    /// prefix exhaustion).
+    pub prefix_handoffs: Cumulative,
+    /// Video frames sent from the prefix cache (not counted in
+    /// [`frames_sent`](Self::frames_sent), which tracks owned sessions).
+    pub prefix_frames_sent: u64,
 }
 
 /// The VoD server process.
@@ -160,10 +194,31 @@ pub struct VodServer {
     server_view: View,
     /// Latest demand report per live server: movie -> (sessions, waiting).
     demand: BTreeMap<NodeId, BTreeMap<MovieId, (u32, u32)>>,
-    hot_streak: BTreeMap<MovieId, u32>,
-    cold_streak: BTreeMap<MovieId, u32>,
-    cooldown: BTreeMap<MovieId, u32>,
-    last_replicas: BTreeMap<MovieId, u32>,
+    /// The replica-placement policy (reactive hysteresis, predictive
+    /// forecast, or hybrid — [`VodConfig::placement`]). Owns the streak
+    /// and cooldown bookkeeping; the server keeps the elections.
+    policy: Box<dyn PlacementPolicy>,
+    /// Shared per-movie popularity machines, fed from the aggregated
+    /// demand every sync tick. Seeded identically on every server so the
+    /// deterministic elections stay in lockstep.
+    forecasts: ForecastBank,
+    /// Movies whose prefix this server currently caches (DESIGN.md §5h);
+    /// refreshed every sync tick from the forecast bank, hottest first.
+    prefix_cache: BTreeSet<MovieId>,
+    /// Latest prefix advertisements per live server (from their Demand
+    /// reports): which movies each peer can prefix-serve.
+    prefix_sources: BTreeMap<NodeId, BTreeSet<MovieId>>,
+    /// Prefix transmissions this server is currently running.
+    prefix_sessions: BTreeMap<ClientId, PrefixSession>,
+    /// Coordinator bookkeeping: waiting clients this server (as movie
+    /// coordinator) has routed to a prefix source, and where.
+    prefix_assignments: BTreeMap<ClientId, (NodeId, MovieId)>,
+    /// Replicas this server is currently copying onto its disk farm
+    /// ([`ReplicationConfig::bringup_delay`]): the movie group join — and
+    /// with it the first served session — happens when the copy timer
+    /// fires. Advertised in the demand reports so the fleet-wide election
+    /// does not pile further bring-ups onto the same movie meanwhile.
+    pending_bringups: BTreeMap<MovieId, Vec<NodeId>>,
     /// Recent client OPENs for movies this server does not hold, keyed
     /// by movie then client. Feeds the orphan-rescue path of the replica
     /// manager: a movie with waiting viewers but no live holder is
@@ -216,6 +271,7 @@ impl VodServer {
                 )
             })
             .collect();
+        let policy = cfg.placement.build();
         VodServer {
             cfg,
             node,
@@ -230,10 +286,13 @@ impl VodServer {
             sync_round: 0,
             server_view: View::default(),
             demand: BTreeMap::new(),
-            hot_streak: BTreeMap::new(),
-            cold_streak: BTreeMap::new(),
-            cooldown: BTreeMap::new(),
-            last_replicas: BTreeMap::new(),
+            policy,
+            forecasts: ForecastBank::new(FORECAST_STREAM),
+            prefix_cache: BTreeSet::new(),
+            prefix_sources: BTreeMap::new(),
+            prefix_sessions: BTreeMap::new(),
+            prefix_assignments: BTreeMap::new(),
+            pending_bringups: BTreeMap::new(),
             orphan_opens: BTreeMap::new(),
             rejoin: false,
         }
@@ -375,6 +434,8 @@ impl VodServer {
             // Track the server universe for demand aggregation; drop the
             // reports of departed servers so they cannot skew decisions.
             self.demand.retain(|server, _| view.contains(*server));
+            self.prefix_sources
+                .retain(|server, _| view.contains(*server));
             self.server_view = view;
             return;
         }
@@ -482,7 +543,11 @@ impl VodServer {
             ControlPayload::Flow { client, req } => self.on_flow(ctx, client, req),
             ControlPayload::Vcr { client, cmd } => self.on_vcr(ctx, client, cmd),
             ControlPayload::EndOfMovie { .. } => {}
-            ControlPayload::Demand { server, entries } => {
+            ControlPayload::Demand {
+                server,
+                entries,
+                prefixes,
+            } => {
                 self.demand.insert(
                     server,
                     entries
@@ -490,6 +555,23 @@ impl VodServer {
                         .map(|e| (e.movie, (e.sessions, e.waiting)))
                         .collect(),
                 );
+                self.prefix_sources
+                    .insert(server, prefixes.into_iter().collect());
+            }
+            ControlPayload::PrefixAssign { target, record } => {
+                if target == self.node {
+                    self.start_prefix(ctx, record);
+                }
+            }
+            ControlPayload::PrefixRelease {
+                target,
+                client,
+                owner,
+                ..
+            } => {
+                if target == self.node {
+                    self.finish_prefix(ctx, client, Some(owner));
+                }
             }
         }
     }
@@ -525,22 +607,7 @@ impl VodServer {
             // A waiting client retried: try to admit it now.
         }
         let capacity = self.cfg.max_sessions_per_server.map(|c| c as usize);
-        let mut load: BTreeMap<NodeId, usize> =
-            state.view.members.iter().map(|&m| (m, 0)).collect();
-        for record in state.records.values() {
-            if record.client == open.client {
-                continue;
-            }
-            if let Some(count) = load.get_mut(&record.owner) {
-                *count += 1;
-            }
-        }
-        let owner = load
-            .iter()
-            .filter(|&(_, &count)| capacity.is_none_or(|cap| count < cap))
-            .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
-            .map(|(&server, _)| server)
-            .unwrap_or(UNSERVED);
+        let owner = elect_owner(state, open.client, capacity).unwrap_or(UNSERVED);
         if owner == UNSERVED {
             if waiting {
                 return; // still no room; the client keeps retrying
@@ -703,6 +770,13 @@ impl VodServer {
     }
 
     fn start_session(&mut self, ctx: &mut Context<'_, VodWire>, mut record: ClientRecord) {
+        // A prefix source that became the client's real server (e.g. it
+        // won the bring-up election and the redistribution handed it the
+        // client): close the prefix transmission first — the session
+        // below supersedes it.
+        if self.prefix_sessions.contains_key(&record.client) {
+            self.finish_prefix(ctx, record.client, Some(self.node));
+        }
         let Some(state) = self.movies.get(&record.movie) else {
             return;
         };
@@ -996,6 +1070,12 @@ impl VodServer {
         if self.cfg.replication.is_some() {
             self.report_demand(ctx);
             self.replica_manager(ctx);
+            if self.cfg.prefix_cache.is_some() {
+                // Recompute the cache from the forecasts the manager just
+                // refreshed, then run the coordinator's routing pass.
+                self.refresh_prefix_cache();
+                self.prefix_coordinator(ctx);
+            }
         }
         ctx.set_timer_after(self.cfg.sync_interval, tag::SYNC);
     }
@@ -1067,7 +1147,7 @@ impl VodServer {
     /// Rides the sync tick, so demand data is at most one interval stale.
     fn report_demand(&mut self, ctx: &mut Context<'_, VodWire>) {
         let node = self.node;
-        let entries: Vec<DemandEntry> = self
+        let mut entries: Vec<DemandEntry> = self
             .movies
             .iter()
             .map(|(&movie, state)| DemandEntry {
@@ -1080,27 +1160,40 @@ impl VodServer {
                     .count() as u32,
             })
             .collect();
+        // A copy in flight counts as a (sessionless) holder: the demand
+        // aggregation sees the replica-to-be and the fleet-wide election
+        // does not keep piling bring-ups onto the movie while it lands.
+        for &movie in self.pending_bringups.keys() {
+            if !self.movies.contains_key(&movie) {
+                entries.push(DemandEntry {
+                    movie,
+                    sessions: 0,
+                    waiting: 0,
+                });
+            }
+        }
         // The multicast self-delivers, which files our own entries into
         // `demand` through the regular control path.
         let payload = ControlPayload::Demand {
             server: node,
             entries,
+            prefixes: self.prefix_cache.iter().copied().collect(),
         };
         self.multicast(ctx, SERVER_GROUP, payload);
     }
 
     /// Demand-driven replica management: aggregate the latest per-server
-    /// demand reports, apply the hot/cold policy with hysteresis, and —
-    /// when this server is the deterministically elected candidate — bring
-    /// up or retire its *own* replica. Every server runs the same election
-    /// over (eventually) the same reports, so at most one acts per movie.
+    /// demand reports, feed the shared forecast bank, ask the configured
+    /// [`PlacementPolicy`] for a verdict per movie, and — when this
+    /// server is the deterministically elected candidate — bring up or
+    /// retire its *own* replica. Every server runs the same policy and
+    /// election over (eventually) the same reports, so at most one acts
+    /// per movie.
     fn replica_manager(&mut self, ctx: &mut Context<'_, VodWire>) {
-        let Some(policy) = self.cfg.replication else {
+        let Some(policy_cfg) = self.cfg.replication else {
             return;
         };
-        for ticks in self.cooldown.values_mut() {
-            *ticks = ticks.saturating_sub(1);
-        }
+        self.policy.begin_tick();
         let live: BTreeSet<NodeId> = self.server_view.members.iter().copied().collect();
         if live.len() <= 1 || !live.contains(&self.node) {
             return; // nowhere to replicate to, or not a member yet
@@ -1122,70 +1215,70 @@ impl VodServer {
                 *load.entry(server).or_insert(0) += sessions;
             }
         }
+        // Feed the forecast bank before any decision: all policies see
+        // this tick's states, and the trace annotation on bring-up/retire
+        // reflects them even under the reactive policy.
+        for (&movie, &(sessions, waiting, ref holders)) in &agg {
+            self.forecasts
+                .observe(movie, sessions + waiting, holders.len() as u32, &policy_cfg);
+        }
         for (&movie, &(sessions, waiting, ref holders)) in &agg {
             let replicas = holders.len() as u32;
-            if self.last_replicas.insert(movie, replicas) != Some(replicas) {
-                // Observed replica-count change (including the first
-                // observation): restart hysteresis and hold off further
-                // changes while the redistribution settles.
-                self.hot_streak.insert(movie, 0);
-                self.cold_streak.insert(movie, 0);
-                self.cooldown.insert(movie, policy.cooldown_ticks);
-                continue;
-            }
-            if self.cooldown.get(&movie).copied().unwrap_or(0) > 0 {
-                continue;
-            }
-            let demand = sessions + waiting;
-            let hot = demand > policy.hot_sessions_per_replica * replicas
-                && replicas < policy.max_replicas
-                && (holders.len() as u32) < live.len() as u32;
-            let cold = replicas > policy.min_replicas
-                && waiting == 0
-                && sessions <= policy.cold_sessions_per_replica * (replicas - 1);
-            let hot_run = {
-                let s = self.hot_streak.entry(movie).or_insert(0);
-                *s = if hot { *s + 1 } else { 0 };
-                *s
+            let obs = MovieObservation {
+                movie,
+                sessions,
+                waiting,
+                replicas,
+                live: live.len() as u32,
             };
-            let cold_run = {
-                let s = self.cold_streak.entry(movie).or_insert(0);
-                *s = if cold { *s + 1 } else { 0 };
-                *s
-            };
-            if hot && hot_run >= policy.hysteresis_ticks {
-                // Bring-up election: the least-loaded live non-holder,
-                // ties broken by lowest node id.
-                let candidate = live
-                    .iter()
-                    .filter(|n| !holders.contains(n))
-                    .min_by_key(|&&n| (load.get(&n).copied().unwrap_or(0), n.0))
-                    .copied();
-                if candidate == Some(self.node) {
-                    let peers: Vec<NodeId> = holders.iter().copied().collect();
-                    self.bring_up(ctx, movie, demand, replicas + 1, &peers);
-                    self.hot_streak.insert(movie, 0);
-                    self.cooldown.insert(movie, policy.cooldown_ticks);
+            let action = self
+                .policy
+                .decide(&obs, self.forecasts.get(movie), &policy_cfg);
+            match action {
+                PlacementAction::Hold => {}
+                PlacementAction::BringUp(trigger) => {
+                    // Bring-up election: the least-loaded live non-holder,
+                    // ties broken by lowest node id.
+                    let candidate = live
+                        .iter()
+                        .filter(|n| !holders.contains(n))
+                        .min_by_key(|&&n| (load.get(&n).copied().unwrap_or(0), n.0))
+                        .copied();
+                    if candidate == Some(self.node) {
+                        let peers: Vec<NodeId> = holders.iter().copied().collect();
+                        self.bring_up(
+                            ctx,
+                            movie,
+                            sessions + waiting,
+                            replicas + 1,
+                            &peers,
+                            trigger,
+                        );
+                        self.policy.acted(movie, action, &policy_cfg);
+                    }
                 }
-            } else if cold && cold_run >= policy.hysteresis_ticks {
-                // Retire election: the holder with the fewest sessions for
-                // this movie, ties broken by highest node id (matching the
-                // redistribution tie-break, so the busiest replicas stay).
-                let candidate = holders
-                    .iter()
-                    .min_by_key(|&&n| {
-                        let own = self
-                            .demand
-                            .get(&n)
-                            .and_then(|e| e.get(&movie))
-                            .map_or(0, |&(s, _)| s);
-                        (own, std::cmp::Reverse(n.0))
-                    })
-                    .copied();
-                if candidate == Some(self.node) {
-                    self.retire_replica(ctx, movie, sessions, replicas - 1);
-                    self.cold_streak.insert(movie, 0);
-                    self.cooldown.insert(movie, policy.cooldown_ticks);
+                PlacementAction::Retire => {
+                    // Retire election. Demand maps are only eventually
+                    // consistent, so an election over them can transiently
+                    // crown two candidates in the same tick — enough to
+                    // cascade a cooling movie's holders down to zero while
+                    // viewers still wait (seen on the flash-crowd profile
+                    // during the post-shock wind-down). The movie-group
+                    // view is view-synchronous — every member agrees on
+                    // its member set — so elect the highest-id member of
+                    // the current view (matching the redistribution
+                    // tie-break) and gate on the view still having a spare
+                    // replica: at most one member leaves per view, and the
+                    // group never shrinks below the floor.
+                    let candidate = self
+                        .movies
+                        .get(&movie)
+                        .filter(|s| s.view.len() as u32 > policy_cfg.min_replicas)
+                        .and_then(|s| s.view.members.last().copied());
+                    if candidate == Some(self.node) {
+                        self.retire_replica(ctx, movie, sessions, replicas - 1);
+                        self.policy.acted(movie, action, &policy_cfg);
+                    }
                 }
             }
         }
@@ -1218,9 +1311,13 @@ impl VodServer {
                 .min_by_key(|&&n| (load.get(&n).copied().unwrap_or(0), n.0))
                 .copied();
             if candidate == Some(self.node) {
-                self.bring_up(ctx, movie, waiting, 1, &[]);
+                self.bring_up(ctx, movie, waiting, 1, &[], BringUpTrigger::OrphanRescue);
                 self.orphan_opens.remove(&movie);
-                self.cooldown.insert(movie, policy.cooldown_ticks);
+                self.policy.acted(
+                    movie,
+                    PlacementAction::BringUp(BringUpTrigger::OrphanRescue),
+                    &policy_cfg,
+                );
             }
         }
     }
@@ -1236,12 +1333,56 @@ impl VodServer {
         demand: u32,
         replicas: u32,
         holders: &[NodeId],
+        trigger: BringUpTrigger,
+    ) {
+        if self.movies.contains_key(&movie_id) || self.pending_bringups.contains_key(&movie_id) {
+            return;
+        }
+        if !self.catalog.contains_key(&movie_id) {
+            return; // not on our disk farm; the election misfired
+        }
+        self.stats.replica_bringups.add(ctx.now(), 1);
+        let (at, server) = (ctx.now(), self.node);
+        let (policy, forecast) = (self.policy.kind(), self.forecasts.state(movie_id));
+        self.trace.emit(|| VodEvent::ReplicaBringUp {
+            at,
+            server,
+            movie: movie_id,
+            demand,
+            replicas,
+            policy,
+            trigger,
+            forecast,
+        });
+        let delay = self
+            .cfg
+            .replication
+            .map_or(Duration::ZERO, |r| r.bringup_delay);
+        if delay.is_zero() {
+            self.complete_bringup(ctx, movie_id, holders);
+        } else {
+            // The content copy takes a while; join the movie group (and
+            // start serving) only when it lands. The demand reports
+            // advertise the pending copy so the rest of the fleet does
+            // not elect yet another server for the same movie.
+            self.pending_bringups.insert(movie_id, holders.to_vec());
+            ctx.set_timer_after(delay, tag::bringup(movie_id.0));
+        }
+    }
+
+    /// Finishes a bring-up: installs the replica and joins the movie
+    /// group, triggering the state exchange and redistribution.
+    fn complete_bringup(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        movie_id: MovieId,
+        holders: &[NodeId],
     ) {
         if self.movies.contains_key(&movie_id) {
             return;
         }
         let Some(movie) = self.catalog.get(&movie_id).cloned() else {
-            return; // not on our disk farm; the election misfired
+            return;
         };
         let mut all_holders = holders.to_vec();
         all_holders.push(self.node);
@@ -1258,15 +1399,14 @@ impl VodServer {
             },
         );
         self.gcs.join(ctx, movie_group(movie_id), holders);
-        self.stats.replica_bringups.add(ctx.now(), 1);
-        let (at, server) = (ctx.now(), self.node);
-        self.trace.emit(|| VodEvent::ReplicaBringUp {
-            at,
-            server,
-            movie: movie_id,
-            demand,
-            replicas,
-        });
+    }
+
+    /// The copy of [`ReplicationConfig::bringup_delay`] finished: become
+    /// a real replica.
+    fn on_bringup_timer(&mut self, ctx: &mut Context<'_, VodWire>, movie_id: MovieId) {
+        if let Some(holders) = self.pending_bringups.remove(&movie_id) {
+            self.complete_bringup(ctx, movie_id, &holders);
+        }
     }
 
     /// Gracefully retires this server's replica of a cold movie: publish
@@ -1300,18 +1440,354 @@ impl VodServer {
         }
         self.stats.replica_retires.add(ctx.now(), 1);
         let (at, server) = (ctx.now(), self.node);
+        let (policy, forecast) = (self.policy.kind(), self.forecasts.state(movie_id));
         self.trace.emit(|| VodEvent::ReplicaRetire {
             at,
             server,
             movie: movie_id,
             demand,
             replicas,
+            policy,
+            forecast,
         });
     }
 
     /// Movies this server currently holds a replica of, in id order.
     pub fn movies_held(&self) -> Vec<MovieId> {
         self.movies.keys().copied().collect()
+    }
+
+    /// Movies whose prefix this server currently caches, in id order.
+    pub fn prefixes_cached(&self) -> Vec<MovieId> {
+        self.prefix_cache.iter().copied().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Prefix-cache tier (opt-in via VodConfig::prefix_cache)
+    // ------------------------------------------------------------------
+
+    /// Recomputes the prefix cache from the forecast bank: the hottest
+    /// warming/hot movies this server does *not* replicate, up to the
+    /// configured budget. Cooling movies fall out of the ranking, so
+    /// eviction is LRU-by-forecast rather than by access time.
+    fn refresh_prefix_cache(&mut self) {
+        let Some(pc) = self.cfg.prefix_cache else {
+            return;
+        };
+        let mut ranked: Vec<(std::cmp::Reverse<u64>, MovieId)> = self
+            .catalog
+            .keys()
+            .filter(|m| !self.movies.contains_key(m))
+            .filter_map(|&m| {
+                self.forecasts.get(m).and_then(|f| {
+                    matches!(f.state(), PopState::Warming | PopState::Hot)
+                        .then(|| (std::cmp::Reverse(f.heat()), m))
+                })
+            })
+            .collect();
+        // Hottest first; ties resolve to the lower movie id on every
+        // server identically.
+        ranked.sort();
+        self.prefix_cache = ranked
+            .into_iter()
+            .take(pc.budget as usize)
+            .map(|(_, m)| m)
+            .collect();
+    }
+
+    /// The movie coordinator's routing pass, once per sync tick:
+    /// (1) resolve existing prefix assignments — release the source when
+    /// the client's replica is up or its session is gone, and retry the
+    /// admission election for clients still waiting (a prefix-fed client
+    /// received frames, so it no longer re-OPENs on its own); (2) route
+    /// still-unserved waiting clients to the least-loaded live server
+    /// advertising a prefix of their movie.
+    fn prefix_coordinator(&mut self, ctx: &mut Context<'_, VodWire>) {
+        let node = self.node;
+        let assignments: Vec<(ClientId, NodeId, MovieId)> = self
+            .prefix_assignments
+            .iter()
+            .map(|(&c, &(s, m))| (c, s, m))
+            .collect();
+        for (client, source, movie) in assignments {
+            let Some(state) = self.movies.get(&movie) else {
+                // We retired the movie: no longer its coordinator. Stop
+                // the source — whoever coordinates now re-routes the
+                // client if it is still waiting.
+                self.prefix_assignments.remove(&client);
+                self.release_prefix(ctx, source, client, movie, UNSERVED);
+                continue;
+            };
+            if state.view.coordinator_candidate() != Some(node) {
+                // Coordinatorship moved (typically to the freshly joined
+                // replica). Assignments are coordinator-local state, so
+                // release the source rather than orphan a transmission
+                // nobody tracks any more; pass the owner along when the
+                // redistribution already placed the client.
+                let owner = state.records.get(&client).map_or(UNSERVED, |r| r.owner);
+                self.prefix_assignments.remove(&client);
+                self.release_prefix(ctx, source, client, movie, owner);
+                continue;
+            }
+            match state.records.get(&client) {
+                None => {
+                    // Session gone (stop, crash, end of movie).
+                    self.prefix_assignments.remove(&client);
+                    self.release_prefix(ctx, source, client, movie, UNSERVED);
+                }
+                Some(r) if r.owner != UNSERVED => {
+                    // The replica is up and owns the client: hand off.
+                    let owner = r.owner;
+                    self.prefix_assignments.remove(&client);
+                    self.release_prefix(ctx, source, client, movie, owner);
+                }
+                Some(_) => {
+                    // Still waiting. The client stopped re-OPENing once
+                    // prefix frames arrived, so the coordinator retries
+                    // the admission election on its behalf.
+                    if let Some(owner) = self.try_admit(ctx, movie, client) {
+                        self.prefix_assignments.remove(&client);
+                        self.release_prefix(ctx, source, client, movie, owner);
+                    } else if !self
+                        .prefix_sources
+                        .get(&source)
+                        .is_some_and(|movies| movies.contains(&movie))
+                    {
+                        // The source evicted the prefix (or retired): stop
+                        // any transmission it still runs and drop the
+                        // assignment so the client can be re-routed.
+                        self.prefix_assignments.remove(&client);
+                        self.release_prefix(ctx, source, client, movie, UNSERVED);
+                    }
+                }
+            }
+        }
+        // Pass 2: route fresh waiting clients to prefix sources.
+        let live: BTreeSet<NodeId> = self.server_view.members.iter().copied().collect();
+        let mut load: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for (&server, entries) in &self.demand {
+            load.insert(server, entries.values().map(|&(s, _)| s).sum());
+        }
+        for &(source, _) in self.prefix_assignments.values() {
+            *load.entry(source).or_insert(0) += 1;
+        }
+        let movie_ids: Vec<MovieId> = self.movies.keys().copied().collect();
+        for movie in movie_ids {
+            let Some(state) = self.movies.get(&movie) else {
+                continue;
+            };
+            if state.view.coordinator_candidate() != Some(node) {
+                continue;
+            }
+            let holders: BTreeSet<NodeId> = state.view.members.iter().copied().collect();
+            let waiting: Vec<ClientRecord> = state
+                .records
+                .values()
+                .filter(|r| r.owner == UNSERVED)
+                .copied()
+                .collect();
+            for record in waiting {
+                if self.prefix_assignments.contains_key(&record.client) {
+                    continue;
+                }
+                let source = self
+                    .prefix_sources
+                    .iter()
+                    .filter(|(n, movies)| {
+                        live.contains(n) && !holders.contains(n) && movies.contains(&movie)
+                    })
+                    .map(|(&n, _)| n)
+                    .min_by_key(|&n| (load.get(&n).copied().unwrap_or(0), n.0));
+                let Some(source) = source else {
+                    continue;
+                };
+                *load.entry(source).or_insert(0) += 1;
+                self.prefix_assignments
+                    .insert(record.client, (source, movie));
+                let payload = ControlPayload::PrefixAssign {
+                    target: source,
+                    record,
+                };
+                self.multicast(ctx, SERVER_GROUP, payload);
+            }
+        }
+    }
+
+    /// Retries the admission election for a waiting client of `movie`
+    /// (same rule as [`on_open`](Self::on_open)); on success stamps and
+    /// publishes the updated record and returns the elected owner.
+    fn try_admit(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        movie: MovieId,
+        client: ClientId,
+    ) -> Option<NodeId> {
+        let node = self.node;
+        let capacity = self.cfg.max_sessions_per_server.map(|c| c as usize);
+        let state = self.movies.get_mut(&movie)?;
+        let owner = elect_owner(state, client, capacity)?;
+        let epoch = state.view.id.epoch;
+        let record = state.records.get_mut(&client)?;
+        record.owner = owner;
+        record.assigned_epoch = epoch;
+        record.updated_at = ctx.now();
+        let published = *record;
+        let payload = ControlPayload::Sync {
+            server: node,
+            movie,
+            view_epoch: epoch,
+            records: vec![published],
+        };
+        self.multicast(ctx, movie_group(movie), payload);
+        Some(owner)
+    }
+
+    /// Multicasts a release for `client`'s prefix transmission on
+    /// `source` (only the target acts).
+    fn release_prefix(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        source: NodeId,
+        client: ClientId,
+        movie: MovieId,
+        owner: NodeId,
+    ) {
+        let payload = ControlPayload::PrefixRelease {
+            target: source,
+            client,
+            movie,
+            owner,
+        };
+        self.multicast(ctx, SERVER_GROUP, payload);
+    }
+
+    /// Starts serving `record`'s client from the prefix cache, if this
+    /// server still can (cache hit, no conflicting session, room under
+    /// the admission cap).
+    fn start_prefix(&mut self, ctx: &mut Context<'_, VodWire>, record: ClientRecord) {
+        let Some(pc) = self.cfg.prefix_cache else {
+            return;
+        };
+        if self.movies.contains_key(&record.movie)
+            || !self.prefix_cache.contains(&record.movie)
+            || self.sessions.contains_key(&record.client)
+            || self.prefix_sessions.contains_key(&record.client)
+        {
+            return;
+        }
+        if let Some(cap) = self.cfg.max_sessions_per_server {
+            if self.sessions.len() + self.prefix_sessions.len() >= cap as usize {
+                return;
+            }
+        }
+        let Some(movie) = self.catalog.get(&record.movie) else {
+            return;
+        };
+        let prefix_frames = pc.prefix.as_secs() * u64::from(movie.fps());
+        if record.next_frame.0 >= prefix_frames {
+            return; // the client is already past the cached range
+        }
+        self.stats.prefix_serves.add(ctx.now(), 1);
+        let at = ctx.now();
+        let (server, client, client_node) = (self.node, record.client, record.client_node);
+        let (movie_id, from_frame, rate_fps) = (record.movie, record.next_frame, record.rate_fps);
+        self.trace.emit(|| VodEvent::PrefixServe {
+            at,
+            server,
+            client,
+            client_node,
+            movie: movie_id,
+            from_frame,
+            prefix_frames,
+            rate_fps,
+        });
+        let timer = ctx.set_timer_after(Duration::ZERO, tag::prefix(record.client.0));
+        self.prefix_sessions.insert(
+            record.client,
+            PrefixSession {
+                record,
+                end_frame: FrameNo(prefix_frames),
+                frames_sent: 0,
+                started_at: at,
+                timer: Some(timer),
+            },
+        );
+    }
+
+    /// Ends a prefix transmission. `to_owner` is the server the client's
+    /// session landed on (`None` = the prefix ran out or the session is
+    /// gone — encoded as [`UNSERVED`] in the trace).
+    fn finish_prefix(
+        &mut self,
+        ctx: &mut Context<'_, VodWire>,
+        client: ClientId,
+        to_owner: Option<NodeId>,
+    ) {
+        let Some(session) = self.prefix_sessions.remove(&client) else {
+            return;
+        };
+        if let Some(timer) = session.timer {
+            ctx.cancel_timer(timer);
+        }
+        self.stats.prefix_handoffs.add(ctx.now(), 1);
+        let (at, server) = (ctx.now(), self.node);
+        let movie = session.record.movie;
+        let (frames_sent, served_for) = (
+            session.frames_sent,
+            ctx.now().saturating_since(session.started_at),
+        );
+        let to_owner = to_owner.unwrap_or(UNSERVED);
+        self.trace.emit(|| VodEvent::PrefixHandoff {
+            at,
+            server,
+            client,
+            movie,
+            frames_sent,
+            served_for,
+            to_owner,
+        });
+    }
+
+    /// Transmission timer of one prefix session: ship the next cached
+    /// frame at the record's base rate (no jitter, no quality filter —
+    /// the prefix is a stopgap, not a tuned stream) and self-terminate at
+    /// the end of the cached range.
+    fn on_prefix_timer(&mut self, ctx: &mut Context<'_, VodWire>, client: ClientId) {
+        let Some(session) = self.prefix_sessions.get(&client) else {
+            return;
+        };
+        let (movie_id, next, end) = (
+            session.record.movie,
+            session.record.next_frame,
+            session.end_frame,
+        );
+        let (client_node, rate_fps) = (session.record.client_node, session.record.rate_fps);
+        if next.0 >= end.0 {
+            self.finish_prefix(ctx, client, None);
+            return;
+        }
+        let Some(frame) = self.catalog.get(&movie_id).and_then(|m| m.frame(next)) else {
+            self.finish_prefix(ctx, client, None);
+            return;
+        };
+        let packet = VideoPacket {
+            client,
+            movie: movie_id,
+            frame,
+        };
+        self.stats.prefix_frames_sent += 1;
+        let dst = Endpoint::new(client_node, VIDEO_PORT);
+        ctx.send(VIDEO_PORT, dst, VodWire::Video(packet));
+        let effective = rate_fps.clamp(1, 240);
+        let interval = Duration::from_secs_f64(1.0 / f64::from(effective));
+        let timer = ctx.set_timer_after(interval, tag::prefix(client.0));
+        let session = self
+            .prefix_sessions
+            .get_mut(&client)
+            .expect("checked above");
+        session.record.next_frame = next.plus(1);
+        session.frames_sent += 1;
+        session.timer = Some(timer);
     }
 
     // ------------------------------------------------------------------
@@ -1337,6 +1813,27 @@ impl VodServer {
             .copied()
             .find(|&m| movie_group(m) == group)
     }
+}
+
+/// The admission election of [`VodServer::on_open`]: the least-loaded
+/// member of the movie view with room under the capacity cap, ties
+/// broken by highest node id (matching redistribution). `except` is the
+/// client being (re)admitted — its own parked record must not count as
+/// load. Returns `None` when no replica has room.
+fn elect_owner(state: &MovieState, except: ClientId, capacity: Option<usize>) -> Option<NodeId> {
+    let mut load: BTreeMap<NodeId, usize> = state.view.members.iter().map(|&m| (m, 0)).collect();
+    for record in state.records.values() {
+        if record.client == except {
+            continue;
+        }
+        if let Some(count) = load.get_mut(&record.owner) {
+            *count += 1;
+        }
+    }
+    load.iter()
+        .filter(|&(_, &count)| capacity.is_none_or(|cap| count < cap))
+        .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
+        .map(|(&server, _)| server)
 }
 
 /// Total order on records used to merge concurrent sync reports
@@ -1409,6 +1906,8 @@ impl Process<VodWire> for VodServer {
             tag::SEND => self.on_send_timer(ctx, ClientId(tag::id(timer.tag))),
             tag::DECAY => self.on_decay_timer(ctx, ClientId(tag::id(timer.tag))),
             tag::EXCHANGE => self.on_exchange_timer(ctx, MovieId(tag::id(timer.tag))),
+            tag::PREFIX => self.on_prefix_timer(ctx, ClientId(tag::id(timer.tag))),
+            tag::BRINGUP => self.on_bringup_timer(ctx, MovieId(tag::id(timer.tag))),
             tag::SHUTDOWN => ctx.exit(),
             _ => debug_assert!(false, "unknown timer tag {}", timer.tag),
         }
@@ -1428,6 +1927,9 @@ mod tests {
             assert_eq!(tag::id(t), client);
             let t = tag::decay(client);
             assert_eq!(tag::kind(t), tag::DECAY);
+            assert_eq!(tag::id(t), client);
+            let t = tag::prefix(client);
+            assert_eq!(tag::kind(t), tag::PREFIX);
             assert_eq!(tag::id(t), client);
         }
         let t = tag::exchange(42);

@@ -33,6 +33,7 @@ use gcs::{GcsTrace, GroupId};
 use media::{FrameNo, FrameType, MovieId};
 use simnet::{DropReason, Endpoint, NodeId, SimTime, TraceEvent};
 
+use crate::forecast::{BringUpTrigger, PolicyKind, PopState};
 use crate::metrics::Histogram;
 use crate::protocol::{ClientId, VcrCmd};
 
@@ -307,6 +308,12 @@ pub enum VodEvent {
         demand: u32,
         /// Replica count after the bring-up.
         replicas: u32,
+        /// The placement policy that made the decision.
+        policy: PolicyKind,
+        /// What tripped it (reactive streak, forecast, orphan rescue).
+        trigger: BringUpTrigger,
+        /// The movie's forecast state at decision time.
+        forecast: PopState,
     },
     /// The replica manager decided this server should retire its replica
     /// of a cold movie; the server detaches gracefully (fresh offsets
@@ -322,6 +329,51 @@ pub enum VodEvent {
         demand: u32,
         /// Replica count after the retire.
         replicas: u32,
+        /// The placement policy that made the decision.
+        policy: PolicyKind,
+        /// The movie's forecast state at decision time.
+        forecast: PopState,
+    },
+    /// A server began feeding a waiting client the cached prefix of a
+    /// movie it does not replicate, hiding the bring-up latency of the
+    /// predicted replica (DESIGN.md §5h).
+    PrefixServe {
+        /// When the prefix transmission started.
+        at: SimTime,
+        /// The prefix source.
+        server: NodeId,
+        /// The client.
+        client: ClientId,
+        /// Node the client runs on.
+        client_node: NodeId,
+        /// The movie.
+        movie: MovieId,
+        /// First frame transmitted.
+        from_frame: FrameNo,
+        /// Exclusive end of the cached range (frames from the movie
+        /// start).
+        prefix_frames: u64,
+        /// Transmission rate, frames per second.
+        rate_fps: u32,
+    },
+    /// A prefix transmission ended: the client's replica is up
+    /// (`to_owner` is a real server), or the session is gone or the
+    /// cached range ran out (`to_owner` is the unserved sentinel).
+    PrefixHandoff {
+        /// When the prefix transmission ended.
+        at: SimTime,
+        /// The prefix source.
+        server: NodeId,
+        /// The client.
+        client: ClientId,
+        /// The movie.
+        movie: MovieId,
+        /// Frames transmitted from the cache.
+        frames_sent: u64,
+        /// How long the prefix transmission ran.
+        served_for: std::time::Duration,
+        /// Where the client's session landed.
+        to_owner: NodeId,
     },
     // ---------------- client ----------------
     /// A client asked the (abstract) server group to open a session.
@@ -470,6 +522,8 @@ impl VodEvent {
             | VodEvent::ShutdownStarted { at, .. }
             | VodEvent::ReplicaBringUp { at, .. }
             | VodEvent::ReplicaRetire { at, .. }
+            | VodEvent::PrefixServe { at, .. }
+            | VodEvent::PrefixHandoff { at, .. }
             | VodEvent::OpenRequested { at, .. }
             | VodEvent::FirstFrame { at, .. }
             | VodEvent::StreamResumed { at, .. }
@@ -778,12 +832,19 @@ impl VodEvent {
                 movie,
                 demand,
                 replicas,
+                policy,
+                trigger,
+                forecast,
                 ..
             } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"replica_bring_up\",\"server\":{},\"movie\":{},\"demand\":{demand},\"replicas\":{replicas}",
-                    server.0, movie.0
+                    ",\"ev\":\"replica_bring_up\",\"server\":{},\"movie\":{},\"demand\":{demand},\"replicas\":{replicas},\"policy\":\"{}\",\"trigger\":\"{}\",\"forecast\":\"{}\"",
+                    server.0,
+                    movie.0,
+                    policy.as_str(),
+                    trigger.as_str(),
+                    forecast.as_str()
                 );
             }
             VodEvent::ReplicaRetire {
@@ -791,12 +852,52 @@ impl VodEvent {
                 movie,
                 demand,
                 replicas,
+                policy,
+                forecast,
                 ..
             } => {
                 let _ = write!(
                     out,
-                    ",\"ev\":\"replica_retire\",\"server\":{},\"movie\":{},\"demand\":{demand},\"replicas\":{replicas}",
-                    server.0, movie.0
+                    ",\"ev\":\"replica_retire\",\"server\":{},\"movie\":{},\"demand\":{demand},\"replicas\":{replicas},\"policy\":\"{}\",\"forecast\":\"{}\"",
+                    server.0,
+                    movie.0,
+                    policy.as_str(),
+                    forecast.as_str()
+                );
+            }
+            VodEvent::PrefixServe {
+                server,
+                client,
+                client_node,
+                movie,
+                from_frame,
+                prefix_frames,
+                rate_fps,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"prefix_serve\",\"server\":{},\"client\":{},\"client_node\":{},\"movie\":{},\"from_frame\":{},\"prefix_frames\":{prefix_frames},\"rate_fps\":{rate_fps}",
+                    server.0, client.0, client_node.0, movie.0, from_frame.0
+                );
+            }
+            VodEvent::PrefixHandoff {
+                server,
+                client,
+                movie,
+                frames_sent,
+                served_for,
+                to_owner,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"prefix_handoff\",\"server\":{},\"client\":{},\"movie\":{},\"frames_sent\":{frames_sent},\"served_us\":{},\"to_owner\":{}",
+                    server.0,
+                    client.0,
+                    movie.0,
+                    served_for.as_micros(),
+                    to_owner.0
                 );
             }
             VodEvent::OpenRequested {
@@ -1100,6 +1201,21 @@ pub struct RunReport {
     pub replica_bringups: u64,
     /// Replica retires decided by the dynamic replica manager.
     pub replica_retires: u64,
+    /// Bring-up counts keyed by the decision trigger's stable name
+    /// (`reactive-streak`, `forecast`, `orphan-rescue`).
+    pub bringup_triggers: BTreeMap<&'static str, u64>,
+    /// Bring-up decision → first session started on the new replica
+    /// (seconds), keyed by the decision trigger's stable name. Bring-ups
+    /// whose replica never started a session inside the recorded window
+    /// contribute no sample.
+    pub bringup_latency: BTreeMap<&'static str, Histogram>,
+    /// Prefix-cache serves started by servers.
+    pub prefix_serves: u64,
+    /// Prefix serves handed off (to the owning replica or dropped).
+    pub prefix_handoffs: u64,
+    /// Total seconds clients spent receiving prefix frames instead of
+    /// waiting unserved — the unserved time the prefix tier avoided.
+    pub prefix_seconds_avoided: f64,
     /// Suspicions raised by failure detectors.
     pub suspicions: u64,
     /// Views installed across all nodes and groups.
@@ -1130,6 +1246,8 @@ impl RunReport {
         let mut video_deliveries: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
         let mut open_grants: BTreeMap<ClientId, (f64, NodeId, u32)> = BTreeMap::new();
         let mut refill_start: BTreeMap<ClientId, f64> = BTreeMap::new();
+        let mut bringups: Vec<(f64, NodeId, MovieId, &'static str)> = Vec::new();
+        let mut movie_starts: Vec<(f64, NodeId, MovieId)> = Vec::new();
 
         for event in recorder.events() {
             match event {
@@ -1166,8 +1284,8 @@ impl RunReport {
                     server,
                     client,
                     client_node,
+                    movie,
                     resume_frame,
-                    ..
                 } => {
                     starts.entry(*client).or_default().push((
                         at.as_secs_f64(),
@@ -1175,6 +1293,7 @@ impl RunReport {
                         *client_node,
                         *resume_frame,
                     ));
+                    movie_starts.push((at.as_secs_f64(), *server, *movie));
                 }
                 VodEvent::EmergencyGranted {
                     at,
@@ -1197,8 +1316,23 @@ impl RunReport {
                     }
                 }
                 VodEvent::EmergencyRequested { .. } => report.emergencies_requested += 1,
-                VodEvent::ReplicaBringUp { .. } => report.replica_bringups += 1,
+                VodEvent::ReplicaBringUp {
+                    at,
+                    server,
+                    movie,
+                    trigger,
+                    ..
+                } => {
+                    report.replica_bringups += 1;
+                    *report.bringup_triggers.entry(trigger.as_str()).or_default() += 1;
+                    bringups.push((at.as_secs_f64(), *server, *movie, trigger.as_str()));
+                }
                 VodEvent::ReplicaRetire { .. } => report.replica_retires += 1,
+                VodEvent::PrefixServe { .. } => report.prefix_serves += 1,
+                VodEvent::PrefixHandoff { served_for, .. } => {
+                    report.prefix_handoffs += 1;
+                    report.prefix_seconds_avoided += served_for.as_secs_f64();
+                }
                 VodEvent::StreamResumed { at, client, gap_s } => {
                     report.glitches.push(GlitchWindow {
                         client: *client,
@@ -1268,6 +1402,23 @@ impl RunReport {
                 };
                 report.takeover_latency.record(breakdown.total_s);
                 report.takeovers.push(breakdown);
+            }
+        }
+
+        // Attribute each bring-up its time-to-first-session: the first
+        // session the new replica starts for that movie at or after the
+        // decision. A bring-up whose replica never serves inside the
+        // recorded window contributes no latency sample.
+        for (decided_s, server, movie, trigger) in bringups {
+            let first = movie_starts
+                .iter()
+                .find(|&&(t, s, m)| s == server && m == movie && t >= decided_s);
+            if let Some(&(started_s, _, _)) = first {
+                report
+                    .bringup_latency
+                    .entry(trigger)
+                    .or_default()
+                    .record(started_s - decided_s);
             }
         }
         report
@@ -1380,15 +1531,37 @@ impl RunReport {
         }
         let _ = write!(
             out,
-            "],\"replica_bringups\":{},\"replica_retires\":{},\
-             \"suspicions\":{},\"views_installed\":{},\
+            "],\"replica_bringups\":{},\"replica_retires\":{}",
+            self.replica_bringups, self.replica_retires,
+        );
+        out.push_str(",\"bringup_triggers\":{");
+        for (i, (name, count)) in self.bringup_triggers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{count}");
+        }
+        out.push_str("},\"bringup_latency\":{");
+        for (i, (name, hist)) in self.bringup_latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":");
+            write_histogram_json(&mut out, hist);
+        }
+        let _ = write!(
+            out,
+            "}},\"prefix_serves\":{},\"prefix_handoffs\":{},\
+             \"prefix_avoided_us\":{}",
+            self.prefix_serves,
+            self.prefix_handoffs,
+            secs_to_us(self.prefix_seconds_avoided),
+        );
+        let _ = write!(
+            out,
+            ",\"suspicions\":{},\"views_installed\":{},\
              \"events_seen\":{},\"events_dropped\":{}",
-            self.replica_bringups,
-            self.replica_retires,
-            self.suspicions,
-            self.views_installed,
-            self.events_seen,
-            self.events_dropped,
+            self.suspicions, self.views_installed, self.events_seen, self.events_dropped,
         );
         match &self.oracle {
             None => out.push_str(",\"oracle\":null"),
@@ -1555,6 +1728,26 @@ impl fmt::Display for RunReport {
             "  replication: {} bring-up(s), {} retire(s)",
             self.replica_bringups, self.replica_retires
         )?;
+        for (name, count) in &self.bringup_triggers {
+            write!(f, "    {name}: {count} bring-up(s)")?;
+            match self.bringup_latency.get(name).filter(|h| !h.is_empty()) {
+                Some(hist) => writeln!(
+                    f,
+                    ", first session p50={:.2}s max={:.2}s (n={})",
+                    hist.quantile(0.5).expect("non-empty"),
+                    hist.max().expect("non-empty"),
+                    hist.count()
+                )?,
+                None => writeln!(f, ", never served in window")?,
+            }
+        }
+        if self.prefix_serves > 0 || self.prefix_handoffs > 0 {
+            writeln!(
+                f,
+                "  prefix cache: {} serve(s), {} handoff(s), {:.2}s unserved time avoided",
+                self.prefix_serves, self.prefix_handoffs, self.prefix_seconds_avoided
+            )?;
+        }
         writeln!(
             f,
             "  gcs: {} suspicion(s), {} view(s) installed",

@@ -90,6 +90,49 @@ impl ZipfSampler {
             .partition_point(|&p| p <= u)
             .min(self.cdf.len() - 1)
     }
+
+    /// A flash-crowd variant of [`new`](ZipfSampler::new): the Zipf
+    /// weights, except the *last* rank's weight is replaced by `factor`
+    /// times the rank-1 weight (then renormalized). The coldest movie of
+    /// the catalog abruptly out-draws the hit — the shape of a breakout
+    /// flash crowd landing on a single-replica title.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shocked(n: usize, s: f64, factor: u32) -> Self {
+        assert!(n > 0, "catalog must not be empty");
+        let mut weights: Vec<f64> = (0..n)
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(s))
+            .collect();
+        weights[n - 1] = f64::from(factor) * weights[0];
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let mut cdf = Vec::with_capacity(n);
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf }
+    }
+}
+
+/// A flash crowd: sessions arriving at or after `at` draw their movie
+/// from the shocked popularity distribution
+/// ([`ZipfSampler::shocked`]) instead of the baseline Zipf. The draw
+/// schedule is unchanged — only which CDF the single movie draw is
+/// looked up in — so the same seed still yields the same gaps,
+/// durations and VCR behaviour on both sides of the shock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PopularityShock {
+    /// When the crowd hits (scenario time, measured like `warmup`).
+    pub at: Duration,
+    /// Popularity multiplier: the tail movie's weight becomes `factor`
+    /// times the rank-1 weight.
+    pub factor: u32,
 }
 
 /// Shape of a generated fleet workload. All times are scenario times.
@@ -125,6 +168,14 @@ pub struct FleetProfile {
     pub churn_prob: f64,
     /// Duration of every generated movie.
     pub movie_len: Duration,
+    /// Optional mid-run flash crowd (see [`PopularityShock`]).
+    pub shock: Option<PopularityShock>,
+    /// How long a replica bring-up (content copy) takes on this fleet —
+    /// applied to the run's [`ReplicationConfig`] by
+    /// [`fleet_config`]. Zero = instantaneous (the historical modeling);
+    /// the flash-crowd profile uses a realistic multi-second copy, which
+    /// is the window the prefix-cache tier bridges.
+    pub bringup_delay: Duration,
 }
 
 impl FleetProfile {
@@ -147,6 +198,42 @@ impl FleetProfile {
             vcr_seek_prob: 0.15,
             churn_prob: 0.20,
             movie_len: Duration::from_secs(120),
+            shock: None,
+            bringup_delay: Duration::ZERO,
+        }
+    }
+
+    /// A flash-crowd stress profile: 4 servers, 120 sessions over a 45 s
+    /// arrival window, an 8-movie catalog with single-copy initial
+    /// placement and a 12-session admission cap — and at 12 s the
+    /// catalog's coldest movie is shocked to 10× the popularity of the
+    /// hit. The fleet as a whole has slack (~35 concurrent sessions vs.
+    /// a 48-session fleet cap), but from the shock on, the bulk of the
+    /// arrivals pile onto a title with one replica, far past that single
+    /// server's cap until more replicas come up — exactly the situation
+    /// the predictive placement policies and the prefix-cache tier exist
+    /// for.
+    pub fn flash_crowd() -> Self {
+        FleetProfile {
+            servers: 4,
+            clients: 120,
+            catalog_size: 8,
+            zipf_exponent: 1.1,
+            initial_replicas: 1,
+            sessions_per_server: Some(12),
+            warmup: Duration::from_secs(2),
+            arrival_window: Duration::from_secs(45),
+            min_session: Duration::from_secs(10),
+            max_session: Duration::from_secs(16),
+            vcr_pause_prob: 0.10,
+            vcr_seek_prob: 0.10,
+            churn_prob: 0.10,
+            movie_len: Duration::from_secs(120),
+            shock: Some(PopularityShock {
+                at: Duration::from_secs(12),
+                factor: 10,
+            }),
+            bringup_delay: Duration::from_secs(6),
         }
     }
 
@@ -214,6 +301,16 @@ impl FleetPlan {
     /// plans from the same seed are identical element for element.
     pub fn generate(profile: &FleetProfile, seed: u64) -> Self {
         let zipf = ZipfSampler::new(profile.catalog_size as usize, profile.zipf_exponent);
+        let shocked = profile.shock.map(|s| {
+            (
+                s.at.as_secs_f64(),
+                ZipfSampler::shocked(
+                    profile.catalog_size as usize,
+                    profile.zipf_exponent,
+                    s.factor,
+                ),
+            )
+        });
         let mut rng = SimRng::seed_from_u64(seed ^ WORKLOAD_STREAM);
         let rate = profile.arrival_rate();
         let mut at = profile.warmup.as_secs_f64();
@@ -223,7 +320,13 @@ impl FleetPlan {
             // gap, movie, duration, churn, pause?, pause-at, pause-len,
             // seek?, seek-to.
             let gap = -(1.0 - rng.gen_f64()).ln() / rate;
-            let rank = zipf.sample(&mut rng);
+            // The flash crowd changes which CDF the movie draw is looked
+            // up in, never the number or order of draws.
+            let sampler = match &shocked {
+                Some((shock_at, crowd)) if at + gap >= *shock_at => crowd,
+                _ => &zipf,
+            };
+            let rank = sampler.sample(&mut rng);
             let span = (profile.max_session - profile.min_session).as_secs_f64();
             let mut duration = profile.min_session.as_secs_f64() + rng.gen_f64() * span;
             let churn_u = rng.gen_f64();
@@ -308,15 +411,32 @@ pub fn fleet_builder(
     seed: u64,
     replication: Option<ReplicationConfig>,
 ) -> (ScenarioBuilder, FleetPlan) {
-    let plan = FleetPlan::generate(profile, seed);
-    let mut builder = ScenarioBuilder::new(seed);
+    fleet_builder_with_config(profile, seed, fleet_config(profile, replication))
+}
+
+/// The [`VodConfig`] a plain fleet run uses: the paper's operating point
+/// plus the profile's admission cap and, when given, dynamic replication.
+pub fn fleet_config(profile: &FleetProfile, replication: Option<ReplicationConfig>) -> VodConfig {
     let mut cfg = VodConfig::paper_default();
     if let Some(cap) = profile.sessions_per_server {
         cfg = cfg.with_session_cap(cap);
     }
     if let Some(replication) = replication {
-        cfg = cfg.with_dynamic_replication(replication);
+        cfg = cfg.with_dynamic_replication(replication.with_bringup_delay(profile.bringup_delay));
     }
+    cfg
+}
+
+/// Like [`fleet_builder`], but with a caller-supplied [`VodConfig`] —
+/// the hook for placement policies, the prefix-cache tier and ablation
+/// knobs (start from [`fleet_config`] to keep the profile's cap).
+pub fn fleet_builder_with_config(
+    profile: &FleetProfile,
+    seed: u64,
+    cfg: VodConfig,
+) -> (ScenarioBuilder, FleetPlan) {
+    let plan = FleetPlan::generate(profile, seed);
+    let mut builder = ScenarioBuilder::new(seed);
     builder.config(cfg);
     let servers = profile.server_nodes();
     let spec = MovieSpec::paper_default().with_duration(profile.movie_len);
@@ -536,6 +656,61 @@ mod tests {
         );
         let total: u32 = demand.values().sum();
         assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn shocked_zipf_flips_the_tail_over_the_hit() {
+        let z = ZipfSampler::shocked(8, 1.1, 10);
+        let total: f64 = (0..8).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(
+            z.probability(7) > 9.0 * z.probability(0),
+            "the shocked tail must dwarf rank 1"
+        );
+        // Every other rank keeps the Zipf ordering.
+        for k in 2..7 {
+            assert!(z.probability(k) < z.probability(k - 1));
+        }
+    }
+
+    #[test]
+    fn shock_redirects_late_arrivals_deterministically() {
+        let profile = FleetProfile::flash_crowd();
+        let plan = FleetPlan::generate(&profile, 42);
+        assert_eq!(plan, FleetPlan::generate(&profile, 42));
+        let shock_at = profile.shock.expect("flash_crowd has a shock").at;
+        let tail = MovieId(profile.catalog_size);
+        let shock_s = shock_at.as_secs_f64();
+        let late: Vec<&PlannedSession> = plan
+            .sessions
+            .iter()
+            .filter(|s| s.start.as_secs_f64() >= shock_s)
+            .collect();
+        let late_tail = late.iter().filter(|s| s.movie == tail).count();
+        assert!(
+            late_tail * 2 > late.len(),
+            "most post-shock arrivals ({late_tail}/{}) must pile onto the tail movie",
+            late.len()
+        );
+        // Before the shock the tail stays cold.
+        let early_tail = plan
+            .sessions
+            .iter()
+            .filter(|s| s.start.as_secs_f64() < shock_s && s.movie == tail)
+            .count();
+        assert!(
+            early_tail <= 2,
+            "pre-shock tail demand stays cold ({early_tail})"
+        );
+        // The unshocked plan from the same seed shares gaps and durations
+        // for every session: only movie choices may differ.
+        let mut quiet = profile.clone();
+        quiet.shock = None;
+        let unshocked = FleetPlan::generate(&quiet, 42);
+        for (a, b) in plan.sessions.iter().zip(&unshocked.sessions) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.stop, b.stop);
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property-based tests for the popularity forecast and the placement
+//! policies: the determinism contract (same seed + same demand stream ⇒
+//! byte-identical transition sequence and byte-identical placement
+//! decisions) that keeps every server's election in lockstep.
+
+use proptest::prelude::*;
+
+use ftvod_core::forecast::FORECAST_STREAM;
+use ftvod_core::{ForecastBank, MovieObservation, PlacementAction, PolicyKind, ReplicationConfig};
+use media::MovieId;
+
+/// One synthetic sync tick of fleet-wide demand for a small catalog.
+#[derive(Clone, Debug)]
+struct Tick {
+    /// Per movie: (sessions, waiting, replicas).
+    demand: Vec<(u32, u32, u32)>,
+}
+
+fn tick_strategy(movies: usize) -> impl Strategy<Value = Tick> {
+    proptest::collection::vec((0u32..40, 0u32..12, 1u32..6), movies..movies + 1)
+        .prop_map(|demand| Tick { demand })
+}
+
+/// Replays `ticks` through a fresh forecast bank and policy, recording
+/// every transition and decision as one rendered line per movie-tick.
+fn replay(seed: u64, kind: PolicyKind, ticks: &[Tick], live: u32) -> Vec<String> {
+    let cfg = ReplicationConfig::paper_default();
+    let mut bank = ForecastBank::new(seed);
+    let mut policy = kind.build();
+    let mut log = Vec::new();
+    for tick in ticks {
+        policy.begin_tick();
+        // Feed phase first, exactly like the server's replica manager.
+        for (i, &(sessions, waiting, replicas)) in tick.demand.iter().enumerate() {
+            let movie = MovieId(1 + i as u32);
+            bank.observe(movie, sessions + waiting, replicas, &cfg);
+        }
+        for (i, &(sessions, waiting, replicas)) in tick.demand.iter().enumerate() {
+            let movie = MovieId(1 + i as u32);
+            let obs = MovieObservation {
+                movie,
+                sessions,
+                waiting,
+                replicas,
+                live,
+            };
+            let action = policy.decide(&obs, bank.get(movie), &cfg);
+            let forecast = bank.get(movie).expect("observed this tick");
+            log.push(format!(
+                "m{} {} heat={} {:?}",
+                movie.0,
+                forecast.state().as_str(),
+                forecast.heat(),
+                action
+            ));
+            // Pretend this server always wins the election, so cooldown
+            // bookkeeping is exercised deterministically too.
+            if action != PlacementAction::Hold {
+                policy.acted(movie, action, &cfg);
+            }
+        }
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed + same demand stream ⇒ the transition sequence and the
+    /// placement decisions are byte-identical across two independent
+    /// replays, for every policy kind. This is the property the
+    /// fleet-wide election correctness rests on: all servers feed the
+    /// same aggregated demand and must reach the same verdicts.
+    #[test]
+    fn forecast_and_decisions_are_replay_deterministic(
+        seed in 0u64..1_000_000,
+        ticks in proptest::collection::vec(tick_strategy(3), 1..60),
+        live in 2u32..8,
+    ) {
+        for kind in [PolicyKind::Reactive, PolicyKind::Predictive, PolicyKind::Hybrid] {
+            let a = replay(seed, kind, &ticks, live);
+            let b = replay(seed, kind, &ticks, live);
+            prop_assert_eq!(
+                a.join("\n"),
+                b.join("\n"),
+                "replay diverged for {:?}",
+                kind
+            );
+        }
+    }
+
+    /// The shared bank stream: two banks with the same seed observing the
+    /// same demand stay in lockstep even when one is fed extra movies —
+    /// per-movie machines are independently seeded, so the *order* and
+    /// *set* of other movies cannot perturb a movie's transitions.
+    #[test]
+    fn per_movie_transitions_ignore_the_rest_of_the_catalog(
+        seed in 0u64..1_000_000,
+        ticks in proptest::collection::vec(tick_strategy(4), 1..40),
+    ) {
+        let cfg = ReplicationConfig::paper_default();
+        let target = MovieId(1);
+        // Bank A sees the full catalog; bank B only the target movie.
+        let mut full = ForecastBank::new(seed);
+        let mut solo = ForecastBank::new(seed);
+        for tick in &ticks {
+            for (i, &(sessions, waiting, replicas)) in tick.demand.iter().enumerate() {
+                let movie = MovieId(1 + i as u32);
+                let state = full.observe(movie, sessions + waiting, replicas, &cfg);
+                if movie == target {
+                    let solo_state = solo.observe(movie, sessions + waiting, replicas, &cfg);
+                    prop_assert_eq!(state, solo_state);
+                }
+            }
+        }
+        prop_assert_eq!(
+            full.get(target).map(|f| f.heat()),
+            solo.get(target).map(|f| f.heat())
+        );
+    }
+}
+
+/// The default forecast stream constant is pinned: changing it silently
+/// would re-seed every per-movie machine and shift every fleet run.
+#[test]
+fn forecast_stream_constant_is_pinned() {
+    assert_eq!(FORECAST_STREAM, 0x464f_5245_4341_5354);
+}

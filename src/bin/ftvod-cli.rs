@@ -32,7 +32,17 @@
 //!   --cap C            admission cap per server     (default 3M/2N)
 //!   --seconds S        run length override
 //!   --static           disable the dynamic replica manager
+//!   --policy P         reactive | predictive | hybrid (default reactive)
+//!   --prefix-secs S    enable the prefix-cache tier (default prefix 10s)
+//!   --prefix-movies K  prefix-cache budget per server (default 4)
 //!   --seed N           determinism seed             (default 42)
+//! ftvod-cli flash [options]                 flash-crowd sweep: predictive
+//!                                           placement + prefix cache vs a
+//!                                           10x popularity shock; exits
+//!                                           nonzero if the oracle fails
+//!   --seeds N          number of sweep seeds        (default 10)
+//!   --seed N           first seed                   (default 1)
+//!   --compare          three-policy table on one seed
 //! ftvod-cli chaos [options]                 seeded fault campaigns checked
 //!                                           by the safety oracle; exits
 //!                                           nonzero if any invariant fails
@@ -167,8 +177,29 @@ struct FleetOptions {
     cap: Option<u32>,
     seconds: Option<u64>,
     dynamic: bool,
+    policy: PolicyKind,
+    prefix_secs: Option<u64>,
+    prefix_movies: Option<u32>,
     seed: u64,
     net_csv: Option<String>,
+}
+
+impl FleetOptions {
+    /// The prefix-cache tier configuration, if either prefix flag was
+    /// given; the other falls back to the paper default.
+    fn prefix_cache(&self) -> Option<PrefixCacheConfig> {
+        if self.prefix_secs.is_none() && self.prefix_movies.is_none() {
+            return None;
+        }
+        let mut cfg = PrefixCacheConfig::paper_default();
+        if let Some(secs) = self.prefix_secs {
+            cfg.prefix = Duration::from_secs(secs);
+        }
+        if let Some(budget) = self.prefix_movies {
+            cfg.budget = budget;
+        }
+        Some(cfg)
+    }
 }
 
 impl Default for FleetOptions {
@@ -181,6 +212,9 @@ impl Default for FleetOptions {
             cap: None,
             seconds: None,
             dynamic: true,
+            policy: PolicyKind::Reactive,
+            prefix_secs: None,
+            prefix_movies: None,
             seed: 42,
             net_csv: None,
         }
@@ -224,6 +258,21 @@ fn parse_fleet(args: &[String]) -> Result<FleetOptions, String> {
                 )
             }
             "--static" => opts.dynamic = false,
+            "--policy" => opts.policy = PolicyKind::parse(value("--policy")?)?,
+            "--prefix-secs" => {
+                opts.prefix_secs = Some(
+                    value("--prefix-secs")?
+                        .parse()
+                        .map_err(|e| format!("--prefix-secs: {e}"))?,
+                )
+            }
+            "--prefix-movies" => {
+                opts.prefix_movies = Some(
+                    value("--prefix-movies")?
+                        .parse()
+                        .map_err(|e| format!("--prefix-movies: {e}"))?,
+                )
+            }
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
@@ -238,6 +287,15 @@ fn parse_fleet(args: &[String]) -> Result<FleetOptions, String> {
     }
     if !opts.zipf.is_finite() || opts.zipf < 0.0 {
         return Err("--zipf must be a finite non-negative exponent".to_owned());
+    }
+    if opts.prefix_secs == Some(0) {
+        return Err("--prefix-secs must be positive (omit it to disable the cache)".to_owned());
+    }
+    if opts.prefix_movies == Some(0) {
+        return Err("--prefix-movies must be positive (omit it to disable the cache)".to_owned());
+    }
+    if !opts.dynamic && opts.policy != PolicyKind::Reactive {
+        return Err("--policy needs the dynamic replica manager (drop --static)".to_owned());
     }
     Ok(opts)
 }
@@ -256,18 +314,27 @@ fn run_fleet(opts: &FleetOptions) -> Result<(), String> {
         .unwrap_or_else(|| (opts.clients * 3 / 2).div_ceil(opts.servers).max(1));
     profile.sessions_per_server = Some(cap);
     let replication = opts.dynamic.then(ReplicationConfig::paper_default);
-    let (mut builder, plan) = fleet_builder(&profile, opts.seed, replication);
+    let mut cfg = fleet_config(&profile, replication).with_placement(opts.policy);
+    let prefix = opts.prefix_cache();
+    if let Some(prefix) = prefix {
+        cfg = cfg.with_prefix_cache(prefix);
+    }
+    let (mut builder, plan) = fleet_builder_with_config(&profile, opts.seed, cfg);
     builder.record_events(DEFAULT_EVENT_CAPACITY);
     let end = opts
         .seconds
         .map_or_else(|| profile.run_until(), SimTime::from_secs);
+    let prefix_note = prefix.map_or(String::new(), |p| {
+        format!(", prefix cache {}s x {}", p.prefix.as_secs(), p.budget)
+    });
     println!(
-        "fleet: {} servers (cap {cap}), {} sessions over {} movies, zipf {:.2}, {} replication, seed {}",
+        "fleet: {} servers (cap {cap}), {} sessions over {} movies, zipf {:.2}, {} replication ({} placement){prefix_note}, seed {}",
         profile.servers,
         profile.clients,
         profile.catalog_size,
         profile.zipf_exponent,
         if opts.dynamic { "dynamic" } else { "static" },
+        opts.policy.as_str(),
         opts.seed,
     );
     let mut sim = builder.build();
@@ -279,6 +346,12 @@ fn run_fleet(opts: &FleetOptions) -> Result<(), String> {
             "replication: {} bring-up(s), {} retire(s)",
             run.replica_bringups, run.replica_retires
         );
+        if run.prefix_serves > 0 {
+            println!(
+                "prefix tier: {} serve(s), {} handoff(s), {:.1}s of waiting avoided",
+                run.prefix_serves, run.prefix_handoffs, run.prefix_seconds_avoided
+            );
+        }
         println!("\n{}", run.summary_line());
     }
     write_net_csv(&sim, opts.net_csv.as_deref())
@@ -430,6 +503,198 @@ fn run_chaos(opts: &ChaosOptions) -> Result<(), String> {
         let first = failing[0];
         Err(format!(
             "{} of {} campaign(s) violated a safety invariant (seeds {:?}); replay with: ftvod-cli chaos --seeds 1 --seed {first} --plan",
+            failing.len(),
+            opts.seeds,
+            failing
+        ))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FlashOptions {
+    seeds: u32,
+    seed: u64,
+    compare: bool,
+}
+
+impl Default for FlashOptions {
+    fn default() -> Self {
+        FlashOptions {
+            seeds: 10,
+            seed: 1,
+            compare: false,
+        }
+    }
+}
+
+fn parse_flash(args: &[String]) -> Result<FlashOptions, String> {
+    let mut opts = FlashOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--compare" => opts.compare = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+/// Outcome of one flash-crowd run, reduced to the comparison columns.
+struct FlashOutcome {
+    oracle: String,
+    /// The full per-invariant report, rendered (printed on failure).
+    oracle_detail: String,
+    pass: bool,
+    unserved_seconds: f64,
+    never_served: u32,
+    bringups: u64,
+    /// First bring-up of the shocked tail movie at or after the shock.
+    first_bringup: Option<SimTime>,
+    prefix_serves: u64,
+    prefix_handoffs: u64,
+}
+
+/// Runs the fixed flash-crowd profile under one placement policy and
+/// reads the headline numbers back out of the trace.
+fn flash_campaign(policy: PolicyKind, prefix: bool, seed: u64) -> FlashOutcome {
+    let profile = FleetProfile::flash_crowd();
+    let shock = profile.shock.expect("flash_crowd has a shock");
+    let tail = MovieId(profile.catalog_size);
+    let end = profile.run_until();
+    let mut cfg =
+        fleet_config(&profile, Some(ReplicationConfig::paper_default())).with_placement(policy);
+    if prefix {
+        cfg = cfg.with_prefix_cache(PrefixCacheConfig::paper_default());
+    }
+    let (mut builder, plan) = fleet_builder_with_config(&profile, seed, cfg);
+    // Room for every event of the run: eviction would blind the oracle.
+    builder.record_events(1 << 20);
+    let mut sim = builder.build();
+    sim.run_until(end);
+    let fleet = FleetReport::from_sim(&plan, &sim, end);
+    let run = sim.report().expect("recording was enabled");
+    let oracle = sim
+        .trace()
+        .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+        .expect("recording was enabled");
+    let first_bringup = sim
+        .trace()
+        .with_recorder(|rec| {
+            rec.events()
+                .filter_map(|e| match e {
+                    VodEvent::ReplicaBringUp { at, movie, .. }
+                        if *movie == tail && at.as_micros() >= shock.at.as_micros() as u64 =>
+                    {
+                        Some(*at)
+                    }
+                    _ => None,
+                })
+                .min()
+        })
+        .expect("recording was enabled");
+    FlashOutcome {
+        oracle: ftvod_core::oracle::summary_token(&oracle),
+        oracle_detail: oracle.to_string(),
+        pass: oracle.pass(),
+        unserved_seconds: fleet.unserved_seconds,
+        never_served: fleet.never_served,
+        bringups: run.replica_bringups,
+        first_bringup,
+        prefix_serves: run.prefix_serves,
+        prefix_handoffs: run.prefix_handoffs,
+    }
+}
+
+fn flash_line(o: &FlashOutcome) -> String {
+    format!(
+        "{}  unserved {:.1}s, never served {}, {} bring-up(s), first tail bring-up {}, prefix {}/{}",
+        o.oracle,
+        o.unserved_seconds,
+        o.never_served,
+        o.bringups,
+        o.first_bringup
+            .map_or("never".to_owned(), |t| format!("{:.1}s", t.as_secs_f64())),
+        o.prefix_serves,
+        o.prefix_handoffs,
+    )
+}
+
+fn run_flash(opts: &FlashOptions) -> Result<(), String> {
+    let profile = FleetProfile::flash_crowd();
+    let shock = profile.shock.expect("flash_crowd has a shock");
+    if opts.compare {
+        // EXPERIMENTS.md E7: the three-policy table on one seed. The
+        // reactive baseline runs bare; the forecast policies get the
+        // prefix-cache tier they are designed to feed.
+        println!(
+            "flash: policy comparison on seed {}, {}x shock at {}s on movie {}",
+            opts.seed,
+            shock.factor,
+            shock.at.as_secs(),
+            profile.catalog_size,
+        );
+        let mut any_fail = false;
+        for (label, policy, prefix) in [
+            ("reactive", PolicyKind::Reactive, false),
+            ("predictive+prefix", PolicyKind::Predictive, true),
+            ("hybrid+prefix", PolicyKind::Hybrid, true),
+        ] {
+            let outcome = flash_campaign(policy, prefix, opts.seed);
+            any_fail |= !outcome.pass;
+            println!("{label:<18} {}", flash_line(&outcome));
+            if !outcome.pass {
+                print!("{}", outcome.oracle_detail);
+            }
+        }
+        return if any_fail {
+            Err("a comparison run violated a safety invariant".to_owned())
+        } else {
+            Ok(())
+        };
+    }
+    println!(
+        "flash: {} run(s) from seed {}, predictive placement + prefix cache, {}x shock at {}s",
+        opts.seeds,
+        opts.seed,
+        shock.factor,
+        shock.at.as_secs(),
+    );
+    let mut failing: Vec<u64> = Vec::new();
+    for i in 0..opts.seeds {
+        let seed = opts.seed + u64::from(i);
+        let outcome = flash_campaign(PolicyKind::Predictive, true, seed);
+        println!("seed {seed}: {}", flash_line(&outcome));
+        if !outcome.pass {
+            print!("{}", outcome.oracle_detail);
+            failing.push(seed);
+        }
+    }
+    if failing.is_empty() {
+        println!(
+            "flash: {}/{} run(s) passed the oracle",
+            opts.seeds, opts.seeds
+        );
+        Ok(())
+    } else {
+        let first = failing[0];
+        Err(format!(
+            "{} of {} run(s) violated a safety invariant (seeds {:?}); replay with: ftvod-cli flash --seeds 1 --seed {first} --compare",
             failing.len(),
             opts.seeds,
             failing
@@ -795,7 +1060,7 @@ fn run_perf(opts: &PerfOptions) -> Result<(), String> {
         None => None,
     };
     println!(
-        "perf: running the fixed suite (fig4_lan, fig5_wan, fleet_e3, chaos_5seeds), rev {}",
+        "perf: running the fixed suite (fig4_lan, fig5_wan, fleet_e3, chaos_5seeds, flash_crowd), rev {}",
         opts.rev
     );
     let capacity = if opts.flamechart.is_some() {
@@ -955,8 +1220,30 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --cap C        admission cap per server           (default 3M/2N)\n\
              \x20 --seconds S    run length override (default: until the plan ends)\n\
              \x20 --static       disable the dynamic replica manager\n\
+             \x20 --policy P     reactive | predictive | hybrid     (default reactive)\n\
+             \x20 --prefix-secs S    enable the prefix-cache tier: cache the\n\
+             \x20                    first S seconds of hot movies  (default 10)\n\
+             \x20 --prefix-movies K  prefix-cache budget per server (default 4)\n\
              \x20 --seed N       determinism seed                   (default 42)\n\
              \x20 --net-csv FILE export per-class network counters as CSV"
+        }
+        "flash" => {
+            "usage: ftvod-cli flash [options]\n\n\
+             Run the fixed flash-crowd scenario — a cold tail movie with a\n\
+             single replica whose popularity multiplies mid-run while\n\
+             replica bring-up takes seconds — under the predictive\n\
+             placement policy with the prefix-cache tier, across a sweep\n\
+             of seeds, replaying every trace through the safety oracle.\n\
+             The same seed always produces the same line, byte for byte.\n\
+             Exits nonzero if any run violates an invariant.\n\n\
+             With --compare, one seed is run under all three placement\n\
+             policies (reactive bare, predictive and hybrid with the\n\
+             prefix cache) and the verdicts are printed side by side —\n\
+             the EXPERIMENTS.md E7 table.\n\n\
+             options:\n\
+             \x20 --seeds N      number of sweep seeds              (default 10)\n\
+             \x20 --seed N       first seed                         (default 1)\n\
+             \x20 --compare      three-policy comparison on one seed"
         }
         "chaos" => {
             "usage: ftvod-cli chaos [options]\n\n\
@@ -1001,7 +1288,7 @@ fn usage_for(topic: &str) -> &'static str {
         "perf" => {
             "usage: ftvod-cli perf [options]\n\n\
              Run the fixed perf suite (fig4_lan, fig5_wan, fleet_e3,\n\
-             chaos_5seeds) with hot-path cost profiling on and write the\n\
+             chaos_5seeds, flash_crowd) with hot-path cost profiling on and write the\n\
              schema-versioned BENCH_ftvod.json: per-scenario wall-clock,\n\
              events/second, peak concurrent sessions and the deterministic\n\
              counter table. With --baseline, compare against a previous\n\
@@ -1026,6 +1313,8 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 report      run a preset, print the derived run report\n\
              \x20 custom      build your own deployment (crashes, shutdowns)\n\
              \x20 fleet       generated fleet workload with dynamic replication\n\
+             \x20 flash       flash-crowd sweep: predictive placement + prefix\n\
+             \x20             cache vs a 10x popularity shock\n\
              \x20 chaos       seeded fault campaigns checked by the safety oracle\n\
              \x20 check       exhaustively model-check the membership protocol\n\
              \x20 perf        run the perf suite, write BENCH_ftvod.json, gate\n\
@@ -1072,6 +1361,7 @@ fn main() -> ExitCode {
         })),
         "custom" => exit_from(parse_custom(&args[1..]).and_then(|opts| run_custom(&opts))),
         "fleet" => exit_from(parse_fleet(&args[1..]).and_then(|opts| run_fleet(&opts))),
+        "flash" => exit_from(parse_flash(&args[1..]).and_then(|opts| run_flash(&opts))),
         "chaos" => exit_from(parse_chaos(&args[1..]).and_then(|opts| run_chaos(&opts))),
         "check" => exit_from(parse_check(&args[1..]).and_then(|opts| run_check(&opts))),
         "perf" => exit_from(parse_perf(&args[1..]).and_then(|opts| run_perf(&opts))),
@@ -1211,6 +1501,38 @@ mod tests {
     }
 
     #[test]
+    fn fleet_policy_and_prefix_flags_parse() {
+        let opts = parse_fleet(&strings(&[
+            "--policy",
+            "predictive",
+            "--prefix-secs",
+            "8",
+            "--prefix-movies",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(opts.policy, PolicyKind::Predictive);
+        let prefix = opts.prefix_cache().unwrap();
+        assert_eq!(prefix.prefix, Duration::from_secs(8));
+        assert_eq!(prefix.budget, 2);
+        // Either prefix flag alone enables the tier, defaulting the other.
+        let secs_only = parse_fleet(&strings(&["--prefix-secs", "8"])).unwrap();
+        assert_eq!(
+            secs_only.prefix_cache().unwrap().budget,
+            PrefixCacheConfig::paper_default().budget
+        );
+        let movies_only = parse_fleet(&strings(&["--prefix-movies", "2"])).unwrap();
+        assert_eq!(
+            movies_only.prefix_cache().unwrap().prefix,
+            PrefixCacheConfig::paper_default().prefix
+        );
+        // Neither flag leaves the cache off.
+        assert_eq!(parse_fleet(&[]).unwrap().prefix_cache(), None);
+        let hybrid = parse_fleet(&strings(&["--policy", "hybrid"])).unwrap();
+        assert_eq!(hybrid.policy, PolicyKind::Hybrid);
+    }
+
+    #[test]
     fn fleet_rejects_bad_inputs() {
         assert!(parse_fleet(&strings(&["--bogus"])).is_err());
         assert!(parse_fleet(&strings(&["--servers", "0"])).is_err());
@@ -1218,6 +1540,36 @@ mod tests {
         assert!(parse_fleet(&strings(&["--zipf", "-1"])).is_err());
         assert!(parse_fleet(&strings(&["--zipf", "nan"])).is_err());
         assert!(parse_fleet(&strings(&["--cap"])).is_err());
+        assert!(parse_fleet(&strings(&["--policy", "psychic"])).is_err());
+        assert!(parse_fleet(&strings(&["--policy"])).is_err());
+        assert!(parse_fleet(&strings(&["--prefix-secs", "0"])).is_err());
+        assert!(parse_fleet(&strings(&["--prefix-movies", "0"])).is_err());
+        assert!(parse_fleet(&strings(&["--static", "--policy", "predictive"])).is_err());
+    }
+
+    #[test]
+    fn flash_defaults_parse() {
+        let opts = parse_flash(&[]).unwrap();
+        assert_eq!(opts, FlashOptions::default());
+        assert_eq!(opts.seeds, 10);
+        assert_eq!(opts.seed, 1);
+        assert!(!opts.compare);
+    }
+
+    #[test]
+    fn flash_full_flag_set_parses() {
+        let opts = parse_flash(&strings(&["--seeds", "3", "--seed", "9", "--compare"])).unwrap();
+        assert_eq!(opts.seeds, 3);
+        assert_eq!(opts.seed, 9);
+        assert!(opts.compare);
+    }
+
+    #[test]
+    fn flash_rejects_bad_inputs() {
+        assert!(parse_flash(&strings(&["--bogus"])).is_err());
+        assert!(parse_flash(&strings(&["--seeds", "0"])).is_err());
+        assert!(parse_flash(&strings(&["--seeds"])).is_err());
+        assert!(parse_flash(&strings(&["--seed", "x"])).is_err());
     }
 
     #[test]
@@ -1316,17 +1668,22 @@ mod tests {
     #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "lan", "wan", "trace", "report", "custom", "fleet", "chaos", "check", "perf",
+            "lan", "wan", "trace", "report", "custom", "fleet", "flash", "chaos", "check", "perf",
             "overview",
         ] {
             let text = usage_for(cmd);
             assert!(text.starts_with("usage:"), "{cmd} usage malformed");
         }
         assert!(usage_for("fleet").contains("--zipf"));
+        assert!(usage_for("fleet").contains("--policy"));
+        assert!(usage_for("fleet").contains("--prefix-secs"));
+        assert!(usage_for("flash").contains("--compare"));
         assert!(usage_for("chaos").contains("--sync-ms"));
+        assert!(usage_for("overview").contains("flash"));
         assert!(usage_for("overview").contains("chaos"));
         assert!(usage_for("overview").contains("check"));
         assert!(usage_for("overview").contains("perf"));
+        assert!(usage_for("perf").contains("flash_crowd"));
         assert!(usage_for("check").contains("--revert-pr4-fix"));
         assert!(usage_for("check").contains("--depth"));
         assert!(usage_for("perf").contains("--counters-only"));

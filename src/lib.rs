@@ -87,7 +87,10 @@ pub mod bench {
 pub mod prelude {
     pub use ftvod_core::chaos::{ChaosFault, ChaosPlan, ChaosProfile};
     pub use ftvod_core::client::{ClientStats, VodClient, WatchRequest};
-    pub use ftvod_core::config::{ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
+    pub use ftvod_core::config::{
+        PrefixCacheConfig, ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig,
+    };
+    pub use ftvod_core::forecast::PolicyKind;
     pub use ftvod_core::oracle::{OracleConfig, OracleReport, Verdict};
     pub use ftvod_core::profile::{ProfileHandle, ProfileReport, Subsystem};
     pub use ftvod_core::protocol::{ClientId, VodWire};
@@ -95,7 +98,8 @@ pub mod prelude {
     pub use ftvod_core::server::{Replica, VodServer};
     pub use ftvod_core::trace::{RunReport, TraceHandle, VodEvent, DEFAULT_EVENT_CAPACITY};
     pub use ftvod_core::workload::{
-        fleet_builder, FleetPlan, FleetProfile, FleetReport, ZipfSampler,
+        fleet_builder, fleet_builder_with_config, fleet_config, FleetPlan, FleetProfile,
+        FleetReport, ZipfSampler,
     };
     pub use media::{FrameNo, Movie, MovieId, MovieSpec};
     pub use simnet::{LinkProfile, NodeId, SimTime};
