@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use gcs::{GcsEvent, GcsNode};
 use media::{DisplayOutcome, FrameNo, GopPattern, HardwareDecoder, QualityFilter};
-use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer};
+use simnet::{Context, Endpoint, NodeId, Process, SimRng, SimTime, Timer};
 
 use crate::config::VodConfig;
 use crate::metrics::{Cumulative, TimeSeries};
@@ -34,6 +34,13 @@ mod tag {
     pub const SAMPLE: u64 = 3;
     pub const OPEN_RETRY: u64 = 4;
 }
+
+/// Domain-separation constant for the client's private retry RNG, so the
+/// backoff draws are independent of every other seeded stream.
+const RETRY_STREAM: u64 = 0x52_45_54_52_59; // "RETRY"
+
+/// Ceiling of the exponential backoff: 1 s, 2 s, 4 s, then 8 s forever.
+const RETRY_MAX_EXP: u32 = 3;
 
 /// Everything the client knows about the movie it wants to watch (from the
 /// catalog listing; it never holds the frame data itself).
@@ -127,6 +134,14 @@ pub struct VodClient {
     paused: bool,
     ended: bool,
     stopped: bool,
+    /// Private RNG for re-OPEN backoff jitter. Deliberately separate from
+    /// the simulation RNG: backoff draws happen only on this client's
+    /// retry path, so they cannot perturb any other component's stream.
+    retry_rng: SimRng,
+    /// Re-OPEN attempts since the stream was last healthy.
+    retry_attempt: u32,
+    /// The wait that preceded the currently armed OPEN_RETRY timer.
+    retry_wait: Duration,
 }
 
 impl std::fmt::Debug for VodClient {
@@ -182,7 +197,29 @@ impl VodClient {
             paused: false,
             ended: false,
             stopped: false,
+            retry_rng: SimRng::seed_from_u64(RETRY_STREAM ^ u64::from(id.0)),
+            retry_attempt: 0,
+            retry_wait: Duration::from_secs(1),
         }
+    }
+
+    /// Reseeds the private re-OPEN backoff RNG from the scenario seed, so
+    /// two runs of the same seed produce identical retry schedules and
+    /// different seeds diverge. Call before the client starts.
+    #[must_use]
+    pub fn with_retry_seed(mut self, seed: u64) -> Self {
+        self.retry_rng = SimRng::seed_from_u64(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ RETRY_STREAM ^ u64::from(self.id.0),
+        );
+        self
+    }
+
+    /// The wait before the next re-OPEN: `min(1s·2^attempt, 8s)` with
+    /// ±25 % jitter from the private seeded RNG.
+    fn next_backoff(&mut self) -> Duration {
+        let exp = self.retry_attempt.min(RETRY_MAX_EXP);
+        let base = Duration::from_secs(1u64 << exp);
+        base.mul_f64(0.75 + 0.5 * self.retry_rng.gen_f64())
     }
 
     /// Installs a trace handle: client-side events (water-mark crossings,
@@ -495,7 +532,9 @@ impl Process<VodWire> for VodClient {
         self.handle_events(ctx.now(), events);
         self.send_open(ctx);
         ctx.set_timer_after(self.cfg.sample_interval, tag::SAMPLE);
-        ctx.set_timer_after(Duration::from_secs(1), tag::OPEN_RETRY);
+        let wait = self.next_backoff();
+        self.retry_wait = wait;
+        ctx.set_timer_after(wait, tag::OPEN_RETRY);
     }
 
     fn on_datagram(
@@ -561,18 +600,34 @@ impl Process<VodWire> for VodClient {
                     .stats
                     .last_frame_at
                     .is_none_or(|at| now.saturating_since(at) > Duration::from_secs(5));
-                if self.stats.frames_received == 0 {
-                    // Still connecting: solicit once a second.
+                let unserved = self.stats.frames_received == 0;
+                if unserved || (silent && !self.paused) {
+                    // Still connecting, or the whole replica set may have
+                    // been lost (beyond the paper's k−1 assumption):
+                    // re-open from our current position so a freshly
+                    // brought-up or remote-site server can resume the
+                    // session. Retries back off exponentially (1 s, 2 s,
+                    // 4 s, capped at 8 s) with ±25 % seeded jitter, so a
+                    // site's worth of stranded clients does not re-OPEN in
+                    // lockstep against the surviving datacenter.
+                    self.retry_attempt += 1;
+                    let (client, attempt, waited) = (self.id, self.retry_attempt, self.retry_wait);
+                    self.trace.emit(|| VodEvent::RetryBackoff {
+                        at: now,
+                        client,
+                        attempt,
+                        delay: waited,
+                    });
                     self.send_open(ctx);
-                    ctx.set_timer_after(Duration::from_secs(1), tag::OPEN_RETRY);
-                } else if silent && !self.paused {
-                    // The whole replica set may have been lost (beyond the
-                    // paper's k−1 assumption); re-open from our current
-                    // position so a freshly brought-up server can resume
-                    // the session from scratch.
-                    self.send_open(ctx);
-                    ctx.set_timer_after(Duration::from_secs(2), tag::OPEN_RETRY);
+                    let wait = self.next_backoff();
+                    self.retry_wait = wait;
+                    ctx.set_timer_after(wait, tag::OPEN_RETRY);
                 } else {
+                    // Healthy (or paused): plain 2 s watchdog, and the
+                    // next outage starts its backoff ladder from the
+                    // bottom.
+                    self.retry_attempt = 0;
+                    self.retry_wait = Duration::from_secs(2);
                     ctx.set_timer_after(Duration::from_secs(2), tag::OPEN_RETRY);
                 }
             }
@@ -644,6 +699,33 @@ mod tests {
         assert_eq!(c.speed_percent(), 100);
         assert_eq!(c.stats().frames_received, 0);
         assert!(c.stats().interruptions.is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_is_seeded_bounded_and_reproducible() {
+        let movie = movie();
+        let draws = |seed: u64| -> Vec<Duration> {
+            let mut c = client(WatchRequest::full_quality(&movie)).with_retry_seed(seed);
+            (0..6u32)
+                .map(|attempt| {
+                    c.retry_attempt = attempt;
+                    c.next_backoff()
+                })
+                .collect()
+        };
+        let a = draws(7);
+        let b = draws(7);
+        let c = draws(8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seeds diverge");
+        for (attempt, delay) in a.iter().enumerate() {
+            let base = (1u64 << (attempt as u32).min(RETRY_MAX_EXP)) as f64;
+            let secs = delay.as_secs_f64();
+            assert!(secs >= base * 0.75 - 1e-9, "attempt {attempt}: {secs}");
+            assert!(secs <= base * 1.25 + 1e-9, "attempt {attempt}: {secs}");
+        }
+        // The cap holds: attempts past the ladder top stay under 10 s.
+        assert!(a[5].as_secs_f64() <= 8.0 * 1.25 + 1e-9);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use gcs::GcsConfig;
+use simnet::NodeId;
 
 use crate::forecast::PolicyKind;
 
@@ -145,6 +146,166 @@ impl Default for PrefixCacheConfig {
     }
 }
 
+/// One site (datacenter) of a [`SiteMap`]: a name, the server nodes it
+/// hosts and the client nodes homed to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SiteEntry {
+    name: String,
+    servers: Vec<NodeId>,
+    clients: Vec<NodeId>,
+}
+
+/// The deployment's site layout, shared by every server and the scenario
+/// builder so geo-affine routing decisions agree everywhere.
+///
+/// Unlike [`simnet::SiteTopology`] (which shapes link latency), the
+/// `SiteMap` is *application* knowledge: which servers form each
+/// datacenter and which clients call it home.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SiteMap {
+    sites: Vec<SiteEntry>,
+}
+
+impl SiteMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        SiteMap::default()
+    }
+
+    /// Adds a named site hosting `servers`; returns its index.
+    pub fn add_site(&mut self, name: &str, servers: &[NodeId]) -> usize {
+        self.sites.push(SiteEntry {
+            name: name.to_string(),
+            servers: servers.to_vec(),
+            clients: Vec::new(),
+        });
+        self.sites.len() - 1
+    }
+
+    /// Homes `client_nodes` to site `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn home_clients(&mut self, site: usize, client_nodes: &[NodeId]) {
+        assert!(site < self.sites.len(), "no such site {site}");
+        self.sites[site].clients.extend_from_slice(client_nodes);
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Name of site `site`, or `None` when out of range.
+    pub fn site_name(&self, site: usize) -> Option<&str> {
+        self.sites.get(site).map(|s| s.name.as_str())
+    }
+
+    /// Server nodes of site `site`, or `None` when out of range.
+    pub fn servers(&self, site: usize) -> Option<&[NodeId]> {
+        self.sites.get(site).map(|s| s.servers.as_slice())
+    }
+
+    /// Client nodes homed to site `site`, or `None` when out of range.
+    pub fn client_nodes(&self, site: usize) -> Option<&[NodeId]> {
+        self.sites.get(site).map(|s| s.clients.as_slice())
+    }
+
+    /// The site hosting server `node`, or `None` for unknown servers.
+    pub fn site_of_server(&self, node: NodeId) -> Option<usize> {
+        self.sites.iter().position(|s| s.servers.contains(&node))
+    }
+
+    /// The home site of the client running on `node`, or `None` for
+    /// unknown clients.
+    pub fn home_site_of_client(&self, node: NodeId) -> Option<usize> {
+        self.sites.iter().position(|s| s.clients.contains(&node))
+    }
+}
+
+/// What a coordinator does for a client whose home site has no reachable
+/// server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FailoverMode {
+    /// Geo-affinity is absolute: park the client unserved until its home
+    /// site comes back (the no-failover baseline).
+    HomeOnly,
+    /// Rescue on a remote site, but only within each server's normal
+    /// admission cap — overflow clients stay parked.
+    Remote,
+    /// Rescue on a remote site, and when the caps are exhausted keep
+    /// admitting at reduced quality using the shed headroom (the paper's
+    /// §5 quality adaptation applied to cross-DC failover).
+    #[default]
+    RemoteDegraded,
+}
+
+impl FailoverMode {
+    /// Stable lower-kebab-case name for CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailoverMode::HomeOnly => "home-only",
+            FailoverMode::Remote => "remote",
+            FailoverMode::RemoteDegraded => "remote-degraded",
+        }
+    }
+}
+
+/// Multi-datacenter failover configuration (DESIGN.md §5i).
+///
+/// With this enabled, coordinators route each client to a server in its
+/// home site while one is reachable, fail over to remote sites per
+/// [`FailoverMode`] when the home site drops out of the movie-group view,
+/// and re-home clients on the next redistribution after the site heals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiDcConfig {
+    /// The deployment's site layout.
+    pub map: SiteMap,
+    /// What to do when a client's home site is unreachable.
+    pub mode: FailoverMode,
+    /// Transmission rate of degraded rescue sessions, frames per second.
+    pub degraded_fps: u32,
+    /// Extra degraded sessions each server accepts beyond its normal
+    /// admission cap during a rescue (admission shedding headroom).
+    pub shed_headroom: u32,
+}
+
+impl MultiDcConfig {
+    /// Defaults for a given site map: full remote-degraded failover,
+    /// rescue sessions at half the default 30 fps, and 4 shed slots per
+    /// server.
+    pub fn new(map: SiteMap) -> Self {
+        MultiDcConfig {
+            map,
+            mode: FailoverMode::RemoteDegraded,
+            degraded_fps: 15,
+            shed_headroom: 4,
+        }
+    }
+
+    /// Returns a copy with a different failover mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: FailoverMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with a different degraded rate.
+    #[must_use]
+    pub fn with_degraded_fps(mut self, fps: u32) -> Self {
+        self.degraded_fps = fps;
+        self
+    }
+
+    /// Returns a copy with a different shed headroom.
+    #[must_use]
+    pub fn with_shed_headroom(mut self, headroom: u32) -> Self {
+        self.shed_headroom = headroom;
+        self
+    }
+}
+
 /// Tunable parameters of the VoD service.
 #[derive(Clone, Debug, PartialEq)]
 pub struct VodConfig {
@@ -220,6 +381,9 @@ pub struct VodConfig {
     /// [`replication`](Self::replication) to do anything: prefixes hide
     /// the bring-up latency of the replica manager.
     pub prefix_cache: Option<PrefixCacheConfig>,
+    /// Multi-datacenter failover (`None` = single-site behaviour,
+    /// byte-identical to historical runs).
+    pub multidc: Option<MultiDcConfig>,
 }
 
 impl VodConfig {
@@ -253,6 +417,7 @@ impl VodConfig {
             replication: None,
             placement: PolicyKind::Reactive,
             prefix_cache: None,
+            multidc: None,
         }
     }
 
@@ -351,6 +516,12 @@ impl VodConfig {
         self.prefix_cache = Some(prefix_cache);
         self
     }
+
+    /// Returns a copy with multi-datacenter failover enabled.
+    pub fn with_multidc(mut self, multidc: MultiDcConfig) -> Self {
+        self.multidc = Some(multidc);
+        self
+    }
 }
 
 impl Default for VodConfig {
@@ -422,6 +593,35 @@ mod tests {
         let pc = cfg.prefix_cache.expect("enabled");
         assert_eq!(pc.prefix, Duration::from_secs(10));
         assert_eq!(pc.budget, 4);
+    }
+
+    #[test]
+    fn multidc_is_opt_in_and_sitemap_resolves_homes() {
+        let cfg = VodConfig::paper_default();
+        assert_eq!(cfg.multidc, None);
+        let mut map = SiteMap::new();
+        let east = map.add_site("east", &[NodeId(1), NodeId(2)]);
+        let west = map.add_site("west", &[NodeId(3), NodeId(4)]);
+        map.home_clients(east, &[NodeId(1000)]);
+        map.home_clients(west, &[NodeId(1001)]);
+        assert_eq!(map.site_count(), 2);
+        assert_eq!(map.site_name(east), Some("east"));
+        assert_eq!(map.site_of_server(NodeId(3)), Some(west));
+        assert_eq!(map.site_of_server(NodeId(9)), None);
+        assert_eq!(map.home_site_of_client(NodeId(1000)), Some(east));
+        assert_eq!(map.home_site_of_client(NodeId(9)), None);
+        let cfg = cfg.with_multidc(
+            MultiDcConfig::new(map)
+                .with_mode(FailoverMode::Remote)
+                .with_degraded_fps(10)
+                .with_shed_headroom(2),
+        );
+        let mdc = cfg.multidc.expect("enabled");
+        assert_eq!(mdc.mode, FailoverMode::Remote);
+        assert_eq!(mdc.degraded_fps, 10);
+        assert_eq!(mdc.shed_headroom, 2);
+        assert_eq!(FailoverMode::default(), FailoverMode::RemoteDegraded);
+        assert_eq!(FailoverMode::HomeOnly.as_str(), "home-only");
     }
 
     #[test]

@@ -23,10 +23,13 @@
 //!   [`forecast::PlacementPolicy`] trait with reactive,
 //!   predictive and hybrid replica-placement implementations;
 //! * [`chaos`] — seeded fault campaigns: crash/restart cycles, pairwise
-//!   partitions with heals, and correlated loss bursts from one seed;
+//!   partitions with heals, correlated loss bursts, and (on multi-site
+//!   deployments) site partitions, WAN brownouts and correlated site
+//!   crashes, all from one seed;
 //! * [`oracle`] — the trace-driven safety oracle checking the paper's
 //!   invariants (exclusive service, bounded frame gaps, replica coverage,
-//!   repair within a bound) against any recorded run.
+//!   repair within a bound, and the site-aware failover invariants)
+//!   against any recorded run.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -44,9 +47,12 @@ pub mod server;
 pub mod trace;
 pub mod workload;
 
-pub use chaos::{ChaosFault, ChaosPlan, ChaosProfile};
+pub use chaos::{ChaosFault, ChaosPlan, ChaosProfile, SiteChaos};
 pub use client::{ClientStats, VodClient, WatchRequest};
-pub use config::{PrefixCacheConfig, ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig};
+pub use config::{
+    FailoverMode, MultiDcConfig, PrefixCacheConfig, ReplicationConfig, ResumePolicy, SiteMap,
+    TakeoverPolicy, VodConfig,
+};
 pub use forecast::{
     BringUpTrigger, ForecastBank, MovieForecast, MovieObservation, PlacementAction,
     PlacementPolicy, PolicyKind, PopState,
@@ -59,6 +65,7 @@ pub use scenario::{ScenarioBuilder, VcrOp, VodSim};
 pub use server::{Replica, ServerStats, VodServer};
 pub use trace::{RunReport, TakeoverBreakdown, TraceHandle, TraceRecorder, VodEvent};
 pub use workload::{
-    fleet_builder, fleet_builder_with_config, fleet_config, FleetPlan, FleetProfile, FleetReport,
-    PopularityShock, ZipfSampler,
+    fleet_builder, fleet_builder_with_config, fleet_config, multidc_builder, multidc_profile,
+    FleetPlan, FleetProfile, FleetReport, PopularityShock, ZipfSampler, MULTIDC_FAULT_AT,
+    MULTIDC_HEAL_AT,
 };

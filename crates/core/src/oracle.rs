@@ -2,7 +2,7 @@
 //! the paper's safety invariants, independently of the code that produced
 //! the behaviour.
 //!
-//! The oracle judges five invariants:
+//! The oracle judges five core invariants:
 //!
 //! 1. **Exclusive service** — after a convergence window, at most one
 //!    server transmits to a given client at a time (§5.2: the membership
@@ -24,6 +24,22 @@
 //!    session starts for a prefix-served client, the prefix span must
 //!    close within the convergence window (no client is left streaming
 //!    from a prefix source after the replica is up).
+//!
+//! Multi-datacenter traces (those carrying `SiteDefined` events) are
+//! additionally judged on three site-aware invariants:
+//!
+//! 6. **Re-served after site fault** — clients served by a site when the
+//!    *whole* site faults (every member crashed, or cut from every other
+//!    site's servers) receive usable video again within the re-based
+//!    bound. A site-level partition excuses the repair until its heal,
+//!    exactly like a pairwise cut in invariant 4.
+//! 7. **Geo-affinity restored** — a client homed in a faulted site that
+//!    was rescued by a remote site must return to a home-site server
+//!    within the bound of the fault healing (§5.2's redistribution,
+//!    extended across datacenters).
+//! 8. **No degraded serving while the home DC is healthy** — a
+//!    reduced-quality rescue serve may only happen during (or in the
+//!    wake of) a fault of the client's home site.
 //!
 //! Prefix serves also feed invariant 3: a live prefix source counts as
 //! coverage for its movie, but only until the advertised prefix runs out
@@ -128,6 +144,21 @@ pub struct OracleReport {
     /// replica within the convergence window of their session start.
     /// Vacuously `Pass` when the trace has no prefix events.
     pub prefix_handoff: Verdict,
+    /// Invariant 6: clients served by a site at the moment the whole site
+    /// faults (site partition or correlated site crash) receive usable
+    /// video again within the re-based bound — the site-level partition
+    /// itself excuses the repair until its heal, like any other cut.
+    /// Vacuously `Pass` when the trace defines no sites.
+    pub reserved_after_site_fault: Verdict,
+    /// Invariant 7: after a site fault heals, clients homed in the site
+    /// that were rescued by a remote site return to a home-site server
+    /// within the re-based bound (geo-affinity is restored, §5.2's
+    /// redistribution extended across datacenters).
+    pub geo_affinity_restored: Verdict,
+    /// Invariant 8: a degraded (reduced-quality) rescue serve may happen
+    /// only while the client's home site is actually faulted — never
+    /// while the home datacenter is healthy.
+    pub degraded_only_when_home_down: Verdict,
 }
 
 impl OracleReport {
@@ -137,13 +168,22 @@ impl OracleReport {
     }
 
     /// The verdicts with their stable display names, in report order.
-    pub fn verdicts(&self) -> [(&'static str, &Verdict); 5] {
+    pub fn verdicts(&self) -> [(&'static str, &Verdict); 8] {
         [
             ("exclusive-service", &self.exclusive_service),
             ("bounded-gaps", &self.bounded_gaps),
             ("replica-coverage", &self.replica_coverage),
             ("re-served-after-fault", &self.reserved_after_fault),
             ("prefix-handoff-complete", &self.prefix_handoff),
+            (
+                "re-served-after-site-fault",
+                &self.reserved_after_site_fault,
+            ),
+            ("geo-affinity-restored", &self.geo_affinity_restored),
+            (
+                "no-degraded-while-home-healthy",
+                &self.degraded_only_when_home_down,
+            ),
         ]
     }
 
@@ -159,7 +199,10 @@ impl OracleReport {
                 bounded_gaps: Verdict::Inconclusive(detail.clone()),
                 replica_coverage: Verdict::Inconclusive(detail.clone()),
                 reserved_after_fault: Verdict::Inconclusive(detail.clone()),
-                prefix_handoff: Verdict::Inconclusive(detail),
+                prefix_handoff: Verdict::Inconclusive(detail.clone()),
+                reserved_after_site_fault: Verdict::Inconclusive(detail.clone()),
+                geo_affinity_restored: Verdict::Inconclusive(detail.clone()),
+                degraded_only_when_home_down: Verdict::Inconclusive(detail),
             };
         }
         let trace_end = recorder
@@ -174,6 +217,9 @@ impl OracleReport {
             replica_coverage: scan.check_replica_coverage(cfg),
             reserved_after_fault: scan.check_reserved_after_fault(cfg, trace_end),
             prefix_handoff: scan.check_prefix_handoff(cfg, trace_end),
+            reserved_after_site_fault: scan.check_reserved_after_site_fault(cfg, trace_end),
+            geo_affinity_restored: scan.check_geo_affinity_restored(cfg, trace_end),
+            degraded_only_when_home_down: scan.check_degraded_only_when_home_down(cfg),
         }
     }
 }
@@ -244,6 +290,14 @@ struct Scan {
     prefix_spans: Vec<PrefixSpan>,
     /// Session start times per client, for the handoff deadline.
     session_starts: BTreeMap<ClientId, Vec<SimTime>>,
+    /// Site definitions from the trace: site index → (server nodes,
+    /// homed client nodes). Empty for single-datacenter traces.
+    sites: BTreeMap<u32, (BTreeSet<NodeId>, BTreeSet<NodeId>)>,
+    /// Closed windows during which an entire site was faulted — every
+    /// member either not live or cut from all other sites' servers.
+    site_faults: BTreeMap<u32, Vec<(SimTime, SimTime)>>,
+    /// Degraded (reduced-quality) rescue serves: `(at, client)`.
+    degraded_serves: Vec<(SimTime, ClientId)>,
 }
 
 impl Scan {
@@ -264,9 +318,25 @@ impl Scan {
         let mut open_prefix: BTreeMap<(ClientId, NodeId), usize> = BTreeMap::new();
         let mut prefix_cover: BTreeMap<MovieId, BTreeMap<(ClientId, NodeId), SimTime>> =
             BTreeMap::new();
+        // Open site-fault windows and the union of all site servers (the
+        // "other sites" a faulted site must be cut from).
+        let mut site_fault_since: BTreeMap<u32, SimTime> = BTreeMap::new();
+        let mut all_site_servers: BTreeSet<NodeId> = BTreeSet::new();
         let pair = |a: NodeId, b: NodeId| (a.min(b), a.max(b));
         for event in recorder.events() {
             let at = event.at();
+            // Only liveness and connectivity transitions can change a
+            // site's fault status; skip the per-site sweep elsewhere.
+            let site_relevant = matches!(
+                event,
+                VodEvent::NodeStarted { .. }
+                    | VodEvent::NodeRestarted { .. }
+                    | VodEvent::NodeCrashed { .. }
+                    | VodEvent::Partitioned { .. }
+                    | VodEvent::Healed { .. }
+                    | VodEvent::SessionStarted { .. }
+                    | VodEvent::SiteDefined { .. }
+            );
             match event {
                 VodEvent::NodeStarted { node, .. } | VodEvent::NodeRestarted { node, .. } => {
                     live.insert(*node);
@@ -449,7 +519,52 @@ impl Scan {
                     scan.session_over.entry(*client).or_insert(at);
                     scan.stopped_for_good.insert(*client);
                 }
+                VodEvent::SiteDefined {
+                    site,
+                    servers,
+                    clients,
+                    ..
+                } => {
+                    all_site_servers.extend(servers.iter().copied());
+                    scan.sites.insert(
+                        *site,
+                        (
+                            servers.iter().copied().collect(),
+                            clients.iter().copied().collect(),
+                        ),
+                    );
+                }
+                VodEvent::DegradedServe { client, .. } => {
+                    scan.degraded_serves.push((at, *client));
+                }
                 _ => {}
+            }
+            // Site-fault transitions: a site is faulted while every member
+            // is either down or cut from every other site's servers.
+            if site_relevant && !scan.sites.is_empty() {
+                for (&site, (members, _)) in &scan.sites {
+                    let others: Vec<NodeId> = all_site_servers
+                        .iter()
+                        .copied()
+                        .filter(|n| !members.contains(n))
+                        .collect();
+                    let faulted = !members.is_empty()
+                        && members.iter().all(|&m| {
+                            !live.contains(&m)
+                                || (!others.is_empty()
+                                    && others.iter().all(|&o| open_cuts.contains_key(&pair(m, o))))
+                        });
+                    if faulted {
+                        site_fault_since.entry(site).or_insert(at);
+                    } else if let Some(from) = site_fault_since.remove(&site) {
+                        // Zero-length windows (definition precedes the
+                        // members' boot events at the same instant) carry
+                        // no information and must not excuse anything.
+                        if at > from {
+                            scan.site_faults.entry(site).or_default().push((from, at));
+                        }
+                    }
+                }
             }
             // Coverage transitions are re-evaluated after every event. A
             // live prefix source counts, but only until its advertised
@@ -485,6 +600,14 @@ impl Scan {
         }
         for (movie, from) in uncovered_since {
             scan.uncovered.push((movie, from, trace_end));
+        }
+        for (site, from) in site_fault_since {
+            if trace_end > from {
+                scan.site_faults
+                    .entry(site)
+                    .or_default()
+                    .push((from, trace_end));
+            }
         }
         scan
     }
@@ -705,6 +828,160 @@ impl Scan {
         Verdict::Pass
     }
 
+    /// Invariant 6: clients a site was serving when the whole site
+    /// faulted must receive usable video again within the re-based bound.
+    /// A site-level partition's cuts begin inside the original window and
+    /// clear at the heal, so [`Self::rebased_deadline`] automatically
+    /// stretches the deadline to heal + bound — the "site-level partition
+    /// excuse". A correlated site *crash* gets no such excuse: a remote
+    /// datacenter must rescue the clients within the plain bound.
+    fn check_reserved_after_site_fault(&self, cfg: &OracleConfig, trace_end: SimTime) -> Verdict {
+        for (site, windows) in &self.site_faults {
+            let Some((servers, _)) = self.sites.get(site) else {
+                continue;
+            };
+            for &(from, _to) in windows {
+                let deadline = self.rebased_deadline(from, cfg);
+                for (client, spans) in &self.spans {
+                    let affected = spans
+                        .iter()
+                        .any(|s| servers.contains(&s.server) && s.start < from && s.end >= from);
+                    if !affected {
+                        continue;
+                    }
+                    if self
+                        .session_over
+                        .get(client)
+                        .is_some_and(|&over| over <= deadline)
+                    {
+                        continue;
+                    }
+                    if self.usable_frames_in(*client, from, deadline) > 0 {
+                        continue;
+                    }
+                    if trace_end < deadline {
+                        return Verdict::Inconclusive(format!(
+                            "trace ends {}us before {client}'s rescue deadline \
+                             (site {site} faulted at {}us)",
+                            deadline.saturating_since(trace_end).as_micros(),
+                            from.as_micros()
+                        ));
+                    }
+                    return Verdict::Fail(format!(
+                        "{client} not re-served by {}us after site {site} faulted at {}us \
+                         (bound {}us, re-based past overlapping faults)",
+                        deadline.as_micros(),
+                        from.as_micros(),
+                        cfg.reserve_bound.as_micros()
+                    ));
+                }
+            }
+        }
+        Verdict::Pass
+    }
+
+    /// Invariant 7: a client homed in a faulted site that was riding a
+    /// remote rescue when the fault healed must be back on a home-site
+    /// server within the re-based bound of the heal.
+    fn check_geo_affinity_restored(&self, cfg: &OracleConfig, trace_end: SimTime) -> Verdict {
+        for (site, windows) in &self.site_faults {
+            let Some((servers, homed_nodes)) = self.sites.get(site) else {
+                continue;
+            };
+            for &(_from, to) in windows {
+                if to >= trace_end {
+                    // The fault never healed inside the trace; there is
+                    // nothing to restore yet.
+                    continue;
+                }
+                let deadline = self.rebased_deadline(to, cfg);
+                for (client, spans) in &self.spans {
+                    let homed = self
+                        .client_nodes
+                        .get(client)
+                        .is_some_and(|node| homed_nodes.contains(node));
+                    if !homed {
+                        continue;
+                    }
+                    let remote_at_heal = spans
+                        .iter()
+                        .any(|s| !servers.contains(&s.server) && s.start <= to && s.end > to);
+                    if !remote_at_heal {
+                        continue;
+                    }
+                    if self
+                        .session_over
+                        .get(client)
+                        .is_some_and(|&over| over <= deadline)
+                    {
+                        continue;
+                    }
+                    let returned = spans
+                        .iter()
+                        .any(|s| servers.contains(&s.server) && s.start <= deadline && s.end > to);
+                    if returned {
+                        continue;
+                    }
+                    if trace_end < deadline {
+                        return Verdict::Inconclusive(format!(
+                            "trace ends {}us before {client}'s affinity deadline \
+                             (site {site} healed at {}us)",
+                            deadline.saturating_since(trace_end).as_micros(),
+                            to.as_micros()
+                        ));
+                    }
+                    return Verdict::Fail(format!(
+                        "{client} still served remotely {}us after its home site {site} \
+                         healed at {}us (bound {}us)",
+                        deadline.saturating_since(to).as_micros(),
+                        to.as_micros(),
+                        cfg.reserve_bound.as_micros()
+                    ));
+                }
+            }
+        }
+        Verdict::Pass
+    }
+
+    /// Invariant 8: every degraded serve must fall inside a fault window
+    /// of the client's home site (plus one bound of post-heal slack for
+    /// sessions admitted before the views re-merge). A degraded serve for
+    /// a client homed to no site, or while its home site is healthy, is a
+    /// violation.
+    fn check_degraded_only_when_home_down(&self, cfg: &OracleConfig) -> Verdict {
+        for &(at, client) in &self.degraded_serves {
+            let Some(&node) = self.client_nodes.get(&client) else {
+                return Verdict::Fail(format!(
+                    "{client} degraded-served at {}us before any recorded session",
+                    at.as_micros()
+                ));
+            };
+            let home = self
+                .sites
+                .iter()
+                .find(|(_, (_, homed))| homed.contains(&node))
+                .map(|(&site, _)| site);
+            let Some(home) = home else {
+                return Verdict::Fail(format!(
+                    "{client} degraded-served at {}us but is homed to no site",
+                    at.as_micros()
+                ));
+            };
+            let excused = self.site_faults.get(&home).is_some_and(|windows| {
+                windows
+                    .iter()
+                    .any(|&(from, to)| at >= from && at <= to + cfg.reserve_bound)
+            });
+            if !excused {
+                return Verdict::Fail(format!(
+                    "{client} degraded-served at {}us while its home site {home} was healthy",
+                    at.as_micros()
+                ));
+            }
+        }
+        Verdict::Pass
+    }
+
     /// Usable (non-late) video frames that reached `client` in `(from,
     /// to]`: arrivals at its node minus its late discards in the window.
     fn usable_frames_in(&self, client: ClientId, from: SimTime, to: SimTime) -> u64 {
@@ -723,7 +1000,7 @@ impl Scan {
     }
 }
 
-/// Renders the five verdicts as one stable summary token, e.g.
+/// Renders the verdicts as one stable summary token, e.g.
 /// `"PASS"` or `"FAIL[exclusive-service,re-served-after-fault]"`.
 pub fn summary_token(report: &OracleReport) -> String {
     if report.pass() {
@@ -1269,6 +1546,257 @@ mod tests {
         let report =
             OracleReport::check(&recorder(base(true, 35.0)), &OracleConfig::paper_default());
         assert!(report.replica_coverage.is_fail(), "{report}");
+    }
+
+    /// Two sites: east = servers 1,2 homing client node 107; west =
+    /// servers 3,4 (no homed clients).
+    fn two_sites() -> Vec<VodEvent> {
+        vec![
+            VodEvent::SiteDefined {
+                at: t(0.0),
+                site: 0,
+                name: "east".into(),
+                servers: vec![NodeId(1), NodeId(2)],
+                clients: vec![NodeId(107)],
+            },
+            VodEvent::SiteDefined {
+                at: t(0.0),
+                site: 1,
+                name: "west".into(),
+                servers: vec![NodeId(3), NodeId(4)],
+                clients: vec![],
+            },
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(1),
+            },
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(2),
+            },
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(3),
+            },
+            VodEvent::NodeStarted {
+                at: t(0.0),
+                node: NodeId(4),
+            },
+        ]
+    }
+
+    fn crashed(at: f64, node: u32) -> VodEvent {
+        VodEvent::NodeCrashed {
+            at: t(at),
+            node: NodeId(node),
+        }
+    }
+
+    fn video_to(at: f64, node: u32) -> VodEvent {
+        VodEvent::NetDelivered {
+            at: t(at),
+            sent_at: t(at - 0.1),
+            from: Endpoint::new(NodeId(3), Port(1)),
+            to: Endpoint::new(NodeId(node), Port(1)),
+            class: "video",
+        }
+    }
+
+    fn pad(at: f64) -> VodEvent {
+        VodEvent::FrameGap {
+            at: t(at),
+            client: ClientId(99),
+            from_frame: FrameNo(0),
+            to_frame: FrameNo(1),
+        }
+    }
+
+    /// A correlated site crash must not strand the site's clients: a
+    /// cross-DC rescue delivery inside the bound passes invariant 6, and
+    /// a trace running past the deadline with no delivery fails it.
+    #[test]
+    fn site_crash_needs_a_cross_dc_rescue() {
+        let base = |rescued: bool| {
+            let mut events = two_sites();
+            events.push(started(1.0, 1, 7));
+            events.push(crashed(5.0, 1));
+            events.push(crashed(5.0, 2));
+            if rescued {
+                events.push(video_to(9.0, 107));
+            }
+            events.push(pad(60.0));
+            events
+        };
+        let report = OracleReport::check(&recorder(base(true)), &OracleConfig::paper_default());
+        assert_eq!(report.reserved_after_site_fault, Verdict::Pass, "{report}");
+        let report = OracleReport::check(&recorder(base(false)), &OracleConfig::paper_default());
+        assert!(report.reserved_after_site_fault.is_fail(), "{report}");
+    }
+
+    /// A site *partition* (as opposed to a crash) carries its own excuse:
+    /// the cuts heal at the site's recovery, so the deadline re-bases to
+    /// heal + bound and a post-heal repair still passes.
+    #[test]
+    fn site_partition_excuses_the_rescue_until_the_heal() {
+        let mut events = two_sites();
+        events.push(started(1.0, 1, 7));
+        // Site 0 cut from every other site's server at 5 s, healed at 20 s.
+        events.push(VodEvent::Partitioned {
+            at: t(5.0),
+            a: vec![NodeId(1), NodeId(2)],
+            b: vec![NodeId(3), NodeId(4)],
+        });
+        // The partition also interrupts the stream (the movie group split
+        // away from the client's record holder, say).
+        events.push(stopped(5.0, 1, 7));
+        events.push(VodEvent::Healed {
+            at: t(20.0),
+            a: vec![NodeId(1), NodeId(2)],
+            b: vec![NodeId(3), NodeId(4)],
+        });
+        // Re-served at 25 s: past fault + bound (15 s), inside heal +
+        // bound (30 s).
+        events.push(video_to(25.0, 107));
+        events.push(pad(60.0));
+        let report = OracleReport::check(&recorder(events), &OracleConfig::paper_default());
+        assert_eq!(report.reserved_after_site_fault, Verdict::Pass, "{report}");
+    }
+
+    /// Invariant 7: a home-site client rescued remotely during a site
+    /// crash must be handed back to a home server within one bound of the
+    /// site's recovery.
+    #[test]
+    fn geo_affinity_must_be_restored_after_the_heal() {
+        let base = |returned: bool| {
+            let mut events = two_sites();
+            events.push(started(1.0, 1, 7));
+            events.push(crashed(5.0, 1));
+            events.push(crashed(5.0, 2));
+            // Remote rescue by west server 3.
+            events.push(started(8.0, 3, 7));
+            events.push(video_to(9.0, 107));
+            // East recovers at 30 s.
+            events.push(VodEvent::NodeRestarted {
+                at: t(30.0),
+                node: NodeId(1),
+            });
+            if returned {
+                events.push(stopped(31.0, 3, 7));
+                events.push(started(32.0, 1, 7));
+            }
+            events.push(pad(60.0));
+            events
+        };
+        let report = OracleReport::check(&recorder(base(true)), &OracleConfig::paper_default());
+        assert_eq!(report.geo_affinity_restored, Verdict::Pass, "{report}");
+        let report = OracleReport::check(&recorder(base(false)), &OracleConfig::paper_default());
+        assert!(report.geo_affinity_restored.is_fail(), "{report}");
+        assert_eq!(
+            summary_token(&report),
+            "FAIL[geo-affinity-restored]",
+            "{report}"
+        );
+    }
+
+    /// Invariant 8: degraded serves are legitimate only inside (or in the
+    /// immediate wake of) a home-site fault window.
+    #[test]
+    fn degraded_serving_requires_a_home_site_fault() {
+        let degraded = |at: f64, client: u32| VodEvent::DegradedServe {
+            at: t(at),
+            server: NodeId(3),
+            client: ClientId(client),
+            movie: MovieId(1),
+            rate_fps: 15,
+        };
+        // During the fault: excused.
+        let mut events = two_sites();
+        events.push(started(1.0, 1, 7));
+        events.push(crashed(5.0, 1));
+        events.push(crashed(5.0, 2));
+        events.push(started(8.0, 3, 7));
+        events.push(degraded(8.0, 7));
+        events.push(video_to(9.0, 107));
+        events.push(VodEvent::NodeRestarted {
+            at: t(30.0),
+            node: NodeId(1),
+        });
+        events.push(stopped(31.0, 3, 7));
+        events.push(started(32.0, 1, 7));
+        events.push(pad(60.0));
+        let report = OracleReport::check(&recorder(events), &OracleConfig::paper_default());
+        assert_eq!(
+            report.degraded_only_when_home_down,
+            Verdict::Pass,
+            "{report}"
+        );
+        // While the home site is healthy: violation.
+        let mut events = two_sites();
+        events.push(started(1.0, 3, 7));
+        events.push(degraded(1.0, 7));
+        events.push(pad(60.0));
+        let report = OracleReport::check(&recorder(events), &OracleConfig::paper_default());
+        assert!(report.degraded_only_when_home_down.is_fail(), "{report}");
+        // For a client homed to no site: violation.
+        let mut events = two_sites();
+        events.push(started(1.0, 3, 9));
+        events.push(degraded(1.0, 9));
+        events.push(pad(60.0));
+        let report = OracleReport::check(&recorder(events), &OracleConfig::paper_default());
+        assert!(report.degraded_only_when_home_down.is_fail(), "{report}");
+    }
+
+    /// Site-less traces judge the three site invariants vacuously.
+    #[test]
+    fn site_invariants_are_vacuous_without_sites() {
+        let report = OracleReport::check(
+            &recorder(vec![started(1.0, 1, 7), stopped(20.0, 1, 7)]),
+            &OracleConfig::paper_default(),
+        );
+        assert_eq!(report.reserved_after_site_fault, Verdict::Pass);
+        assert_eq!(report.geo_affinity_restored, Verdict::Pass);
+        assert_eq!(report.degraded_only_when_home_down, Verdict::Pass);
+    }
+
+    /// The single-extension rule survives site-level faults: a site
+    /// partition (multi-node sides) overlapping a single-server crash
+    /// excuses the repair until heal + bound, but a later fault landing
+    /// only inside that extended window must not stretch it again.
+    #[test]
+    fn site_partition_overlapping_a_crash_extends_once_not_chained() {
+        let base = |repair_at: f64| {
+            let mut events = two_sites();
+            events.push(started(1.0, 1, 7));
+            // Single-server crash at 5 s: original window ends at 15 s.
+            events.push(crashed(5.0, 1));
+            // A site partition begins inside the window and heals at
+            // 14 s: excused until 24 s.
+            events.push(VodEvent::Partitioned {
+                at: t(6.0),
+                a: vec![NodeId(1), NodeId(2)],
+                b: vec![NodeId(3), NodeId(4)],
+            });
+            events.push(VodEvent::Healed {
+                at: t(14.0),
+                a: vec![NodeId(1), NodeId(2)],
+                b: vec![NodeId(3), NodeId(4)],
+            });
+            // A second crash at 20 s sits outside the *original* window;
+            // under the old chained sweep it stretched the deadline to
+            // 30 s.
+            events.push(crashed(20.0, 4));
+            events.push(video_to(repair_at, 107));
+            events.push(pad(60.0));
+            events
+        };
+        // Repair at 23 s: inside the single-excuse window — both the
+        // per-crash and the site-level invariant pass.
+        let report = OracleReport::check(&recorder(base(23.0)), &OracleConfig::paper_default());
+        assert_eq!(report.reserved_after_fault, Verdict::Pass, "{report}");
+        assert_eq!(report.reserved_after_site_fault, Verdict::Pass, "{report}");
+        // Repair at 27 s: only valid under chained extension — fail.
+        let report = OracleReport::check(&recorder(base(27.0)), &OracleConfig::paper_default());
+        assert!(report.reserved_after_fault.is_fail(), "{report}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use media::{FrameNo, Movie, MovieId};
-use simnet::{LinkProfile, NodeId, SimTime, Simulation};
+use simnet::{LinkProfile, NodeId, SimTime, Simulation, SiteTopology};
 
 use crate::client::{ClientStats, VodClient, WatchRequest};
 use crate::config::VodConfig;
@@ -78,6 +78,10 @@ enum Scripted {
     Shutdown { node: NodeId },
 }
 
+/// A scheduled override of the links between two node sets: `None`
+/// restores the profile the topology dictates.
+type LinkOverride = (SimTime, Vec<NodeId>, Vec<NodeId>, Option<LinkProfile>);
+
 /// Declarative description of a deployment plus its event script.
 #[derive(Debug)]
 pub struct ScenarioBuilder {
@@ -95,6 +99,8 @@ pub struct ScenarioBuilder {
     heals: Vec<SimTime>,
     pair_heals: Vec<(SimTime, Vec<NodeId>, Vec<NodeId>)>,
     profile_changes: Vec<(SimTime, LinkProfile)>,
+    topology: Option<SiteTopology>,
+    link_overrides: Vec<LinkOverride>,
     clients: Vec<ClientSetup>,
     script: Vec<(SimTime, Scripted)>,
     event_capacity: Option<usize>,
@@ -122,6 +128,8 @@ impl ScenarioBuilder {
             heals: Vec::new(),
             pair_heals: Vec::new(),
             profile_changes: Vec::new(),
+            topology: None,
+            link_overrides: Vec::new(),
             clients: Vec::new(),
             script: Vec::new(),
             event_capacity: None,
@@ -243,6 +251,37 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a site topology: intra-site traffic uses the topology's
+    /// LAN profile, cross-site traffic its WAN profile. Scheduled
+    /// overrides ([`Self::wan_degrade_at`]) and explicit per-link
+    /// overrides still win over the topology.
+    pub fn topology(&mut self, topo: SiteTopology) -> &mut Self {
+        self.topology = Some(topo);
+        self
+    }
+
+    /// Degrades the links between `a` and `b` (both directions) to
+    /// `profile` at `at` — a WAN brownout between two sites. Pair with
+    /// [`Self::wan_restore_at`] to lift the override.
+    pub fn wan_degrade_at(
+        &mut self,
+        at: SimTime,
+        a: &[NodeId],
+        b: &[NodeId],
+        profile: LinkProfile,
+    ) -> &mut Self {
+        self.link_overrides
+            .push((at, a.to_vec(), b.to_vec(), Some(profile)));
+        self
+    }
+
+    /// Removes the link overrides between `a` and `b` at `at`, restoring
+    /// topology/default routing for those pairs.
+    pub fn wan_restore_at(&mut self, at: SimTime, a: &[NodeId], b: &[NodeId]) -> &mut Self {
+        self.link_overrides.push((at, a.to_vec(), b.to_vec(), None));
+        self
+    }
+
     /// Starts a client on `node` watching `movie` at time `at`.
     pub fn client(&mut self, id: ClientId, node: NodeId, movie: MovieId, at: SimTime) -> &mut Self {
         self.clients.push(ClientSetup {
@@ -290,6 +329,9 @@ impl ScenarioBuilder {
     pub fn build(&self) -> VodSim {
         let mut sim: Simulation<VodWire> = Simulation::new(self.seed);
         sim.set_default_profile(self.profile.clone());
+        if let Some(topo) = &self.topology {
+            sim.set_topology(topo.clone());
+        }
         let trace = match self.event_capacity {
             Some(capacity) => TraceHandle::recording(capacity),
             None => TraceHandle::disabled(),
@@ -370,6 +412,24 @@ impl ScenarioBuilder {
         for (at, profile) in &self.profile_changes {
             sim.set_default_profile_at(*at, profile.clone());
         }
+        for (at, a, b, profile) in &self.link_overrides {
+            sim.set_link_overrides_at(*at, a, b, profile.clone());
+        }
+        if let Some(multidc) = &self.cfg.multidc {
+            let map = &multidc.map;
+            for site in 0..map.site_count() {
+                let name = map.site_name(site).unwrap_or_default().to_string();
+                let servers = map.servers(site).unwrap_or_default().to_vec();
+                let clients = map.client_nodes(site).unwrap_or_default().to_vec();
+                trace.emit(|| VodEvent::SiteDefined {
+                    at: SimTime::ZERO,
+                    site: site as u32,
+                    name,
+                    servers,
+                    clients,
+                });
+            }
+        }
         let mut client_nodes = BTreeMap::new();
         for setup in &self.clients {
             let (movie, _) = self
@@ -392,7 +452,8 @@ impl ScenarioBuilder {
                     request,
                 )
                 .with_trace(trace.clone())
-                .with_profile(profile.clone()),
+                .with_profile(profile.clone())
+                .with_retry_seed(self.seed),
             );
             client_nodes.insert(setup.id, setup.node);
         }

@@ -59,6 +59,79 @@ pub fn assign_clients_with_capacity(
     (assignment, unassigned)
 }
 
+/// Geo-affine, capacity-aware assignment for multi-datacenter
+/// deployments. Each client carries its home-site index (None = no
+/// affinity), each server its site index (None = siteless).
+///
+/// Two deterministic passes over the shared load map:
+///
+/// 1. **Home pass** — clients in id order are placed on the least-loaded
+///    server *of their home site* under the full capacity (a client with
+///    no home may use any server). Ties go to the highest node id,
+///    matching [`assign_clients_with_capacity`].
+/// 2. **Rescue pass** (only when `allow_remote`) — clients the home pass
+///    could not place go to the least-loaded server of *any* site, up to
+///    `capacity + rescue_extra` sessions per server: under degraded
+///    failover a rescuing server sheds per-stream quality to free the
+///    bandwidth for `rescue_extra` sessions beyond its normal cap (the
+///    paper's §5 quality adaptation applied to cross-DC failover). Plain
+///    remote failover passes `rescue_extra = 0` and stays within the cap.
+///
+/// Clients that fit nowhere are returned in the second element.
+pub fn assign_clients_geo(
+    clients: &[(ClientId, Option<usize>)],
+    servers: &[(NodeId, Option<usize>)],
+    capacity: Option<usize>,
+    allow_remote: bool,
+    rescue_extra: usize,
+) -> (BTreeMap<ClientId, NodeId>, Vec<ClientId>) {
+    let mut assignment = BTreeMap::new();
+    let mut unassigned = Vec::new();
+    let mut sorted: Vec<(ClientId, Option<usize>)> = clients.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup_by_key(|(c, _)| *c);
+    if servers.is_empty() {
+        return (assignment, sorted.into_iter().map(|(c, _)| c).collect());
+    }
+    let site_of: BTreeMap<NodeId, Option<usize>> = servers.iter().copied().collect();
+    let mut load: BTreeMap<NodeId, usize> = servers.iter().map(|&(s, _)| (s, 0)).collect();
+    let pick =
+        |load: &BTreeMap<NodeId, usize>, cap: Option<usize>, eligible: &dyn Fn(NodeId) -> bool| {
+            load.iter()
+                .filter(|&(&server, &count)| eligible(server) && cap.is_none_or(|cap| count < cap))
+                .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
+                .map(|(&server, _)| server)
+        };
+    let mut rescue: Vec<ClientId> = Vec::new();
+    for &(client, home) in &sorted {
+        let is_home = |server: NodeId| match home {
+            Some(home) => site_of.get(&server).copied().flatten() == Some(home),
+            None => true,
+        };
+        match pick(&load, capacity, &is_home) {
+            Some(winner) => {
+                *load.get_mut(&winner).expect("winner exists") += 1;
+                assignment.insert(client, winner);
+            }
+            None => rescue.push(client),
+        }
+    }
+    let rescue_cap = capacity.map(|cap| cap + rescue_extra);
+    for client in rescue {
+        let winner = allow_remote
+            .then(|| pick(&load, rescue_cap, &|_| true))
+            .flatten();
+        match winner {
+            Some(winner) => {
+                *load.get_mut(&winner).expect("winner exists") += 1;
+                assignment.insert(client, winner);
+            }
+            None => unassigned.push(client),
+        }
+    }
+    (assignment, unassigned)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +219,72 @@ mod tests {
         let clients: Vec<ClientId> = (0..17).map(c).collect();
         let a = assign_clients(&clients, &[n(4), n(9)]);
         assert_eq!(a.len(), 17);
+    }
+
+    #[test]
+    fn geo_assignment_prefers_the_home_site() {
+        // Two sites: servers 1,2 = site 0; servers 3,4 = site 1.
+        let servers = [
+            (n(1), Some(0)),
+            (n(2), Some(0)),
+            (n(3), Some(1)),
+            (n(4), Some(1)),
+        ];
+        let clients = [(c(1), Some(0)), (c(2), Some(1)), (c(3), Some(0))];
+        let (map, unassigned) = assign_clients_geo(&clients, &servers, Some(4), true, 1);
+        assert!(unassigned.is_empty());
+        assert!([n(1), n(2)].contains(&map[&c(1)]), "home affinity broken");
+        assert!([n(3), n(4)].contains(&map[&c(2)]), "home affinity broken");
+        assert!([n(1), n(2)].contains(&map[&c(3)]), "home affinity broken");
+    }
+
+    #[test]
+    fn geo_rescue_goes_remote_only_when_allowed() {
+        // Only site-1 servers are in the view: site-0 clients need rescue.
+        let servers = [(n(3), Some(1)), (n(4), Some(1))];
+        let clients = [(c(1), Some(0)), (c(2), Some(0))];
+        let (map, unassigned) = assign_clients_geo(&clients, &servers, Some(4), true, 1);
+        assert!(unassigned.is_empty());
+        assert!([n(3), n(4)].contains(&map[&c(1)]));
+        let (map, unassigned) = assign_clients_geo(&clients, &servers, Some(4), false, 1);
+        assert!(map.is_empty(), "home-only mode must not fail over");
+        assert_eq!(unassigned, vec![c(1), c(2)]);
+    }
+
+    #[test]
+    fn geo_rescue_extra_extends_past_the_cap() {
+        // One remote server, cap 2. Degraded failover (extra 1) admits
+        // one rescue beyond the cap; plain remote (extra 0) stays within.
+        let servers = [(n(3), Some(1))];
+        let rescuees: Vec<(ClientId, Option<usize>)> = (1..=4).map(|i| (c(i), Some(0))).collect();
+        let (map, unassigned) = assign_clients_geo(&rescuees, &servers, Some(2), true, 1);
+        assert_eq!(map.len(), 3, "shed headroom admits one extra rescue");
+        assert_eq!(unassigned, vec![c(4)]);
+        let (map, unassigned) = assign_clients_geo(&rescuees, &servers, Some(2), true, 0);
+        assert_eq!(map.len(), 2, "plain remote failover honors the cap");
+        assert_eq!(unassigned, vec![c(3), c(4)]);
+        // Home clients are placed first at the full cap; rescues only
+        // use the shed slots that remain.
+        let mixed = [
+            (c(1), Some(0)),
+            (c(2), Some(0)),
+            (c(3), Some(1)),
+            (c(4), Some(1)),
+        ];
+        let (map, unassigned) = assign_clients_geo(&mixed, &servers, Some(2), true, 1);
+        assert_eq!(map.len(), 3, "homes fill the cap, one rescue sheds in");
+        assert_eq!(unassigned, vec![c(2)]);
+        assert_eq!(map[&c(3)], n(3));
+        assert_eq!(map[&c(4)], n(3));
+    }
+
+    #[test]
+    fn geo_without_homes_matches_plain_assignment() {
+        let clients: Vec<ClientId> = (1..=7).map(c).collect();
+        let geo: Vec<(ClientId, Option<usize>)> = clients.iter().map(|&c| (c, None)).collect();
+        let servers = [(n(1), None), (n(2), None)];
+        let (map, unassigned) = assign_clients_geo(&geo, &servers, None, true, 0);
+        assert!(unassigned.is_empty());
+        assert_eq!(map, assign_clients(&clients, &[n(1), n(2)]));
     }
 }

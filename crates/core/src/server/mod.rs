@@ -13,7 +13,7 @@
 mod assign;
 mod emergency;
 
-pub use assign::{assign_clients, assign_clients_with_capacity};
+pub use assign::{assign_clients, assign_clients_geo, assign_clients_with_capacity};
 pub use emergency::Emergency;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -24,7 +24,7 @@ use gcs::{GcsEvent, GcsNode, GroupId, View};
 use media::{FrameNo, Movie, MovieId, QualityFilter};
 use simnet::{Context, Endpoint, NodeId, Process, SimTime, Timer, TimerId};
 
-use crate::config::{ResumePolicy, TakeoverPolicy, VodConfig};
+use crate::config::{FailoverMode, MultiDcConfig, ResumePolicy, TakeoverPolicy, VodConfig};
 use crate::forecast::{
     BringUpTrigger, ForecastBank, MovieObservation, PlacementAction, PlacementPolicy, PopState,
     FORECAST_STREAM,
@@ -103,6 +103,10 @@ struct Session {
     filter: QualityFilter,
     send_timer: Option<TimerId>,
     decay_armed: bool,
+    /// Cross-DC rescue in reduced quality: the owner is outside the
+    /// client's home site and no home-site server is in the movie view,
+    /// so the stream is capped at [`MultiDcConfig::degraded_fps`].
+    degraded: bool,
 }
 
 struct Exchange {
@@ -607,7 +611,11 @@ impl VodServer {
             // A waiting client retried: try to admit it now.
         }
         let capacity = self.cfg.max_sessions_per_server.map(|c| c as usize);
-        let owner = elect_owner(state, open.client, capacity).unwrap_or(UNSERVED);
+        let owner = match &self.cfg.multidc {
+            Some(mdc) => elect_owner_geo(state, open.client, capacity, mdc, open.client_node),
+            None => elect_owner(state, open.client, capacity),
+        }
+        .unwrap_or(UNSERVED);
         if owner == UNSERVED {
             if waiting {
                 return; // still no room; the client keeps retrying
@@ -701,10 +709,40 @@ impl VodServer {
                 return;
             }
         }
-        let clients: Vec<ClientId> = state.records.keys().copied().collect();
         let capacity = self.cfg.max_sessions_per_server.map(|c| c as usize);
-        let (assignment, unassigned) =
-            assign_clients_with_capacity(&clients, &state.view.members, capacity);
+        let (assignment, unassigned) = match &self.cfg.multidc {
+            Some(mdc) => {
+                // Geo-affine redistribution: clients return to their home
+                // site the moment its servers are back in the view, and
+                // fail over across the WAN (with shedding) while not.
+                let clients: Vec<(ClientId, Option<usize>)> = state
+                    .records
+                    .values()
+                    .map(|r| (r.client, mdc.map.home_site_of_client(r.client_node)))
+                    .collect();
+                let servers: Vec<(NodeId, Option<usize>)> = state
+                    .view
+                    .members
+                    .iter()
+                    .map(|&n| (n, mdc.map.site_of_server(n)))
+                    .collect();
+                let rescue_extra = match mdc.mode {
+                    FailoverMode::RemoteDegraded => mdc.shed_headroom as usize,
+                    FailoverMode::HomeOnly | FailoverMode::Remote => 0,
+                };
+                assign_clients_geo(
+                    &clients,
+                    &servers,
+                    capacity,
+                    !matches!(mdc.mode, FailoverMode::HomeOnly),
+                    rescue_extra,
+                )
+            }
+            None => {
+                let clients: Vec<ClientId> = state.records.keys().copied().collect();
+                assign_clients_with_capacity(&clients, &state.view.members, capacity)
+            }
+        };
         let epoch = state.view.id.epoch;
         for (client, owner) in &assignment {
             if let Some(record) = state.records.get_mut(client) {
@@ -780,6 +818,25 @@ impl VodServer {
         let Some(state) = self.movies.get(&record.movie) else {
             return;
         };
+        // Cross-DC rescue detection: this server is outside the client's
+        // home site and no home-site server is left in the movie view.
+        // Only then may the stream be degraded — while the home DC is
+        // healthy its own servers serve at full quality, and the oracle
+        // checks exactly that.
+        let degraded = self.cfg.multidc.as_ref().is_some_and(|mdc| {
+            matches!(mdc.mode, FailoverMode::RemoteDegraded)
+                && mdc
+                    .map
+                    .home_site_of_client(record.client_node)
+                    .is_some_and(|home| {
+                        mdc.map.site_of_server(self.node) != Some(home)
+                            && !state
+                                .view
+                                .members
+                                .iter()
+                                .any(|&n| mdc.map.site_of_server(n) == Some(home))
+                    })
+        });
         record.owner = self.node;
         if self.cfg.resume == ResumePolicy::SkipAhead && !record.paused {
             // Optimistic resume: estimate how far the previous server got
@@ -789,7 +846,17 @@ impl VodServer {
             let estimated = (staleness.as_secs_f64() * f64::from(record.rate_fps)).ceil() as u64;
             record.next_frame = record.next_frame.plus(estimated);
         }
-        let filter = QualityFilter::new(state.movie.gop(), state.movie.fps(), record.max_fps);
+        // Degraded rescues are thinned like a quality-capped client
+        // (paper §4.3), but the record's own max_fps is left untouched:
+        // the cap is a property of this rescue session, and full quality
+        // returns with the next redistribution onto a home server.
+        let fps_cap = match (degraded, &self.cfg.multidc) {
+            (true, Some(mdc)) => record
+                .max_fps
+                .min(mdc.degraded_fps.max(self.cfg.min_rate_fps)),
+            _ => record.max_fps,
+        };
+        let filter = QualityFilter::new(state.movie.gop(), state.movie.fps(), fps_cap);
         // A thinned stream must not be pumped at the full-rate cadence:
         // cap the transmission rate at the filter's effective output.
         let effective_cap = filter.effective_fps(state.movie.fps()).ceil() as u32;
@@ -818,6 +885,16 @@ impl VodServer {
             movie,
             resume_frame,
         });
+        if degraded {
+            let rate_fps = record.rate_fps;
+            self.trace.emit(|| VodEvent::DegradedServe {
+                at,
+                server,
+                client,
+                movie,
+                rate_fps,
+            });
+        }
         self.sessions.insert(
             record.client,
             Session {
@@ -826,6 +903,7 @@ impl VodServer {
                 filter,
                 send_timer,
                 decay_armed: false,
+                degraded,
             },
         );
     }
@@ -875,6 +953,13 @@ impl VodServer {
         let (min_rate, max_rate) = (self.cfg.min_rate_fps, self.cfg.max_rate_fps);
         let (base_severe, base_mild) =
             (self.cfg.emergency_base_severe, self.cfg.emergency_base_mild);
+        // A degraded rescue session must not be flow-controlled back up
+        // above its reduced-quality ceiling.
+        let degraded_cap = self
+            .cfg
+            .multidc
+            .as_ref()
+            .map_or(max_rate, |mdc| mdc.degraded_fps.max(min_rate));
         let Some(session) = self.sessions.get_mut(&client) else {
             return;
         };
@@ -885,7 +970,12 @@ impl VodServer {
         }
         match req {
             FlowRequest::Increase => {
-                session.record.rate_fps = (session.record.rate_fps + 1).min(max_rate);
+                let ceiling = if session.degraded {
+                    degraded_cap
+                } else {
+                    max_rate
+                };
+                session.record.rate_fps = (session.record.rate_fps + 1).min(ceiling);
             }
             FlowRequest::Decrease => {
                 session.record.rate_fps = session.record.rate_fps.saturating_sub(1).max(min_rate);
@@ -1625,7 +1715,11 @@ impl VodServer {
         let node = self.node;
         let capacity = self.cfg.max_sessions_per_server.map(|c| c as usize);
         let state = self.movies.get_mut(&movie)?;
-        let owner = elect_owner(state, client, capacity)?;
+        let client_node = state.records.get(&client)?.client_node;
+        let owner = match &self.cfg.multidc {
+            Some(mdc) => elect_owner_geo(state, client, capacity, mdc, client_node),
+            None => elect_owner(state, client, capacity),
+        }?;
         let epoch = state.view.id.epoch;
         let record = state.records.get_mut(&client)?;
         record.owner = owner;
@@ -1834,6 +1928,53 @@ fn elect_owner(state: &MovieState, except: ClientId, capacity: Option<usize>) ->
         .filter(|&(_, &count)| capacity.is_none_or(|cap| count < cap))
         .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
         .map(|(&server, _)| server)
+}
+
+/// Geo-affine admission election (multi-datacenter deployments): first
+/// the least-loaded member of the client's *home site* at full capacity;
+/// if no home-site member is in the view (site fault) or none has room,
+/// the least-loaded member of any site — within the normal cap under
+/// [`FailoverMode::Remote`], up to `capacity + shed_headroom` shed slots
+/// under [`FailoverMode::RemoteDegraded`], and not at all under
+/// [`FailoverMode::HomeOnly`]. Load counting and tie-breaks match
+/// [`elect_owner`].
+fn elect_owner_geo(
+    state: &MovieState,
+    except: ClientId,
+    capacity: Option<usize>,
+    mdc: &MultiDcConfig,
+    client_node: NodeId,
+) -> Option<NodeId> {
+    let mut load: BTreeMap<NodeId, usize> = state.view.members.iter().map(|&m| (m, 0)).collect();
+    for record in state.records.values() {
+        if record.client == except {
+            continue;
+        }
+        if let Some(count) = load.get_mut(&record.owner) {
+            *count += 1;
+        }
+    }
+    let home = mdc.map.home_site_of_client(client_node);
+    let pick = |cap: Option<usize>, eligible: &dyn Fn(NodeId) -> bool| {
+        load.iter()
+            .filter(|&(&server, &count)| eligible(server) && cap.is_none_or(|cap| count < cap))
+            .min_by_key(|&(&server, &count)| (count, std::cmp::Reverse(server)))
+            .map(|(&server, _)| server)
+    };
+    let is_home = |server: NodeId| match home {
+        Some(home) => mdc.map.site_of_server(server) == Some(home),
+        None => true,
+    };
+    if let Some(winner) = pick(capacity, &is_home) {
+        return Some(winner);
+    }
+    let extra = match mdc.mode {
+        FailoverMode::HomeOnly => return None,
+        FailoverMode::Remote => 0,
+        FailoverMode::RemoteDegraded => mdc.shed_headroom as usize,
+    };
+    let rescue_cap = capacity.map(|cap| cap + extra);
+    pick(rescue_cap, &|_| true)
 }
 
 /// Total order on records used to merge concurrent sync reports

@@ -149,6 +149,40 @@ pub enum VodEvent {
         /// The other side.
         b: Vec<NodeId>,
     },
+    /// An inter-site WAN link was browned out: per-link overrides were
+    /// installed between the two node sets.
+    WanDegraded {
+        /// When the brownout took effect.
+        at: SimTime,
+        /// One side of the affected links.
+        a: Vec<NodeId>,
+        /// The other side.
+        b: Vec<NodeId>,
+    },
+    /// A browned-out WAN link was restored to its base profile.
+    WanRestored {
+        /// When the restore took effect.
+        at: SimTime,
+        /// One side of the affected links.
+        a: Vec<NodeId>,
+        /// The other side.
+        b: Vec<NodeId>,
+    },
+    /// A site (datacenter) of the deployment, emitted once at build time
+    /// so trace consumers (the oracle, reports) can reconstruct the
+    /// topology from the event stream alone.
+    SiteDefined {
+        /// Emission time (scenario build, so effectively time zero).
+        at: SimTime,
+        /// The site's index in the topology.
+        site: u32,
+        /// The site's name.
+        name: String,
+        /// The server nodes of the site.
+        servers: Vec<NodeId>,
+        /// Client nodes homed to the site.
+        clients: Vec<NodeId>,
+    },
     // ---------------- GCS (from `gcs::GcsTrace`) ----------------
     /// A node's failure detector started suspecting a peer.
     Suspected {
@@ -356,6 +390,22 @@ pub enum VodEvent {
         /// Transmission rate, frames per second.
         rate_fps: u32,
     },
+    /// A rescue admission was served at reduced quality: the client's
+    /// home site was unreachable and a remote server admitted it beyond
+    /// its normal capacity at a degraded frame rate (the paper's §5
+    /// quality adaptation applied to cross-DC failover).
+    DegradedServe {
+        /// When the degraded session started transmitting.
+        at: SimTime,
+        /// The remote server doing the rescue.
+        server: NodeId,
+        /// The rescued client.
+        client: ClientId,
+        /// The movie.
+        movie: MovieId,
+        /// The reduced transmission rate, frames per second.
+        rate_fps: u32,
+    },
     /// A prefix transmission ended: the client's replica is up
     /// (`to_owner` is a real server), or the session is gone or the
     /// cached range ran out (`to_owner` is the unserved sentinel).
@@ -474,6 +524,19 @@ pub enum VodEvent {
         /// The client.
         client: ClientId,
     },
+    /// The client re-sent its OPEN after a seeded exponential-backoff
+    /// wait — emitted at the moment of the retry so RunReport can
+    /// attribute rescue latency to backoff waiting.
+    RetryBackoff {
+        /// When the retry was sent.
+        at: SimTime,
+        /// The client.
+        client: ClientId,
+        /// Retry attempt number (1 = first re-send).
+        attempt: u32,
+        /// How long the client waited before this retry.
+        delay: std::time::Duration,
+    },
 }
 
 fn write_nodes(out: &mut String, nodes: &[NodeId]) {
@@ -507,6 +570,9 @@ impl VodEvent {
             | VodEvent::NodeRestarted { at, .. }
             | VodEvent::Partitioned { at, .. }
             | VodEvent::Healed { at, .. }
+            | VodEvent::WanDegraded { at, .. }
+            | VodEvent::WanRestored { at, .. }
+            | VodEvent::SiteDefined { at, .. }
             | VodEvent::Suspected { at, .. }
             | VodEvent::ViewInstalled { at, .. }
             | VodEvent::JoinRequested { at, .. }
@@ -522,6 +588,7 @@ impl VodEvent {
             | VodEvent::ShutdownStarted { at, .. }
             | VodEvent::ReplicaBringUp { at, .. }
             | VodEvent::ReplicaRetire { at, .. }
+            | VodEvent::DegradedServe { at, .. }
             | VodEvent::PrefixServe { at, .. }
             | VodEvent::PrefixHandoff { at, .. }
             | VodEvent::OpenRequested { at, .. }
@@ -532,7 +599,8 @@ impl VodEvent {
             | VodEvent::FrameDiscarded { at, .. }
             | VodEvent::FrameGap { at, .. }
             | VodEvent::VcrIssued { at, .. }
-            | VodEvent::MovieEnded { at, .. } => at,
+            | VodEvent::MovieEnded { at, .. }
+            | VodEvent::RetryBackoff { at, .. } => at,
         }
     }
 
@@ -596,6 +664,21 @@ impl VodEvent {
                 b: b.clone(),
             },
             TraceEvent::Healed { at, a, b } => VodEvent::Healed {
+                at: *at,
+                a: a.clone(),
+                b: b.clone(),
+            },
+            TraceEvent::LinkOverride {
+                at,
+                a,
+                b,
+                degraded: true,
+            } => VodEvent::WanDegraded {
+                at: *at,
+                a: a.clone(),
+                b: b.clone(),
+            },
+            TraceEvent::LinkOverride { at, a, b, .. } => VodEvent::WanRestored {
                 at: *at,
                 a: a.clone(),
                 b: b.clone(),
@@ -702,6 +785,34 @@ impl VodEvent {
                 write_nodes(out, a);
                 out.push_str(",\"b\":");
                 write_nodes(out, b);
+            }
+            VodEvent::WanDegraded { a, b, .. } => {
+                out.push_str(",\"ev\":\"wan_degraded\",\"a\":");
+                write_nodes(out, a);
+                out.push_str(",\"b\":");
+                write_nodes(out, b);
+            }
+            VodEvent::WanRestored { a, b, .. } => {
+                out.push_str(",\"ev\":\"wan_restored\",\"a\":");
+                write_nodes(out, a);
+                out.push_str(",\"b\":");
+                write_nodes(out, b);
+            }
+            VodEvent::SiteDefined {
+                site,
+                name,
+                servers,
+                clients,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"site_defined\",\"site\":{site},\"name\":\"{}\",\"servers\":",
+                    json_escape(name)
+                );
+                write_nodes(out, servers);
+                out.push_str(",\"clients\":");
+                write_nodes(out, clients);
             }
             VodEvent::Suspected { node, peer, .. } => {
                 let _ = write!(
@@ -865,6 +976,19 @@ impl VodEvent {
                     forecast.as_str()
                 );
             }
+            VodEvent::DegradedServe {
+                server,
+                client,
+                movie,
+                rate_fps,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"degraded_serve\",\"server\":{},\"client\":{},\"movie\":{},\"rate_fps\":{rate_fps}",
+                    server.0, client.0, movie.0
+                );
+            }
             VodEvent::PrefixServe {
                 server,
                 client,
@@ -994,6 +1118,19 @@ impl VodEvent {
             }
             VodEvent::MovieEnded { client, .. } => {
                 let _ = write!(out, ",\"ev\":\"movie_ended\",\"client\":{}", client.0);
+            }
+            VodEvent::RetryBackoff {
+                client,
+                attempt,
+                delay,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ev\":\"retry_backoff\",\"client\":{},\"attempt\":{attempt},\"delay_us\":{}",
+                    client.0,
+                    delay.as_micros()
+                );
             }
         }
         out.push('}');
@@ -1216,6 +1353,13 @@ pub struct RunReport {
     /// Total seconds clients spent receiving prefix frames instead of
     /// waiting unserved — the unserved time the prefix tier avoided.
     pub prefix_seconds_avoided: f64,
+    /// Rescue admissions served at reduced quality (degraded mode).
+    pub degraded_serves: u64,
+    /// Client OPEN retries sent after an exponential-backoff wait.
+    pub retry_backoffs: u64,
+    /// Per-retry backoff waits (seconds) — the share of rescue latency
+    /// spent waiting between OPEN attempts rather than in the network.
+    pub retry_wait: Histogram,
     /// Suspicions raised by failure detectors.
     pub suspicions: u64,
     /// Views installed across all nodes and groups.
@@ -1332,6 +1476,11 @@ impl RunReport {
                 VodEvent::PrefixHandoff { served_for, .. } => {
                     report.prefix_handoffs += 1;
                     report.prefix_seconds_avoided += served_for.as_secs_f64();
+                }
+                VodEvent::DegradedServe { .. } => report.degraded_serves += 1,
+                VodEvent::RetryBackoff { delay, .. } => {
+                    report.retry_backoffs += 1;
+                    report.retry_wait.record(delay.as_secs_f64());
                 }
                 VodEvent::StreamResumed { at, client, gap_s } => {
                     report.glitches.push(GlitchWindow {
@@ -1559,6 +1708,12 @@ impl RunReport {
         );
         let _ = write!(
             out,
+            ",\"degraded_serves\":{},\"retry_backoffs\":{},\"retry_wait\":",
+            self.degraded_serves, self.retry_backoffs,
+        );
+        write_histogram_json(&mut out, &self.retry_wait);
+        let _ = write!(
+            out,
             ",\"suspicions\":{},\"views_installed\":{},\
              \"events_seen\":{},\"events_dropped\":{}",
             self.suspicions, self.views_installed, self.events_seen, self.events_dropped,
@@ -1746,6 +1901,21 @@ impl fmt::Display for RunReport {
                 f,
                 "  prefix cache: {} serve(s), {} handoff(s), {:.2}s unserved time avoided",
                 self.prefix_serves, self.prefix_handoffs, self.prefix_seconds_avoided
+            )?;
+        }
+        if self.degraded_serves > 0 {
+            writeln!(
+                f,
+                "  degraded mode: {} rescue serve(s)",
+                self.degraded_serves
+            )?;
+        }
+        if self.retry_backoffs > 0 {
+            let total: f64 = self.retry_wait.mean().unwrap_or(0.0) * self.retry_wait.count() as f64;
+            writeln!(
+                f,
+                "  open retries: {} after backoff, {:.2}s total wait",
+                self.retry_backoffs, total
             )?;
         }
         writeln!(

@@ -22,9 +22,9 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use media::{FrameNo, Movie, MovieId, MovieSpec};
-use simnet::{NodeId, SimRng, SimTime};
+use simnet::{LinkProfile, NodeId, SimRng, SimTime, SiteTopology};
 
-use crate::config::{ReplicationConfig, VodConfig};
+use crate::config::{FailoverMode, MultiDcConfig, ReplicationConfig, SiteMap, VodConfig};
 use crate::metrics::Histogram;
 use crate::protocol::ClientId;
 use crate::scenario::{ScenarioBuilder, VcrOp, VodSim};
@@ -456,6 +456,78 @@ pub fn fleet_builder_with_config(
     (builder, plan)
 }
 
+/// The fixed two-datacenter fleet of the `multidc` scenario: east =
+/// servers 1–2, west = servers 3–4, 20 geo-homed clients (even client
+/// indices east, odd west), every movie replicated on all four servers,
+/// and a 6-session admission cap per server. Sessions are long enough to
+/// span the mid-run site fault, and VCR/churn noise is disabled so the
+/// three-way failover comparison isolates the rescue behaviour.
+pub fn multidc_profile() -> FleetProfile {
+    FleetProfile {
+        servers: 4,
+        clients: 20,
+        catalog_size: 4,
+        zipf_exponent: 1.1,
+        initial_replicas: 4,
+        sessions_per_server: Some(6),
+        warmup: Duration::from_secs(2),
+        arrival_window: Duration::from_secs(10),
+        min_session: Duration::from_secs(50),
+        max_session: Duration::from_secs(60),
+        vcr_pause_prob: 0.0,
+        vcr_seek_prob: 0.0,
+        churn_prob: 0.0,
+        movie_len: Duration::from_secs(120),
+        shock: None,
+        bringup_delay: Duration::ZERO,
+    }
+}
+
+/// When the east site's correlated crash hits in the `multidc` scenario.
+pub const MULTIDC_FAULT_AT: Duration = Duration::from_secs(18);
+
+/// When the east site's servers come back.
+pub const MULTIDC_HEAL_AT: Duration = Duration::from_secs(40);
+
+/// Builds the fixed multi-datacenter failover scenario (DESIGN.md §5i):
+/// two 2-server sites bridged by WAN links, geo-homed clients, and a
+/// correlated crash of the whole east site at [`MULTIDC_FAULT_AT`]
+/// (restart at [`MULTIDC_HEAL_AT`]). `mode` selects the failover
+/// behaviour under comparison — the workload plan is identical across
+/// modes for a given seed, so unserved-time differences are attributable
+/// to the failover policy alone.
+pub fn multidc_builder(seed: u64, mode: FailoverMode) -> (ScenarioBuilder, FleetPlan) {
+    let profile = multidc_profile();
+    let east_servers = [NodeId(1), NodeId(2)];
+    let west_servers = [NodeId(3), NodeId(4)];
+    let (east_clients, west_clients): (Vec<NodeId>, Vec<NodeId>) = (0..profile.clients)
+        .map(|i| NodeId(1000 + i))
+        .partition(|n| n.0 % 2 == 0);
+
+    let mut map = SiteMap::new();
+    let east = map.add_site("east", &east_servers);
+    let west = map.add_site("west", &west_servers);
+    map.home_clients(east, &east_clients);
+    map.home_clients(west, &west_clients);
+    let cfg = fleet_config(&profile, None).with_multidc(MultiDcConfig::new(map).with_mode(mode));
+
+    let (mut builder, plan) = fleet_builder_with_config(&profile, seed, cfg);
+    let mut topo = SiteTopology::new(LinkProfile::lan(), LinkProfile::wan());
+    let t_east = topo.add_site("east", &east_servers);
+    let t_west = topo.add_site("west", &west_servers);
+    topo.home_nodes(t_east, &east_clients);
+    topo.home_nodes(t_west, &west_clients);
+    builder.topology(topo);
+
+    let fault = SimTime::ZERO + MULTIDC_FAULT_AT;
+    let heal = SimTime::ZERO + MULTIDC_HEAL_AT;
+    for server in east_servers {
+        builder.crash_at(fault, server);
+        builder.restart_at(heal, server);
+    }
+    (builder, plan)
+}
+
 /// Outcome of one fleet run, derived from per-client and per-server
 /// statistics (not the trace ring, so it is immune to event eviction).
 #[derive(Debug, Default)]
@@ -469,6 +541,10 @@ pub struct FleetReport {
     /// Total client-seconds spent waiting for the first frame (sessions
     /// never served accrue until the end of the run).
     pub unserved_seconds: f64,
+    /// Total client-seconds of mid-session stalls: interruptions longer
+    /// than 200 ms that were later bridged by a resume (takeovers,
+    /// migrations, site faults — §4.2's irregularity periods).
+    pub stalled_seconds: f64,
     /// Per-server `(peak sessions, admission rejections, replicas brought
     /// up, replicas retired, frames sent)`, keyed by node.
     pub per_server: BTreeMap<NodeId, (u32, u64, u64, u64, u64)>,
@@ -495,6 +571,7 @@ impl FleetReport {
                         run_end.saturating_since(session.start).as_secs_f64();
                 }
             }
+            report.stalled_seconds += stats.interruptions.iter().map(|&(_, gap)| gap).sum::<f64>();
         }
         for node in plan.profile.server_nodes() {
             let Some(stats) = sim.server_stats(node) else {
@@ -519,6 +596,13 @@ impl FleetReport {
         self.ttff.quantile(0.99)
     }
 
+    /// Total client-seconds without video while wanting it: first-frame
+    /// waits plus mid-session stalls — the headline metric of the
+    /// multi-datacenter failover comparison.
+    pub fn total_unserved(&self) -> f64 {
+        self.unserved_seconds + self.stalled_seconds
+    }
+
     /// Renders the report deterministically (integer and fixed-precision
     /// fields only): equal runs produce byte-identical text.
     pub fn render(&self) -> String {
@@ -526,8 +610,8 @@ impl FleetReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "fleet: {} served, {} never served, unserved time {:.3}s",
-            self.served, self.never_served, self.unserved_seconds
+            "fleet: {} served, {} never served, unserved time {:.3}s, stalled {:.3}s",
+            self.served, self.never_served, self.unserved_seconds, self.stalled_seconds
         );
         let fmt_q = |q: Option<f64>| q.map_or_else(|| "-".to_owned(), |v| format!("{v:.3}s"));
         let _ = writeln!(

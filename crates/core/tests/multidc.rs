@@ -1,0 +1,113 @@
+//! Multi-datacenter failover integration: on the fixed two-site scenario
+//! (correlated east-site crash mid-run), cross-DC failover must strictly
+//! reduce unserved client-seconds versus the home-only baseline, the
+//! degraded mode must admit at least as many rescues as plain remote
+//! failover, the oracle's site-aware invariants must hold on the
+//! failover runs, and the whole pipeline must be byte-deterministic.
+
+use ftvod_core::oracle::summary_token;
+use ftvod_core::{
+    multidc_builder, multidc_profile, FailoverMode, FleetReport, OracleConfig, OracleReport,
+    RunReport, VodEvent,
+};
+
+const SEED: u64 = 42;
+
+struct MultiDcRun {
+    fleet: FleetReport,
+    report: RunReport,
+    oracle: String,
+    degraded_serves: usize,
+    render: String,
+}
+
+fn run_multidc(seed: u64, mode: FailoverMode) -> MultiDcRun {
+    let end = multidc_profile().run_until();
+    let (mut builder, plan) = multidc_builder(seed, mode);
+    builder.record_events(1 << 20);
+    let mut sim = builder.build();
+    sim.run_until(end);
+    let fleet = FleetReport::from_sim(&plan, &sim, end);
+    let report = sim.trace().report().expect("recording on");
+    let oracle = sim
+        .trace()
+        .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+        .map(|r| summary_token(&r))
+        .expect("recording on");
+    let degraded_serves = sim
+        .trace()
+        .with_recorder(|rec| {
+            rec.events()
+                .filter(|e| matches!(e, VodEvent::DegradedServe { .. }))
+                .count()
+        })
+        .expect("recording on");
+    let render = format!("{}\n{report}", fleet.render());
+    MultiDcRun {
+        fleet,
+        report,
+        oracle,
+        degraded_serves,
+        render,
+    }
+}
+
+#[test]
+fn cross_dc_failover_strictly_beats_the_home_only_baseline() {
+    let home_only = run_multidc(SEED, FailoverMode::HomeOnly);
+    let remote = run_multidc(SEED, FailoverMode::Remote);
+    let degraded = run_multidc(SEED, FailoverMode::RemoteDegraded);
+
+    // The site fault must actually bite under home-only: stranded east
+    // clients stall until their home site returns, while cross-DC rescue
+    // bridges them within the repair bound.
+    assert!(
+        home_only.fleet.total_unserved() > remote.fleet.total_unserved(),
+        "failover must strictly reduce unserved time: home-only {:.3}s vs remote {:.3}s",
+        home_only.fleet.total_unserved(),
+        remote.fleet.total_unserved()
+    );
+    assert!(
+        remote.fleet.total_unserved() >= degraded.fleet.total_unserved(),
+        "shed headroom must not hurt: remote {:.3}s vs degraded {:.3}s",
+        remote.fleet.total_unserved(),
+        degraded.fleet.total_unserved()
+    );
+
+    // Degraded mode is the only one allowed to emit degraded serves, and
+    // on this scenario it must actually exercise them.
+    assert_eq!(home_only.degraded_serves, 0);
+    assert_eq!(remote.degraded_serves, 0);
+    assert!(
+        degraded.degraded_serves > 0,
+        "the east-site crash must force degraded rescues"
+    );
+    assert_eq!(
+        degraded.report.degraded_serves,
+        degraded.degraded_serves as u64
+    );
+
+    // The failover runs hold every oracle invariant, including the three
+    // site-aware ones.
+    assert_eq!(remote.oracle, "PASS");
+    assert_eq!(degraded.oracle, "PASS");
+}
+
+#[test]
+fn multidc_runs_are_byte_deterministic() {
+    for mode in [
+        FailoverMode::HomeOnly,
+        FailoverMode::Remote,
+        FailoverMode::RemoteDegraded,
+    ] {
+        let a = run_multidc(7, mode);
+        let b = run_multidc(7, mode);
+        assert_eq!(
+            a.render,
+            b.render,
+            "mode {} must be byte-identical across runs",
+            mode.as_str()
+        );
+        assert_eq!(a.oracle, b.oracle);
+    }
+}

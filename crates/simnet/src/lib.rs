@@ -89,6 +89,7 @@ pub mod rt;
 mod sim;
 mod stats;
 mod time;
+mod topo;
 
 pub use net::{BurstLoss, Endpoint, LinkProfile, NodeId, Payload, Port};
 pub use process::{Context, Process, Timer, TimerId};
@@ -97,3 +98,4 @@ pub use rng::SimRng;
 pub use sim::{DropReason, Simulation, TraceEvent};
 pub use stats::{ClassStats, NetStats};
 pub use time::SimTime;
+pub use topo::SiteTopology;

@@ -16,6 +16,7 @@ use crate::profile::SimProfile;
 use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::SimTime;
+use crate::topo::SiteTopology;
 
 /// Why a datagram never reached its destination process.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -127,6 +128,20 @@ pub enum TraceEvent {
         /// The other side of the former cut.
         b: Vec<NodeId>,
     },
+    /// Per-link profile overrides between two node sets were installed
+    /// (`degraded = true`) or removed (`degraded = false`) — the WAN
+    /// brownout/restore primitive of
+    /// [`Simulation::set_link_overrides_at`].
+    LinkOverride {
+        /// Simulated time the change took effect.
+        at: SimTime,
+        /// One side of the affected links.
+        a: Vec<NodeId>,
+        /// The other side of the affected links.
+        b: Vec<NodeId>,
+        /// Whether overrides were installed (`true`) or cleared (`false`).
+        degraded: bool,
+    },
 }
 
 type Tracer = Box<dyn FnMut(&TraceEvent)>;
@@ -162,6 +177,11 @@ enum EventKind<M: Payload> {
     HealAll,
     SetDefaultProfile {
         profile: LinkProfile,
+    },
+    SetLinkOverrides {
+        a: Vec<NodeId>,
+        b: Vec<NodeId>,
+        profile: Option<LinkProfile>,
     },
 }
 
@@ -244,6 +264,7 @@ pub struct Simulation<M: Payload> {
     queue: BinaryHeap<Scheduled<M>>,
     nodes: BTreeMap<NodeId, NodeSlot<M>>,
     default_profile: LinkProfile,
+    topology: Option<SiteTopology>,
     overrides: HashMap<(NodeId, NodeId), LinkProfile>,
     /// Directed pairs severed by active partitions, with a count per
     /// pair: overlapping partitions may cut the same link, and healing
@@ -279,6 +300,7 @@ impl<M: Payload> Simulation<M> {
             queue: BinaryHeap::new(),
             nodes: BTreeMap::new(),
             default_profile: LinkProfile::ideal(),
+            topology: None,
             overrides: HashMap::new(),
             blocked: HashMap::new(),
             crashed: HashSet::new(),
@@ -351,6 +373,41 @@ impl<M: Payload> Simulation<M> {
     pub fn set_link_profile_sym(&mut self, a: NodeId, b: NodeId, profile: LinkProfile) {
         self.overrides.insert((a, b), profile.clone());
         self.overrides.insert((b, a), profile);
+    }
+
+    /// Installs a multi-site topology: links between nodes of the same
+    /// site use the topology's LAN profile, cross-site links its WAN
+    /// profile. Explicit per-link overrides still win; nodes outside any
+    /// site fall back to the LAN profile.
+    pub fn set_topology(&mut self, topology: SiteTopology) {
+        self.topology = Some(topology);
+    }
+
+    /// The installed topology, if any.
+    pub fn topology(&self) -> Option<&SiteTopology> {
+        self.topology.as_ref()
+    }
+
+    /// Schedules a symmetric per-link profile override between every node
+    /// in `a` and every node in `b` at time `at`. `Some(profile)` installs
+    /// the override (e.g. a WAN brownout profile); `None` removes the
+    /// overrides, restoring whatever the topology or default profile
+    /// dictates. The tracer sees [`TraceEvent::LinkOverride`].
+    pub fn set_link_overrides_at(
+        &mut self,
+        at: SimTime,
+        a: &[NodeId],
+        b: &[NodeId],
+        profile: Option<LinkProfile>,
+    ) {
+        self.schedule(
+            at,
+            EventKind::SetLinkOverrides {
+                a: a.to_vec(),
+                b: b.to_vec(),
+                profile,
+            },
+        );
     }
 
     /// Boots `process` on node `id` at the current time.
@@ -689,6 +746,27 @@ impl<M: Payload> Simulation<M> {
                 self.count(|p| p.profile_change_events += 1);
                 self.default_profile = profile;
             }
+            EventKind::SetLinkOverrides { a, b, profile } => {
+                self.count(|p| p.profile_change_events += 1);
+                for &x in &a {
+                    for &y in &b {
+                        match &profile {
+                            Some(p) => {
+                                self.overrides.insert((x, y), p.clone());
+                                self.overrides.insert((y, x), p.clone());
+                            }
+                            None => {
+                                self.overrides.remove(&(x, y));
+                                self.overrides.remove(&(y, x));
+                            }
+                        }
+                    }
+                }
+                if self.tracer.is_some() {
+                    let degraded = profile.is_some();
+                    self.trace(TraceEvent::LinkOverride { at, a, b, degraded });
+                }
+            }
         }
     }
 
@@ -770,11 +848,13 @@ impl<M: Payload> Simulation<M> {
             });
             return;
         }
-        let profile = self
-            .overrides
-            .get(&(from.node, to.node))
-            .unwrap_or(&self.default_profile)
-            .clone();
+        let profile = match self.overrides.get(&(from.node, to.node)) {
+            Some(p) => p.clone(),
+            None => match &self.topology {
+                Some(topo) => topo.profile_for(from.node, to.node).clone(),
+                None => self.default_profile.clone(),
+            },
+        };
         // Loss: plain i.i.d. by default; with `burst` set, a Gilbert–Elliott
         // two-state chain advanced once per datagram (one transition draw,
         // then the state-dependent loss draw). Profiles without `burst` draw

@@ -410,6 +410,7 @@ fn tracer_observes_the_whole_lifecycle() {
             TraceEvent::NodeRestarted { .. } => "restarted",
             TraceEvent::Partitioned { .. } => "partitioned",
             TraceEvent::Healed { .. } => "healed",
+            TraceEvent::LinkOverride { .. } => "link-override",
         };
         sink.borrow_mut().push(tag.to_owned());
     });

@@ -52,6 +52,13 @@
 //!   --clients M        sessions per campaign        (default 24)
 //!   --sync-ms MS       server sync interval         (default 500)
 //!   --plan             print each campaign's fault schedule
+//! ftvod-cli multidc [options]               two-datacenter site-crash sweep
+//!                                           under remote-degraded failover,
+//!                                           checked by the safety oracle;
+//!                                           exits nonzero on any violation
+//!   --seeds N          number of sweep seeds        (default 10)
+//!   --seed N           first seed                   (default 1)
+//!   --compare          three-mode table on one seed
 //! ftvod-cli check [options]                 exhaustively model-check the
 //!                                           membership state machine over a
 //!                                           small scope; exits nonzero with
@@ -703,6 +710,172 @@ fn run_flash(opts: &FlashOptions) -> Result<(), String> {
 }
 
 #[derive(Debug, Clone, PartialEq)]
+struct MultiDcOptions {
+    seeds: u32,
+    seed: u64,
+    compare: bool,
+}
+
+impl Default for MultiDcOptions {
+    fn default() -> Self {
+        MultiDcOptions {
+            seeds: 10,
+            seed: 1,
+            compare: false,
+        }
+    }
+}
+
+fn parse_multidc(args: &[String]) -> Result<MultiDcOptions, String> {
+    let mut opts = MultiDcOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--compare" => opts.compare = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+/// Outcome of one multi-datacenter run, reduced to the comparison columns.
+struct MultiDcOutcome {
+    oracle: String,
+    /// The full per-invariant report, rendered (printed on failure).
+    oracle_detail: String,
+    pass: bool,
+    served: u32,
+    never_served: u32,
+    unserved_seconds: f64,
+    stalled_seconds: f64,
+    total_unserved: f64,
+    degraded_serves: u64,
+}
+
+/// Runs the fixed two-site scenario (correlated east-site crash at 18s,
+/// repair at 40s) under one failover mode and reads the headline numbers
+/// back out of the trace.
+fn multidc_campaign(mode: FailoverMode, seed: u64) -> MultiDcOutcome {
+    let end = multidc_profile().run_until();
+    let (mut builder, plan) = multidc_builder(seed, mode);
+    // Room for every event of the run: eviction would blind the oracle.
+    builder.record_events(1 << 20);
+    let mut sim = builder.build();
+    sim.run_until(end);
+    let fleet = FleetReport::from_sim(&plan, &sim, end);
+    let run = sim.trace().report().expect("recording was enabled");
+    let oracle = sim
+        .trace()
+        .with_recorder(|rec| OracleReport::check(rec, &OracleConfig::paper_default()))
+        .expect("recording was enabled");
+    MultiDcOutcome {
+        oracle: ftvod_core::oracle::summary_token(&oracle),
+        oracle_detail: oracle.to_string(),
+        pass: oracle.pass(),
+        served: fleet.served,
+        never_served: fleet.never_served,
+        unserved_seconds: fleet.unserved_seconds,
+        stalled_seconds: fleet.stalled_seconds,
+        total_unserved: fleet.total_unserved(),
+        degraded_serves: run.degraded_serves,
+    }
+}
+
+fn multidc_line(o: &MultiDcOutcome) -> String {
+    format!(
+        "{}  served {}, never served {}, waited {:.3}s, stalled {:.3}s, unserved total {:.3}s, {} degraded serve(s)",
+        o.oracle,
+        o.served,
+        o.never_served,
+        o.unserved_seconds,
+        o.stalled_seconds,
+        o.total_unserved,
+        o.degraded_serves,
+    )
+}
+
+fn run_multidc(opts: &MultiDcOptions) -> Result<(), String> {
+    if opts.compare {
+        // EXPERIMENTS.md E8: the three-mode table on one seed. The
+        // home-only baseline is expected to strand the east clients (and
+        // thereby fail the repair invariants), so only the failover modes
+        // are gated on the oracle.
+        println!(
+            "multidc: failover comparison on seed {}, east site down {}s..{}s",
+            opts.seed,
+            MULTIDC_FAULT_AT.as_secs(),
+            MULTIDC_HEAL_AT.as_secs(),
+        );
+        let mut any_fail = false;
+        for (label, mode, gated) in [
+            ("home-only", FailoverMode::HomeOnly, false),
+            ("remote", FailoverMode::Remote, true),
+            ("remote-degraded", FailoverMode::RemoteDegraded, true),
+        ] {
+            let outcome = multidc_campaign(mode, opts.seed);
+            println!("{label:<16} {}", multidc_line(&outcome));
+            if gated && !outcome.pass {
+                any_fail = true;
+                print!("{}", outcome.oracle_detail);
+            }
+        }
+        return if any_fail {
+            Err("a failover run violated a safety invariant".to_owned())
+        } else {
+            Ok(())
+        };
+    }
+    println!(
+        "multidc: {} run(s) from seed {}, remote-degraded failover, east site down {}s..{}s",
+        opts.seeds,
+        opts.seed,
+        MULTIDC_FAULT_AT.as_secs(),
+        MULTIDC_HEAL_AT.as_secs(),
+    );
+    let mut failing: Vec<u64> = Vec::new();
+    for i in 0..opts.seeds {
+        let seed = opts.seed + u64::from(i);
+        let outcome = multidc_campaign(FailoverMode::RemoteDegraded, seed);
+        println!("seed {seed}: {}", multidc_line(&outcome));
+        if !outcome.pass {
+            print!("{}", outcome.oracle_detail);
+            failing.push(seed);
+        }
+    }
+    if failing.is_empty() {
+        println!(
+            "multidc: {}/{} run(s) passed the oracle",
+            opts.seeds, opts.seeds
+        );
+        Ok(())
+    } else {
+        let first = failing[0];
+        Err(format!(
+            "{} of {} run(s) violated a safety invariant (seeds {:?}); replay with: ftvod-cli multidc --seeds 1 --seed {first} --compare",
+            failing.len(),
+            opts.seeds,
+            failing
+        ))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
 struct CheckOptions {
     nodes: u32,
     joiners: u32,
@@ -1262,6 +1435,28 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 --sync-ms MS   server sync interval in ms         (default 500)\n\
              \x20 --plan         print each campaign's fault schedule"
         }
+        "multidc" => {
+            "usage: ftvod-cli multidc [options]\n\n\
+             Run the fixed two-datacenter scenario — east and west sites\n\
+             over a WAN, geo-affine clients, every movie replicated on\n\
+             both sites — with a correlated crash of the whole east site\n\
+             mid-run, under remote-degraded failover, across a sweep of\n\
+             seeds, replaying every trace through the safety oracle\n\
+             (including the site-aware invariants: re-serve after a site\n\
+             fault, geo-affinity restored after the heal, degraded serving\n\
+             only while the home site is down). The same seed always\n\
+             produces the same line, byte for byte. Exits nonzero if any\n\
+             run violates an invariant.\n\n\
+             With --compare, one seed is run under all three failover\n\
+             modes (home-only, remote, remote-degraded) and the verdicts\n\
+             are printed side by side — the EXPERIMENTS.md E8 table. The\n\
+             home-only baseline strands the east clients by design, so\n\
+             only the failover rows are gated on the oracle.\n\n\
+             options:\n\
+             \x20 --seeds N      number of sweep seeds              (default 10)\n\
+             \x20 --seed N       first seed                         (default 1)\n\
+             \x20 --compare      three-mode comparison on one seed"
+        }
         "check" => {
             "usage: ftvod-cli check [options]\n\n\
              Exhaustively model-check the GCS membership state machine\n\
@@ -1316,6 +1511,8 @@ fn usage_for(topic: &str) -> &'static str {
              \x20 flash       flash-crowd sweep: predictive placement + prefix\n\
              \x20             cache vs a 10x popularity shock\n\
              \x20 chaos       seeded fault campaigns checked by the safety oracle\n\
+             \x20 multidc     two-datacenter site-crash sweep: cross-DC rescue\n\
+             \x20             and degraded-mode serving vs a home-only baseline\n\
              \x20 check       exhaustively model-check the membership protocol\n\
              \x20 perf        run the perf suite, write BENCH_ftvod.json, gate\n\
              \x20             against a baseline\n\n\
@@ -1363,6 +1560,7 @@ fn main() -> ExitCode {
         "fleet" => exit_from(parse_fleet(&args[1..]).and_then(|opts| run_fleet(&opts))),
         "flash" => exit_from(parse_flash(&args[1..]).and_then(|opts| run_flash(&opts))),
         "chaos" => exit_from(parse_chaos(&args[1..]).and_then(|opts| run_chaos(&opts))),
+        "multidc" => exit_from(parse_multidc(&args[1..]).and_then(|opts| run_multidc(&opts))),
         "check" => exit_from(parse_check(&args[1..]).and_then(|opts| run_check(&opts))),
         "perf" => exit_from(parse_perf(&args[1..]).and_then(|opts| run_perf(&opts))),
         other => {
@@ -1615,6 +1813,31 @@ mod tests {
     }
 
     #[test]
+    fn multidc_defaults_parse() {
+        let opts = parse_multidc(&[]).unwrap();
+        assert_eq!(opts, MultiDcOptions::default());
+        assert_eq!(opts.seeds, 10);
+        assert_eq!(opts.seed, 1);
+        assert!(!opts.compare);
+    }
+
+    #[test]
+    fn multidc_full_flag_set_parses() {
+        let opts = parse_multidc(&strings(&["--seeds", "3", "--seed", "9", "--compare"])).unwrap();
+        assert_eq!(opts.seeds, 3);
+        assert_eq!(opts.seed, 9);
+        assert!(opts.compare);
+    }
+
+    #[test]
+    fn multidc_rejects_bad_inputs() {
+        assert!(parse_multidc(&strings(&["--bogus"])).is_err());
+        assert!(parse_multidc(&strings(&["--seeds", "0"])).is_err());
+        assert!(parse_multidc(&strings(&["--seeds"])).is_err());
+        assert!(parse_multidc(&strings(&["--seed", "x"])).is_err());
+    }
+
+    #[test]
     fn check_defaults_parse() {
         let opts = parse_check(&[]).unwrap();
         assert_eq!(opts, CheckOptions::default());
@@ -1668,8 +1891,8 @@ mod tests {
     #[test]
     fn every_command_has_usage_text() {
         for cmd in [
-            "lan", "wan", "trace", "report", "custom", "fleet", "flash", "chaos", "check", "perf",
-            "overview",
+            "lan", "wan", "trace", "report", "custom", "fleet", "flash", "chaos", "multidc",
+            "check", "perf", "overview",
         ] {
             let text = usage_for(cmd);
             assert!(text.starts_with("usage:"), "{cmd} usage malformed");
@@ -1679,6 +1902,8 @@ mod tests {
         assert!(usage_for("fleet").contains("--prefix-secs"));
         assert!(usage_for("flash").contains("--compare"));
         assert!(usage_for("chaos").contains("--sync-ms"));
+        assert!(usage_for("multidc").contains("--compare"));
+        assert!(usage_for("overview").contains("multidc"));
         assert!(usage_for("overview").contains("flash"));
         assert!(usage_for("overview").contains("chaos"));
         assert!(usage_for("overview").contains("check"));

@@ -88,7 +88,8 @@ pub mod prelude {
     pub use ftvod_core::chaos::{ChaosFault, ChaosPlan, ChaosProfile};
     pub use ftvod_core::client::{ClientStats, VodClient, WatchRequest};
     pub use ftvod_core::config::{
-        PrefixCacheConfig, ReplicationConfig, ResumePolicy, TakeoverPolicy, VodConfig,
+        FailoverMode, MultiDcConfig, PrefixCacheConfig, ReplicationConfig, ResumePolicy, SiteMap,
+        TakeoverPolicy, VodConfig,
     };
     pub use ftvod_core::forecast::PolicyKind;
     pub use ftvod_core::oracle::{OracleConfig, OracleReport, Verdict};
@@ -98,8 +99,8 @@ pub mod prelude {
     pub use ftvod_core::server::{Replica, VodServer};
     pub use ftvod_core::trace::{RunReport, TraceHandle, VodEvent, DEFAULT_EVENT_CAPACITY};
     pub use ftvod_core::workload::{
-        fleet_builder, fleet_builder_with_config, fleet_config, FleetPlan, FleetProfile,
-        FleetReport, ZipfSampler,
+        fleet_builder, fleet_builder_with_config, fleet_config, multidc_builder, multidc_profile,
+        FleetPlan, FleetProfile, FleetReport, ZipfSampler, MULTIDC_FAULT_AT, MULTIDC_HEAL_AT,
     };
     pub use media::{FrameNo, Movie, MovieId, MovieSpec};
     pub use simnet::{LinkProfile, NodeId, SimTime};
